@@ -1,0 +1,296 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. Regeneration of every table/figure of the paper's evaluation at
+      quick scale — the same code paths as [bin/repro.exe], producing the
+      rows/series the paper reports (§4 Figs. 2-5, the §4.3 SPS result,
+      the §5 deployment, Table 1, and the §3 theory numbers).
+
+   2. Bechamel micro-benchmarks of the hot operations behind those
+      experiments (one group per figure plus core-op and ablation
+      groups, per DESIGN.md §4). *)
+
+open Bechamel
+open Toolkit
+module Scale = Basalt_experiments.Scale
+module Scenario = Basalt_sim.Scenario
+module Runner = Basalt_sim.Runner
+module Rank = Basalt_hashing.Rank
+module Rng = Basalt_prng.Rng
+
+let scale = Scale.Quick
+
+(* --- Part 1: paper series ------------------------------------------- *)
+
+let regenerate_figures () =
+  print_endline "=== Part 1: paper tables and figures (quick scale) ===";
+  print_endline
+    "(run `basalt-repro all --scale standard` or `--scale full` for larger\n\
+    \ networks; see EXPERIMENTS.md for recorded paper-vs-measured results)\n";
+  Basalt_experiments.Params.print ~scale ();
+  Basalt_experiments.Theory.print ~scale ();
+  List.iter (Basalt_experiments.Fig2.print ~scale) Basalt_experiments.Fig2.all_panels;
+  Basalt_experiments.Fig3.print ~scale ();
+  Basalt_experiments.Fig4.print ~scale ();
+  Basalt_experiments.Fig5.print ~scale ();
+  Basalt_experiments.Sps_failure.print ~scale ();
+  Basalt_experiments.Live.print ~scale ();
+  Basalt_experiments.Cost.print ~scale ();
+  Basalt_experiments.Uniformity.print ~scale ()
+
+(* --- Part 2: micro-benchmarks ---------------------------------------- *)
+
+let ns_of_run = function Some (e :: _) -> e | Some [] | None -> Float.nan
+
+let run_group ~name tests =
+  let grouped = Test.make_grouped ~name ~fmt:"%s/%s" tests in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun test_name ols acc ->
+        (test_name, ns_of_run (Analyze.OLS.estimates ols)) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Printf.printf "-- %s\n" name;
+  List.iter
+    (fun (test_name, ns) ->
+      let human =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.2f ns" ns
+      in
+      Printf.printf "   %-48s %s/run\n" test_name human)
+    rows;
+  print_newline ()
+
+(* Micro run: a small but complete simulated experiment (the unit of work
+   behind every figure). *)
+let micro_scenario ?(protocol = Scenario.Basalt (Basalt_core.Config.make ~v:16 ~k:4 ()))
+    ?(f = 0.1) ?(force = 10.0) ?(graph_metrics = false) () =
+  Scenario.make ~name:"bench" ~n:120 ~f ~force ~protocol ~steps:20.0
+    ~graph_metrics ()
+
+let sim_test name scenario =
+  Test.make ~name (Staged.stage (fun () -> ignore (Runner.run scenario)))
+
+(* One group per figure: the benchmarked unit is one Monte-Carlo run with
+   that figure's distinguishing configuration. *)
+let fig_groups () =
+  run_group ~name:"fig2 (per-point run: basalt vs brahms, F=10)"
+    [
+      sim_test "basalt" (micro_scenario ());
+      sim_test "brahms"
+        (micro_scenario
+           ~protocol:(Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:16 ~k:4 ()))
+           ());
+    ];
+  run_group ~name:"fig3 (convergence measurement run)"
+    [
+      Test.make ~name:"run+convergence"
+        (Staged.stage (fun () ->
+             let r = Runner.run (micro_scenario ()) in
+             ignore
+               (Basalt_sim.Measurements.convergence_time ~optimal:0.1
+                  ~within:0.25 r.Runner.series)));
+    ];
+  run_group ~name:"fig4 (run with graph metrics)"
+    [
+      sim_test "basalt+metrics" (micro_scenario ~graph_metrics:true ~force:1.0 ());
+    ];
+  run_group ~name:"fig5 (isolation probe at one (v, rho) point)"
+    [
+      Test.make ~name:"probe"
+        (Staged.stage (fun () ->
+             let r =
+               Runner.run
+                 (micro_scenario
+                    ~protocol:(Scenario.Basalt (Basalt_core.Config.make ~v:16 ~k:4 ~rho:2.0 ()))
+                    ())
+             in
+             ignore r.Runner.ever_isolated_after_half));
+    ];
+  run_group ~name:"sps-failure (f=0.3, F=0 run)"
+    [
+      sim_test "sps"
+        (Scenario.make ~name:"bench" ~n:120 ~f:0.3 ~force:0.0
+           ~strategy:Basalt_adversary.Adversary.Silent
+           ~protocol:(Scenario.Sps (Basalt_sps.Sps.config ~l:16 ()))
+           ~steps:20.0 ());
+    ];
+  run_group ~name:"live (deployment measurement)"
+    [
+      Test.make ~name:"deployment"
+        (Staged.stage (fun () ->
+             ignore
+               (Basalt_avalanche.Deployment.run
+                  (Basalt_avalanche.Deployment.config ~n:120 ~adversarial:24
+                     ~v:16 ~steps:20.0 ()))));
+    ];
+  run_group ~name:"theory (Section 3 computations)"
+    [
+      Test.make ~name:"ode-trajectory"
+        (Staged.stage (fun () ->
+             ignore
+               (Basalt_analysis.Model.trajectory
+                  (Basalt_analysis.Model.env ())
+                  ~b0:0.5 ~t1:100.0 ~dt:0.1)));
+      Test.make ~name:"equilibria"
+        (Staged.stage (fun () ->
+             ignore
+               (Basalt_analysis.Model.equilibria (Basalt_analysis.Model.env ()))));
+      Test.make ~name:"isolation-bounds"
+        (Staged.stage (fun () ->
+             ignore (Basalt_experiments.Theory.worked_examples ())));
+    ]
+
+(* Core operations: the simulator's hot paths. *)
+let core_ops () =
+  let rng = Rng.create ~seed:1 in
+  let ids = Array.init 161 Basalt_proto.Node_id.of_int in
+  let basalt =
+    Basalt_core.Basalt.create
+      ~config:(Basalt_core.Config.make ~v:160 ())
+      ~id:(Basalt_proto.Node_id.of_int 9999)
+      ~bootstrap:ids ~rng
+      ~send:(fun ~dst:_ _ -> ())
+      ()
+  in
+  let siphash_key = Basalt_hashing.Siphash.key_of_rng rng in
+  let cheap_seed = Rank.of_int Rank.Cheap 42 in
+  let sip_seed = Rank.of_int (Rank.Siphash siphash_key) 42 in
+  run_group ~name:"core ops"
+    [
+      Test.make ~name:"update_sample (v=160, 161 ids)"
+        (Staged.stage (fun () -> Basalt_core.Basalt.update_sample basalt ids));
+      Test.make ~name:"sample_tick (v=160, k=80)"
+        (Staged.stage (fun () -> ignore (Basalt_core.Basalt.sample_tick basalt)));
+      Test.make ~name:"rank (cheap mixer)"
+        (Staged.stage (fun () -> ignore (Rank.rank cheap_seed 123456)));
+      Test.make ~name:"rank (siphash-2-4)"
+        (Staged.stage (fun () -> ignore (Rank.rank sip_seed 123456)));
+      Test.make ~name:"rng int"
+        (Staged.stage (fun () -> ignore (Rng.int rng 1000)));
+    ]
+
+let graph_ops () =
+  let rng = Rng.create ~seed:2 in
+  (* A random 200-vertex, out-degree-16 snapshot. *)
+  let g =
+    Basalt_graph.Digraph.of_views ~n:200 (fun _ ->
+        Array.init 16 (fun _ -> Basalt_proto.Node_id.of_int (Rng.int rng 200)))
+  in
+  let is_malicious u = u >= 180 in
+  run_group ~name:"graph metrics (n=200, d=16 snapshot)"
+    [
+      Test.make ~name:"clustering"
+        (Staged.stage (fun () ->
+             ignore
+               (Basalt_graph.Metrics.clustering_coefficient ~rng ~is_malicious g)));
+      Test.make ~name:"mean path length"
+        (Staged.stage (fun () ->
+             ignore (Basalt_graph.Metrics.mean_path_length ~rng ~is_malicious g)));
+      Test.make ~name:"indegree decile spread"
+        (Staged.stage (fun () ->
+             ignore (Basalt_graph.Metrics.indegree_decile_spread ~is_malicious g)));
+      Test.make ~name:"weak components"
+        (Staged.stage (fun () ->
+             ignore (Basalt_graph.Components.weakly_connected g)));
+    ]
+
+let codec_ops () =
+  let msg = Basalt_proto.Message.Push (Array.init 160 Basalt_proto.Node_id.of_int) in
+  let encoded = Basalt_codec.Wire.encode msg in
+  let sender = Basalt_proto.Node_id.of_int 77 in
+  let frame = Basalt_net.Frame.encode ~sender msg in
+  run_group ~name:"wire codec (160-id view)"
+    [
+      Test.make ~name:"encode" (Staged.stage (fun () -> ignore (Basalt_codec.Wire.encode msg)));
+      Test.make ~name:"decode"
+        (Staged.stage (fun () -> ignore (Basalt_codec.Wire.decode encoded)));
+      Test.make ~name:"frame encode"
+        (Staged.stage (fun () -> ignore (Basalt_net.Frame.encode ~sender msg)));
+      Test.make ~name:"frame decode"
+        (Staged.stage (fun () ->
+             let d = Basalt_net.Frame.Decoder.create () in
+             ignore
+               (Basalt_net.Frame.Decoder.feed d frame ~off:0
+                  ~len:(Bytes.length frame))));
+    ]
+
+(* Ablations called out in DESIGN.md §4. *)
+let ablations () =
+  run_group ~name:"ablation: replacement count k"
+    [
+      sim_test "k=1"
+        (micro_scenario ~protocol:(Scenario.Basalt (Basalt_core.Config.make ~v:16 ~k:1 ())) ());
+      sim_test "k=v/2"
+        (micro_scenario ~protocol:(Scenario.Basalt (Basalt_core.Config.make ~v:16 ~k:8 ())) ());
+    ];
+  run_group ~name:"ablation: push payload (full view vs own id)"
+    [
+      sim_test "full-view"
+        (micro_scenario
+           ~protocol:(Scenario.Basalt (Basalt_core.Config.make ~v:16 ~k:4 ()))
+           ());
+      sim_test "own-id-only"
+        (micro_scenario
+           ~protocol:
+             (Scenario.Basalt
+                (Basalt_core.Config.make ~v:16 ~k:4 ~push_own_id_only:true ()))
+           ());
+    ];
+  let sip = Rank.Siphash (Basalt_hashing.Siphash.key_of_ints 1L 2L) in
+  run_group ~name:"ablation: rank backend"
+    [
+      sim_test "cheap-mixer"
+        (micro_scenario
+           ~protocol:(Scenario.Basalt (Basalt_core.Config.make ~v:16 ~k:4 ()))
+           ());
+      sim_test "siphash-2-4"
+        (micro_scenario
+           ~protocol:(Scenario.Basalt (Basalt_core.Config.make ~v:16 ~k:4 ~backend:sip ()))
+           ());
+    ];
+  run_group ~name:"ablation: slot selection strategy"
+    [
+      sim_test "uniform"
+        (micro_scenario
+           ~protocol:
+             (Scenario.Basalt
+                (Basalt_core.Config.make ~v:16 ~k:4 ~select:Basalt_core.Config.Uniform_slot ()))
+           ());
+      sim_test "rotating"
+        (micro_scenario
+           ~protocol:
+             (Scenario.Basalt
+                (Basalt_core.Config.make ~v:16 ~k:4 ~select:Basalt_core.Config.Rotating_slot ()))
+           ());
+      sim_test "least-used"
+        (micro_scenario
+           ~protocol:
+             (Scenario.Basalt
+                (Basalt_core.Config.make ~v:16 ~k:4
+                   ~select:Basalt_core.Config.Least_used_slot ()))
+           ());
+    ]
+
+let () =
+  regenerate_figures ();
+  print_endline "=== Part 2: micro-benchmarks (Bechamel, OLS ns/run) ===";
+  fig_groups ();
+  core_ops ();
+  graph_ops ();
+  codec_ops ();
+  ablations ();
+  print_endline "bench: done"

@@ -1,0 +1,1 @@
+bin/basalt_node.ml: Arg Basalt_core Basalt_net Cmd Cmdliner List Printf Result String Term Unix

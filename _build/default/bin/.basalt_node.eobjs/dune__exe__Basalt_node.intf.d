@@ -1,0 +1,1 @@
+bin/basalt_node.mli:

@@ -1,0 +1,109 @@
+(* basalt-node: a stand-alone Basalt peer over UDP.
+
+   Run a small overlay on one machine:
+
+     basalt-node --listen 127.0.0.1:4001 --peer 127.0.0.1:4002 &
+     basalt-node --listen 127.0.0.1:4002 --peer 127.0.0.1:4001 &
+     basalt-node --listen 127.0.0.1:4003 --peer 127.0.0.1:4001 --duration 30
+
+   Each node prints its view and fresh samples periodically.  Endpoints
+   are the node identifiers, so the view is directly a routing table. *)
+
+open Cmdliner
+module Endpoint = Basalt_net.Endpoint
+module Event_loop = Basalt_net.Event_loop
+module Udp_node = Basalt_net.Udp_node
+
+let endpoint_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Endpoint.of_string s) in
+  Arg.conv ~docv:"HOST:PORT" (parse, Endpoint.pp)
+
+let listen_arg =
+  Arg.(
+    required
+    & opt (some endpoint_conv) None
+    & info [ "l"; "listen" ] ~docv:"HOST:PORT" ~doc:"Address to bind.")
+
+let peers_arg =
+  Arg.(
+    value & opt_all endpoint_conv []
+    & info [ "p"; "peer" ] ~docv:"HOST:PORT"
+        ~doc:"Bootstrap peer (repeatable).")
+
+let view_size_arg =
+  Arg.(value & opt int 16 & info [ "v"; "view-size" ] ~doc:"View size v.")
+
+let tau_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "tau" ] ~doc:"Exchange interval in seconds.")
+
+let rho_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "rho" ] ~doc:"Samples per second the service should emit.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 60.0
+    & info [ "d"; "duration" ] ~doc:"How long to run, in seconds.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed (0 = from time).")
+
+let report_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "report-every" ] ~doc:"Status print interval in seconds.")
+
+let main listen peers v tau rho duration seed report_every =
+  let seed =
+    if seed = 0 then int_of_float (Unix.gettimeofday () *. 1000.0) land 0xFFFFFF
+    else seed
+  in
+  let config = Basalt_core.Config.make ~v ~tau ~rho () in
+  let loop = Event_loop.create () in
+  let node =
+    Udp_node.create ~config ~loop ~listen ~bootstrap:peers ~seed ()
+  in
+  Printf.printf "basalt-node listening on %s (v=%d tau=%gs rho=%g seed=%d)\n%!"
+    (Endpoint.to_string (Udp_node.endpoint node))
+    v tau rho seed;
+  Event_loop.every loop ~interval:report_every (fun () ->
+      let stats = Udp_node.stats node in
+      let view = Udp_node.view node in
+      let distinct =
+        List.sort_uniq compare (List.map Endpoint.to_string view)
+      in
+      Printf.printf "[%s] view: %d slots, %d distinct peers; io: %d in / %d out\n"
+        (Endpoint.to_string (Udp_node.endpoint node))
+        (List.length view) (List.length distinct)
+        stats.Udp_node.datagrams_in stats.Udp_node.datagrams_out;
+      let recent =
+        Basalt_core.Sample_stream.recent (Udp_node.samples node) 5
+      in
+      if recent <> [] then
+        Printf.printf "  recent samples: %s\n"
+          (String.concat ", "
+             (List.map
+                (fun id -> Endpoint.to_string (Endpoint.of_node_id id))
+                recent));
+      flush stdout);
+  Event_loop.run_for loop duration;
+  let stats = Udp_node.stats node in
+  Printf.printf "done: %d datagrams in, %d out, %d decode errors\n"
+    stats.Udp_node.datagrams_in stats.Udp_node.datagrams_out
+    stats.Udp_node.decode_errors;
+  Udp_node.close node
+
+let cmd =
+  let info =
+    Cmd.info "basalt-node" ~version:"1.0.0"
+      ~doc:"Run a Basalt random-peer-sampling node over UDP"
+  in
+  Cmd.v info
+    Term.(
+      const main $ listen_arg $ peers_arg $ view_size_arg $ tau_arg $ rho_arg
+      $ duration_arg $ seed_arg $ report_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,172 @@
+(* Reproduction driver: one subcommand per paper figure/table.
+   See DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+   paper-vs-measured outcomes. *)
+
+open Cmdliner
+open Basalt_experiments
+
+let scale_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (Scale.of_string s) in
+  let print ppf s = Format.fprintf ppf "%s" (Scale.to_string s) in
+  let scale_conv = Arg.conv ~docv:"SCALE" (parse, print) in
+  let doc =
+    "Experiment scale: $(b,quick) (seconds), $(b,standard) (minutes, n=1000) \
+     or $(b,full) (paper scale, n=10000; hours for the complete suite)."
+  in
+  Arg.(value & opt scale_conv Scale.Standard & info [ "s"; "scale" ] ~doc)
+
+let csv_arg =
+  let doc =
+    "Also write each experiment's rows as CSV files under $(docv) (created \
+     if missing)."
+  in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let csv_path csv_dir name =
+  Option.map
+    (fun dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Filename.concat dir (name ^ ".csv"))
+    csv_dir
+
+let timed cmd_name f scale csv_dir =
+  let t0 = Unix.gettimeofday () in
+  f ~scale ~csv_dir ();
+  Printf.printf "[%s done in %.1fs]\n\n%!" cmd_name (Unix.gettimeofday () -. t0)
+
+let cmd cmd_name ~doc f =
+  Cmd.v (Cmd.info cmd_name ~doc)
+    Term.(const (timed cmd_name f) $ scale_arg $ csv_arg)
+
+let fig2_panel tag panel ~scale ~csv_dir () =
+  Fig2.print ~scale ?csv:(csv_path csv_dir tag) panel
+
+let fig2_all ~scale ~csv_dir () =
+  List.iter2
+    (fun tag panel -> fig2_panel tag panel ~scale ~csv_dir ())
+    [ "fig2a"; "fig2b"; "fig2c"; "fig2d" ]
+    Fig2.all_panels
+
+let fig3 ~scale ~csv_dir () = Fig3.print ~scale ?csv:(csv_path csv_dir "fig3") ()
+let fig4 ~scale ~csv_dir () = Fig4.print ~scale ?csv:(csv_path csv_dir "fig4") ()
+let fig5 ~scale ~csv_dir () = Fig5.print ~scale ?csv:(csv_path csv_dir "fig5") ()
+
+let sps_failure ~scale ~csv_dir () =
+  Sps_failure.print ~scale ?csv:(csv_path csv_dir "sps_failure") ()
+
+let live ~scale ~csv_dir () = Live.print ~scale ?csv:(csv_path csv_dir "live") ()
+let theory ~scale ~csv_dir:_ () = Theory.print ~scale ()
+let params ~scale ~csv_dir:_ () = Params.print ~scale ()
+let cost ~scale ~csv_dir () = Cost.print ~scale ?csv:(csv_path csv_dir "cost") ()
+
+let churn ~scale ~csv_dir () =
+  Churn_exp.print ~scale ?csv:(csv_path csv_dir "churn") ()
+
+let sybil ~scale ~csv_dir () =
+  Sybil.print ~scale ?csv:(csv_path csv_dir "sybil") ()
+
+let robustness ~scale ~csv_dir () =
+  Robustness.print ~scale ?csv:(csv_path csv_dir "robustness") ()
+
+let uniformity ~scale ~csv_dir () =
+  Uniformity.print ~scale ?csv:(csv_path csv_dir "uniformity") ()
+
+let dag ~scale ~csv_dir () = Dag_exp.print ~scale ?csv:(csv_path csv_dir "dag") ()
+
+let all ~scale ~csv_dir () =
+  params ~scale ~csv_dir ();
+  theory ~scale ~csv_dir ();
+  fig2_all ~scale ~csv_dir ();
+  fig3 ~scale ~csv_dir ();
+  fig4 ~scale ~csv_dir ();
+  fig5 ~scale ~csv_dir ();
+  sps_failure ~scale ~csv_dir ();
+  live ~scale ~csv_dir ();
+  cost ~scale ~csv_dir ()
+
+let extensions ~scale ~csv_dir () =
+  churn ~scale ~csv_dir ();
+  sybil ~scale ~csv_dir ();
+  robustness ~scale ~csv_dir ();
+  uniformity ~scale ~csv_dir ();
+  dag ~scale ~csv_dir ()
+
+let cmds =
+  [
+    cmd "fig2a" ~doc:"Byzantine samples vs fraction f (Fig. 2a)"
+      (fig2_panel "fig2a" Fig2.F_byzantine);
+    cmd "fig2b" ~doc:"Byzantine samples vs attack force F (Fig. 2b)"
+      (fig2_panel "fig2b" Fig2.Force);
+    cmd "fig2c" ~doc:"Byzantine samples vs sampling rate rho (Fig. 2c)"
+      (fig2_panel "fig2c" Fig2.Rho);
+    cmd "fig2d" ~doc:"Byzantine samples vs view size v (Fig. 2d)"
+      (fig2_panel "fig2d" Fig2.View_size);
+    cmd "fig2" ~doc:"All four panels of Fig. 2" fig2_all;
+    cmd "fig3" ~doc:"Convergence time vs f (Fig. 3)" fig3;
+    cmd "fig4" ~doc:"Graph metric convergence over time (Fig. 4)" fig4;
+    cmd "fig5" ~doc:"Max sampling rate without isolation vs v (Fig. 5)" fig5;
+    cmd "sps-failure" ~doc:"SPS isolation at f=30%, F=0 (Section 4.3)"
+      sps_failure;
+    cmd "live" ~doc:"Simulated live-deployment measurement (Section 5)" live;
+    cmd "theory" ~doc:"Section 3 bounds, equilibria and model validation"
+      theory;
+    cmd "params" ~doc:"Table 1 parameter envelope and stability checks" params;
+    cmd "cost" ~doc:"Communication-cost accounting (Section 4.3 budget)" cost;
+    cmd "churn" ~doc:"Extension: sample quality under continuous churn" churn;
+    cmd "sybil"
+      ~doc:"Extension: institutional Sybil attack vs prefix-diverse ranking"
+      sybil;
+    cmd "robustness"
+      ~doc:"Extension: resilience to message loss and latency jitter"
+      robustness;
+    cmd "uniformity" ~doc:"Extension: sample-stream diversity statistics"
+      uniformity;
+    cmd "dag" ~doc:"Extension: Avalanche DAG consensus with a double-spend"
+      dag;
+    cmd "all" ~doc:"Run every paper experiment in sequence" all;
+    cmd "extensions"
+      ~doc:"Run the extension experiments (churn, sybil, robustness, uniformity, dag)"
+      extensions;
+  ]
+
+(* timeline has its own flag set (free-form scenario parameters). *)
+let timeline_cmd =
+  let protocol =
+    Arg.(
+      value & opt string "basalt"
+      & info [ "protocol" ] ~docv:"NAME" ~doc:"basalt|brahms|sps|classic")
+  in
+  let n = Arg.(value & opt int 1000 & info [ "n" ] ~doc:"Network size.") in
+  let f =
+    Arg.(value & opt float 0.1 & info [ "f" ] ~doc:"Byzantine fraction.")
+  in
+  let force = Arg.(value & opt float 10.0 & info [ "F" ] ~doc:"Attack force.") in
+  let v = Arg.(value & opt int 100 & info [ "v" ] ~doc:"View size.") in
+  let rho = Arg.(value & opt float 1.0 & info [ "rho" ] ~doc:"Sampling rate.") in
+  let steps = Arg.(value & opt float 200.0 & info [ "steps" ] ~doc:"Duration.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let graph =
+    Arg.(value & flag & info [ "graph-metrics" ] ~doc:"Record Fig. 4 metrics.")
+  in
+  let run protocol n f force v rho steps seed graph csv_dir =
+    match
+      Timeline.spec ~protocol ~n ~f ~force ~v ~rho ~steps ~seed
+        ~graph_metrics:graph ()
+    with
+    | Ok s -> Timeline.print ?csv:(csv_path csv_dir "timeline") s
+    | Error msg ->
+        prerr_endline ("timeline: " ^ msg);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "timeline" ~doc:"Time series for one free-form scenario")
+    Term.(
+      const run $ protocol $ n $ f $ force $ v $ rho $ steps $ seed $ graph
+      $ csv_arg)
+
+let () =
+  let info =
+    Cmd.info "basalt-repro" ~version:"1.0.0"
+      ~doc:"Reproduce the evaluation of the Basalt paper (Middleware 2023)"
+  in
+  exit (Cmd.eval (Cmd.group info (timeline_cmd :: cmds)))

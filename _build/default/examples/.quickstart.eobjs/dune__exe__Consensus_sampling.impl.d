@@ -1,0 +1,1 @@
+examples/consensus_sampling.ml: Basalt_avalanche Basalt_core Basalt_sim Basalt_sps List Printf

@@ -1,0 +1,1 @@
+examples/eclipse_defense.ml: Array Basalt_adversary Basalt_brahms Basalt_core Basalt_proto Basalt_sim Basalt_sps List Printf

@@ -1,0 +1,1 @@
+examples/eclipse_defense.mli:

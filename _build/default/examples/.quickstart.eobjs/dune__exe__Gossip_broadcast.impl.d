@@ -1,0 +1,1 @@
+examples/gossip_broadcast.ml: Array Basalt_core Basalt_prng Basalt_proto Basalt_sim Basalt_sps List Printf String

@@ -1,0 +1,1 @@
+examples/gossip_broadcast.mli:

@@ -1,0 +1,1 @@
+examples/local_udp.ml: Array Basalt_core Basalt_net Basalt_proto Hashtbl List Printf String

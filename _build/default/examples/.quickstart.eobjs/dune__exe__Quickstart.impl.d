@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Basalt_core Basalt_engine Basalt_prng Basalt_proto Int List Printf String

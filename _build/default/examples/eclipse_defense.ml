@@ -1,0 +1,77 @@
+(* Eclipse attack on a single victim: classical RPS vs Basalt.
+
+   Run with:  dune exec examples/eclipse_defense.exe
+
+   The whole Byzantine coalition (20% of the network) concentrates its
+   push traffic on node 0 — the Eclipse strategy of §5 — while still
+   answering every pull with forged all-malicious views.  With a
+   classical shuffling RPS, the victim's view fills up with attacker
+   identifiers and the node ends up eclipsed; Basalt's stubborn chaotic
+   search caps the attacker's representation near its fair share. *)
+
+module Scenario = Basalt_sim.Scenario
+module Runner = Basalt_sim.Runner
+module Measurements = Basalt_sim.Measurements
+module Adversary = Basalt_adversary.Adversary
+module Node_id = Basalt_proto.Node_id
+
+let n = 300
+let f = 0.2
+let force = 20.0
+let steps = 100.0
+let victim = Node_id.of_int 0
+
+let run name protocol =
+  let scenario =
+    Scenario.make ~name ~n ~f ~force ~strategy:(Adversary.Eclipse victim)
+      ~protocol ~steps ()
+  in
+  let r = Runner.run scenario in
+  let outcome = r.Runner.per_node.(0) in
+  (name, r, outcome)
+
+let () =
+  Printf.printf
+    "Eclipse attack on node 0 (n=%d, f=%.0f%%, F=%g: every adversarial push \
+     targets the victim)\n\n"
+    n (100.0 *. f) force;
+  let results =
+    [
+      run "basalt" (Scenario.Basalt (Basalt_core.Config.make ~v:24 ~k:6 ()));
+      run "classic" (Scenario.Classic (Basalt_sps.Classic.config ~l:24 ()));
+      run "brahms" (Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:24 ~k:6 ()));
+    ]
+  in
+  Printf.printf "%-8s  %-18s  %-18s  %s\n" "protocol" "victim view byz"
+    "victim sample byz" "eclipsed?";
+  List.iter
+    (fun (name, _, o) ->
+      Printf.printf "%-8s  %-18.3f  %-18.3f  %b\n" name
+        o.Runner.node_view_byz o.Runner.node_sample_byz o.Runner.node_isolated)
+    results;
+  print_newline ();
+  (* Time evolution of the victim's exposure under each protocol: the
+     network-wide isolated fraction is ~victim-only here because the rest
+     of the network is barely attacked. *)
+  Printf.printf "network-wide view pollution over time:\n";
+  Printf.printf "%-8s" "t";
+  List.iter (fun (name, _, _) -> Printf.printf "  %8s" name) results;
+  print_newline ();
+  let points (_, r, _) = Array.of_list (Measurements.points r.Runner.series) in
+  let series = List.map points results in
+  let len = Array.length (List.hd series) in
+  for i = 0 to len - 1 do
+    if i mod 10 = 0 || i = len - 1 then begin
+      Printf.printf "%-8.0f" (List.hd series).(i).Measurements.time;
+      List.iter
+        (fun s -> Printf.printf "  %8.3f" s.(i).Measurements.view_byz)
+        series;
+      print_newline ()
+    end
+  done;
+  print_newline ();
+  Printf.printf
+    "Fair share for the attacker is %.2f: Basalt keeps the victim's view \
+     near it,\nwhile the classical RPS lets the attacker monopolise the \
+     victim.\n"
+    f

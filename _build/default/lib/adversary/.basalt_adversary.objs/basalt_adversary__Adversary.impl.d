@@ -1,0 +1,1 @@
+lib/adversary/adversary.ml: Array Basalt_prng Basalt_proto Hashtbl

@@ -1,0 +1,1 @@
+lib/adversary/adversary.mli: Basalt_prng Basalt_proto

@@ -1,0 +1,1 @@
+lib/analysis/isolation_bound.ml: Model

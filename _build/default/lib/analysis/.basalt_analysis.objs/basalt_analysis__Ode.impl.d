@@ -1,0 +1,1 @@
+lib/analysis/ode.ml: Float List

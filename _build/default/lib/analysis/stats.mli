@@ -1,0 +1,42 @@
+(** Descriptive statistics for experiment reporting.
+
+    Plain helpers over float arrays plus an online (Welford) accumulator
+    used when averaging across seeds or across nodes without materialising
+    all values. *)
+
+val mean : float array -> float
+(** [mean xs] is the arithmetic mean; [nan] when empty. *)
+
+val variance : float array -> float
+(** [variance xs] is the population variance; [nan] when empty. *)
+
+val stddev : float array -> float
+(** [stddev xs] is [sqrt (variance xs)]. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] is the linearly interpolated [p]-quantile
+    ([0 <= p <= 1]) of [xs]; [nan] when empty.  [xs] need not be
+    sorted. @raise Invalid_argument if [p] is out of range. *)
+
+val median : float array -> float
+(** [median xs] is [percentile xs 0.5]. *)
+
+val min_max : float array -> float * float
+(** [min_max xs] is [(min, max)]; [(nan, nan)] when empty. *)
+
+val confidence95 : float array -> float
+(** [confidence95 xs] is the 95% normal-approximation half-width of the
+    mean's confidence interval: [1.96 * stddev / sqrt n]. *)
+
+module Online : sig
+  (** Welford's online mean/variance accumulator. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+end

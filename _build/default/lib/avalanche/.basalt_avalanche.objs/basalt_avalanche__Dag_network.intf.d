@@ -1,0 +1,1 @@
+lib/avalanche/dag_network.mli: Network

@@ -1,0 +1,1 @@
+lib/avalanche/deployment.ml: Array Basalt_adversary Basalt_core Basalt_prng Basalt_proto Basalt_sim

@@ -1,0 +1,1 @@
+lib/avalanche/deployment.mli:

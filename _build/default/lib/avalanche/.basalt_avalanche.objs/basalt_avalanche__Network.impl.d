@@ -1,0 +1,1 @@
+lib/avalanche/network.ml: Array Basalt_adversary Basalt_analysis Basalt_core Basalt_engine Basalt_prng Basalt_proto Basalt_sim Float List Snowball

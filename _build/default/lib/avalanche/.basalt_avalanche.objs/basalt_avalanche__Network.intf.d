@@ -1,0 +1,1 @@
+lib/avalanche/network.mli: Basalt_sim Snowball

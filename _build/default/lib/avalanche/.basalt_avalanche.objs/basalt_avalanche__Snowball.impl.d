@@ -1,0 +1,1 @@
+lib/avalanche/snowball.ml: Format List

@@ -1,0 +1,1 @@
+lib/avalanche/snowball.mli: Format

@@ -1,0 +1,1 @@
+lib/avalanche/tx_dag.mli: Format

@@ -1,0 +1,338 @@
+module Node_id = Basalt_proto.Node_id
+module Message = Basalt_proto.Message
+module Rps = Basalt_proto.Rps
+module Engine = Basalt_engine.Engine
+module Rng = Basalt_prng.Rng
+module Scenario = Basalt_sim.Scenario
+module Sample_stream = Basalt_core.Sample_stream
+module Adversary = Basalt_adversary.Adversary
+
+type config = {
+  n : int;
+  f : float;
+  force : float;
+  sampling : Network.sampling;
+  committee : int;
+  alpha : int;
+  beta1 : int;
+  beta2 : int;
+  warmup : float;
+  steps : float;
+  virtuous_txs : int;
+  seed : int;
+}
+
+let config ?(n = 200) ?(f = 0.15) ?(force = 10.0)
+    ?(sampling =
+      Network.Service (Scenario.Basalt (Basalt_core.Config.make ~v:40 ~k:10 ())))
+    ?(committee = 10) ?(alpha = 7) ?(beta1 = 5) ?(beta2 = 8) ?(warmup = 30.0)
+    ?(steps = 250.0) ?(virtuous_txs = 20) ?(seed = 42) () =
+  if n <= 0 then invalid_arg "Dag_network.config: n must be positive";
+  if f < 0.0 || f >= 1.0 then invalid_arg "Dag_network.config: f out of [0,1)";
+  if committee <= 0 || alpha <= 0 || alpha > committee then
+    invalid_arg "Dag_network.config: bad committee/alpha";
+  if beta1 <= 0 || beta2 < beta1 then
+    invalid_arg "Dag_network.config: need 0 < beta1 <= beta2";
+  if steps <= warmup then invalid_arg "Dag_network.config: steps <= warmup";
+  {
+    n;
+    f;
+    force;
+    sampling;
+    committee;
+    alpha;
+    beta1;
+    beta2;
+    warmup;
+    steps;
+    virtuous_txs;
+    seed;
+  }
+
+(* Wire format: RPS traffic plus DAG queries/votes.  A query carries the
+   transaction's ancestor closure in topological order so the recipient
+   can always insert it. *)
+type msg =
+  | Rps_msg of Message.t
+  | Query of { closure : Tx_dag.Tx.t list; subject : Tx_dag.Tx.id }
+  | Vote of { subject : Tx_dag.Tx.id; positive : bool }
+
+type node_state = {
+  dag : Tx_dag.t;
+  stream : Sample_stream.t;
+  (* Votes collected for the currently-outstanding query, per subject. *)
+  votes : (Tx_dag.Tx.id, int * int) Hashtbl.t;
+  (* Avalanche queries each transaction once per node; confidence then
+     grows through descendants' queries. *)
+  queried : (Tx_dag.Tx.id, unit) Hashtbl.t;
+  mutable accept_times : (Tx_dag.Tx.id * float) list;
+  mutable round_robin : int;
+}
+
+type result = {
+  safety : bool;
+  conflict_resolved_fraction : float;
+  virtuous_accepted_fraction : float;
+  mean_acceptance_time : float;
+  committee_byz : float;
+  queries : int;
+}
+
+(* The scenario's transaction set: two conflicting spends (A = 1, B = 2,
+   same conflict key) and a chain of virtuous transactions on top of A's
+   branch. *)
+let conflict_a = { Tx_dag.Tx.id = 1; parents = [ 0 ]; conflict = 100 }
+let conflict_b = { Tx_dag.Tx.id = 2; parents = [ 0 ]; conflict = 100 }
+
+let virtuous_tx index =
+  (* tx 3 builds on A; each further one on its predecessor.  All in
+     distinct singleton conflict sets. *)
+  {
+    Tx_dag.Tx.id = 3 + index;
+    parents = [ (if index = 0 then conflict_a.Tx_dag.Tx.id else 2 + index) ];
+    conflict = 200 + index;
+  }
+
+let run c =
+  let master = Rng.create ~seed:c.seed in
+  let engine_rng = Rng.split master in
+  let node_rng = Rng.split master in
+  let adversary_rng = Rng.split master in
+  let bootstrap_rng = Rng.split master in
+  let committee_rng = Rng.split master in
+  let num_byz = int_of_float (Float.round (c.f *. float_of_int c.n)) in
+  let q = c.n - num_byz in
+  let engine : msg Engine.t = Engine.create ~rng:engine_rng ~n:c.n () in
+  let is_malicious u = u >= q in
+  let states =
+    Array.init q (fun _ ->
+        {
+          dag = Tx_dag.create ();
+          stream = Sample_stream.create ~capacity:256;
+          votes = Hashtbl.create 8;
+          queried = Hashtbl.create 8;
+          accept_times = [];
+          round_robin = 0;
+        })
+  in
+  let queries = ref 0 in
+  let committee_byz_acc = Basalt_analysis.Stats.Online.create () in
+  (* --- RPS substrate (same wiring as Network) --- *)
+  let samplers =
+    match c.sampling with
+    | Network.Full_knowledge -> None
+    | Network.Service protocol ->
+        let scenario =
+          Scenario.make ~n:c.n ~f:c.f ~protocol ~steps:c.steps ~seed:c.seed ()
+        in
+        let maker = Scenario.maker scenario in
+        let arr = Array.make q (Rps.null (Node_id.of_int 0)) in
+        for i = 0 to q - 1 do
+          let send ~dst m =
+            Engine.send engine ~src:i ~dst:(Node_id.to_int dst) (Rps_msg m)
+          in
+          let size = max 10 (c.n / 20) in
+          let bootstrap =
+            Array.init size (fun _ -> Node_id.of_int (Rng.int bootstrap_rng c.n))
+          in
+          arr.(i) <- maker ~id:(Node_id.of_int i) ~bootstrap ~rng:node_rng ~send
+        done;
+        Some arr
+  in
+  (* --- Correct node message handling --- *)
+  (* A completed query can finalise ancestors, not just its subject, so
+     scan the whole (small) DAG for new acceptances. *)
+  let tracked_accepts i _subject =
+    let state = states.(i) in
+    List.iter
+      (fun id ->
+        if
+          id <> Tx_dag.Tx.genesis.Tx_dag.Tx.id
+          && (not (List.mem_assoc id state.accept_times))
+          && Tx_dag.accepted ~beta1:c.beta1 ~beta2:c.beta2 state.dag id
+        then
+          state.accept_times <- (id, Engine.now engine) :: state.accept_times)
+      (Tx_dag.transactions state.dag)
+  in
+  for i = 0 to q - 1 do
+    let state = states.(i) in
+    Engine.register engine i (fun ~from msg ->
+        match msg with
+        | Rps_msg m -> (
+            match samplers with
+            | Some arr -> arr.(i).Rps.on_message ~from:(Node_id.of_int from) m
+            | None -> ())
+        | Query { closure; subject } ->
+            List.iter (fun tx -> ignore (Tx_dag.insert state.dag tx)) closure;
+            let positive =
+              Tx_dag.known state.dag subject
+              && Tx_dag.is_strongly_preferred state.dag subject
+            in
+            Engine.send engine ~src:i ~dst:from (Vote { subject; positive })
+        | Vote { subject; positive } -> (
+            match Hashtbl.find_opt state.votes subject with
+            | None -> ()
+            | Some (yes, total) ->
+                let yes = if positive then yes + 1 else yes in
+                let total = total + 1 in
+                Hashtbl.replace state.votes subject (yes, total);
+                if total = c.committee then begin
+                  Hashtbl.remove state.votes subject;
+                  if yes >= c.alpha then
+                    Tx_dag.record_query_success state.dag subject
+                  else Tx_dag.record_query_failure state.dag subject;
+                  tracked_accepts i subject
+                end))
+  done;
+  (* --- Byzantine nodes: vote for B, against everything else --- *)
+  let adversary =
+    if num_byz = 0 then None
+    else begin
+      let malicious = Array.init num_byz (fun i -> Node_id.of_int (q + i)) in
+      let correct = Array.init q Node_id.of_int in
+      let send ~src ~dst m =
+        Engine.send engine ~src:(Node_id.to_int src) ~dst:(Node_id.to_int dst)
+          (Rps_msg m)
+      in
+      let adv =
+        Adversary.create ~rng:adversary_rng ~malicious ~correct ~v:40
+          ~force:c.force ~send ()
+      in
+      for u = q to c.n - 1 do
+        Engine.register engine u (fun ~from msg ->
+            match msg with
+            | Rps_msg m ->
+                Adversary.on_message adv ~victim_reply:true
+                  ~from:(Node_id.of_int from) ~to_:(Node_id.of_int u) m
+            | Query { subject; _ } ->
+                let positive = subject = conflict_b.Tx_dag.Tx.id in
+                Engine.send engine ~src:u ~dst:from (Vote { subject; positive })
+            | Vote _ -> ())
+      done;
+      Some adv
+    end
+  in
+  (* --- Timers --- *)
+  (match (samplers, c.sampling) with
+  | Some arr, Network.Service protocol ->
+      let proto_scenario =
+        Scenario.make ~n:c.n ~f:c.f ~protocol ~steps:c.steps ()
+      in
+      let tau = Scenario.tau proto_scenario in
+      let refresh = Scenario.refresh_interval proto_scenario in
+      for i = 0 to q - 1 do
+        let phase = Rng.float node_rng tau in
+        Engine.every engine ~phase ~interval:tau arr.(i).Rps.on_round;
+        let stream = states.(i).stream in
+        let sampler = arr.(i) in
+        Engine.every engine
+          ~phase:(phase +. Rng.float node_rng refresh)
+          ~interval:refresh
+          (fun () -> Sample_stream.push_list stream (sampler.Rps.sample_tick ()))
+      done
+  | Some _, Network.Full_knowledge | None, _ -> ());
+  (match adversary with
+  | Some adv -> Engine.every engine ~interval:1.0 (fun () -> Adversary.on_round adv)
+  | None -> ());
+  (* Transaction issuance: the conflict appears right after warm-up at
+     two distinct correct nodes; virtuous transactions follow. *)
+  Engine.schedule engine ~delay:c.warmup (fun () ->
+      ignore (Tx_dag.insert states.(0).dag conflict_a);
+      if q > 1 then ignore (Tx_dag.insert states.(1).dag conflict_b));
+  (* Virtuous transactions are issued by node 0, which built the A
+     branch and therefore always knows each new transaction's parent. *)
+  for v = 0 to c.virtuous_txs - 1 do
+    Engine.schedule engine
+      ~delay:(c.warmup +. (2.0 *. float_of_int (v + 1)))
+      (fun () ->
+        let issuer = states.(0) in
+        let tx = virtuous_tx v in
+        if List.for_all (Tx_dag.known issuer.dag) tx.Tx_dag.Tx.parents then
+          ignore (Tx_dag.insert issuer.dag tx))
+  done;
+  (* Query rounds: each correct node repeatedly queries a committee about
+     its oldest not-yet-accepted transaction (round-robin over
+     candidates). *)
+  for i = 0 to q - 1 do
+    let state = states.(i) in
+    let phase = c.warmup +. Rng.float node_rng 1.0 in
+    Engine.every engine ~phase ~interval:1.0 (fun () ->
+        (* One-shot querying (the Avalanche rule): query the oldest known
+           transaction not yet queried by this node. *)
+        let candidates =
+          List.filter
+            (fun id ->
+              id <> Tx_dag.Tx.genesis.Tx_dag.Tx.id
+              && not (Hashtbl.mem state.queried id))
+            (Tx_dag.transactions state.dag)
+        in
+        match candidates with
+        | [] -> ()
+        | subject :: _ ->
+            if not (Hashtbl.mem state.votes subject) then begin
+              let committee =
+                match c.sampling with
+                | Network.Full_knowledge ->
+                    Array.init c.committee (fun _ ->
+                        Node_id.of_int (Rng.int committee_rng c.n))
+                | Network.Service _ ->
+                    Sample_stream.draw state.stream committee_rng
+                      ~k:c.committee
+              in
+              if Array.length committee = c.committee then begin
+                Hashtbl.replace state.queried subject ();
+                Hashtbl.replace state.votes subject (0, 0);
+                incr queries;
+                Basalt_analysis.Stats.Online.add committee_byz_acc
+                  (Basalt_proto.View_ops.proportion
+                     (fun id -> is_malicious (Node_id.to_int id))
+                     committee);
+                let closure = Tx_dag.ancestor_closure state.dag subject in
+                Array.iter
+                  (fun peer ->
+                    Engine.send engine ~src:i ~dst:(Node_id.to_int peer)
+                      (Query { closure; subject }))
+                  committee
+              end
+            end)
+  done;
+  Engine.run_until engine c.steps;
+  (* --- Results --- *)
+  let a = conflict_a.Tx_dag.Tx.id and b = conflict_b.Tx_dag.Tx.id in
+  let accepted_a = ref 0 and accepted_b = ref 0 in
+  let virtuous_fracs = ref [] in
+  let accept_times = ref [] in
+  Array.iter
+    (fun state ->
+      let acc id = Tx_dag.accepted ~beta1:c.beta1 ~beta2:c.beta2 state.dag id in
+      let known_and id = Tx_dag.known state.dag id && acc id in
+      if known_and a then incr accepted_a;
+      if known_and b then incr accepted_b;
+      let virtuous_ids = List.init c.virtuous_txs (fun v -> 3 + v) in
+      let accepted_virtuous =
+        List.length (List.filter known_and virtuous_ids)
+      in
+      virtuous_fracs :=
+        (float_of_int accepted_virtuous /. float_of_int (max 1 c.virtuous_txs))
+        :: !virtuous_fracs;
+      List.iter (fun (_, t) -> accept_times := t :: !accept_times) state.accept_times)
+    states;
+  (* Safety: conflicting transactions must not both be accepted anywhere
+     (per node is guaranteed by the conflict-set rule; across nodes we
+     check no split-brain). *)
+  let safety = !accepted_a = 0 || !accepted_b = 0 in
+  {
+    safety;
+    conflict_resolved_fraction =
+      float_of_int (!accepted_a + !accepted_b) /. float_of_int (max 1 q);
+    virtuous_accepted_fraction =
+      (match !virtuous_fracs with
+      | [] -> 0.0
+      | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l));
+    mean_acceptance_time =
+      (match !accept_times with
+      | [] -> Float.nan
+      | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l));
+    committee_byz = Basalt_analysis.Stats.Online.mean committee_byz_acc;
+    queries = !queries;
+  }

@@ -1,0 +1,64 @@
+(** Avalanche DAG consensus over an RPS-sampled network.
+
+    Every correct node maintains a {!Tx_dag} and repeatedly queries
+    committees drawn from its peer sampling service about not-yet-accepted
+    transactions: a query carries the transaction's ancestor closure, the
+    recipient inserts it and answers whether it is strongly preferred; an
+    [alpha]-quorum of positive votes awards a chit.
+
+    The scenario: after an RPS warm-up, one node issues transaction A and
+    another issues a {e conflicting} B (same conflict set), then a chain
+    of virtuous transactions builds on whichever branch each issuer
+    prefers.  Byzantine nodes answer every query with a vote for the
+    minority branch (and keep running the RPS-level flooding attack).
+
+    Measured outcomes: {e safety} — no two correct nodes accept
+    conflicting transactions; {e liveness} — virtuous transactions are
+    accepted; and the usual committee pollution. *)
+
+type config = private {
+  n : int;
+  f : float;
+  force : float;
+  sampling : Network.sampling;
+  committee : int;  (** Query committee size k. *)
+  alpha : int;  (** Quorum threshold. *)
+  beta1 : int;  (** Safe-early-commitment threshold. *)
+  beta2 : int;  (** Conservative threshold. *)
+  warmup : float;
+  steps : float;
+  virtuous_txs : int;  (** Virtuous transactions issued after the conflict. *)
+  seed : int;
+}
+
+val config :
+  ?n:int ->
+  ?f:float ->
+  ?force:float ->
+  ?sampling:Network.sampling ->
+  ?committee:int ->
+  ?alpha:int ->
+  ?beta1:int ->
+  ?beta2:int ->
+  ?warmup:float ->
+  ?steps:float ->
+  ?virtuous_txs:int ->
+  ?seed:int ->
+  unit ->
+  config
+(** Defaults: 200 nodes, [f = 0.15], force 10, Basalt sampling,
+    committees of 10 with [alpha = 7], [beta1 = 11], [beta2 = 20],
+    warm-up 30, 250 steps, 6 virtuous transactions. *)
+
+type result = {
+  safety : bool;  (** No conflicting acceptances across correct nodes. *)
+  conflict_resolved_fraction : float;
+      (** Correct nodes that accepted one branch of the conflict. *)
+  virtuous_accepted_fraction : float;
+      (** Mean fraction of virtuous transactions accepted per node. *)
+  mean_acceptance_time : float;  (** Over all acceptances ([nan] if none). *)
+  committee_byz : float;
+  queries : int;
+}
+
+val run : config -> result

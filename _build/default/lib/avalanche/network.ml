@@ -1,0 +1,276 @@
+module Node_id = Basalt_proto.Node_id
+module Message = Basalt_proto.Message
+module Rps = Basalt_proto.Rps
+module Engine = Basalt_engine.Engine
+module Rng = Basalt_prng.Rng
+module Scenario = Basalt_sim.Scenario
+module Sample_stream = Basalt_core.Sample_stream
+module Adversary = Basalt_adversary.Adversary
+
+type sampling = Service of Scenario.protocol | Full_knowledge
+
+type config = {
+  n : int;
+  f : float;
+  force : float;
+  sampling : sampling;
+  snowball : Snowball.config;
+  initial_red : float;
+  warmup : float;
+  query_interval : float;
+  steps : float;
+  seed : int;
+}
+
+let default_sampling =
+  Service (Scenario.Basalt (Basalt_core.Config.make ~v:60 ()))
+
+let config ?(n = 300) ?(f = 0.15) ?(force = 10.0) ?(sampling = default_sampling)
+    ?(snowball = Snowball.config ()) ?(initial_red = 0.7) ?(warmup = 30.0)
+    ?(query_interval = 1.0) ?(steps = 200.0) ?(seed = 42) () =
+  if n <= 0 then invalid_arg "Network.config: n must be positive";
+  if f < 0.0 || f >= 1.0 then invalid_arg "Network.config: f out of [0,1)";
+  if force < 0.0 then invalid_arg "Network.config: negative force";
+  if initial_red < 0.0 || initial_red > 1.0 then
+    invalid_arg "Network.config: initial_red out of [0,1]";
+  if warmup < 0.0 then invalid_arg "Network.config: negative warmup";
+  if query_interval <= 0.0 then
+    invalid_arg "Network.config: query_interval must be positive";
+  if steps <= warmup then invalid_arg "Network.config: steps <= warmup";
+  {
+    n;
+    f;
+    force;
+    sampling;
+    snowball;
+    initial_red;
+    warmup;
+    query_interval;
+    steps;
+    seed;
+  }
+
+(* Combined wire format: RPS traffic plus consensus queries/votes.  A
+   query carries the querier's current preference, which is what Byzantine
+   nodes vote against. *)
+type msg =
+  | Rps_msg of Message.t
+  | Query of { preference : Snowball.color }
+  | Vote of { color : Snowball.color }
+
+type result = {
+  decided_fraction : float;
+  agreement : bool;
+  decided_red_fraction : float;
+  mean_decision_time : float;
+  committee_byz : float;
+  queries_sent : int;
+}
+
+type node_state = {
+  snowball : Snowball.t;
+  stream : Sample_stream.t;
+  mutable pending_votes : Snowball.color list;
+  mutable decision_time : float;
+}
+
+let run c =
+  let master = Rng.create ~seed:c.seed in
+  let engine_rng = Rng.split master in
+  let node_rng = Rng.split master in
+  let adversary_rng = Rng.split master in
+  let bootstrap_rng = Rng.split master in
+  let committee_rng = Rng.split master in
+  let num_byz = int_of_float (Float.round (c.f *. float_of_int c.n)) in
+  let q = c.n - num_byz in
+  let engine : msg Engine.t = Engine.create ~rng:engine_rng ~n:c.n () in
+  let is_malicious u = u >= q in
+  (* --- Per-node consensus state --- *)
+  let states =
+    Array.init q (fun i ->
+        let initial =
+          if
+            float_of_int i < c.initial_red *. float_of_int q
+          then Snowball.Red
+          else Snowball.Blue
+        in
+        {
+          snowball = Snowball.create c.snowball initial;
+          stream = Sample_stream.create ~capacity:256;
+          pending_votes = [];
+          decision_time = Float.nan;
+        })
+  in
+  let queries_sent = ref 0 in
+  let committee_byz_acc = Basalt_analysis.Stats.Online.create () in
+  (* --- Peer samplers (when a service is configured) --- *)
+  let samplers =
+    match c.sampling with
+    | Full_knowledge -> None
+    | Service protocol ->
+        let scenario =
+          Scenario.make ~n:c.n ~f:c.f ~protocol ~steps:c.steps ~seed:c.seed ()
+        in
+        let maker = Scenario.maker scenario in
+        let arr = Array.make q (Rps.null (Node_id.of_int 0)) in
+        for i = 0 to q - 1 do
+          let send ~dst m =
+            Engine.send engine ~src:i ~dst:(Node_id.to_int dst) (Rps_msg m)
+          in
+          (* Bootstrap mirrors the runner: a small random mixed sample. *)
+          let size = max 10 (c.n / 20) in
+          let bootstrap =
+            Array.init size (fun _ -> Node_id.of_int (Rng.int bootstrap_rng c.n))
+          in
+          arr.(i) <- maker ~id:(Node_id.of_int i) ~bootstrap ~rng:node_rng ~send
+        done;
+        Some arr
+  in
+  (* --- Message handling --- *)
+  for i = 0 to q - 1 do
+    let state = states.(i) in
+    Engine.register engine i (fun ~from msg ->
+        match msg with
+        | Rps_msg m -> (
+            match samplers with
+            | Some arr -> arr.(i).Rps.on_message ~from:(Node_id.of_int from) m
+            | None -> ())
+        | Query _ ->
+            Engine.send engine ~src:i ~dst:from
+              (Vote { color = Snowball.preference state.snowball })
+        | Vote { color } -> state.pending_votes <- color :: state.pending_votes)
+  done;
+  (* Byzantine nodes: RPS-level adversary plus anti-querier voting. *)
+  let adversary =
+    if num_byz = 0 then None
+    else begin
+      let malicious = Array.init num_byz (fun i -> Node_id.of_int (q + i)) in
+      let correct = Array.init q Node_id.of_int in
+      let v =
+        match c.sampling with
+        | Service p ->
+            Scenario.view_size (Scenario.make ~n:c.n ~f:c.f ~protocol:p ())
+        | Full_knowledge -> 60
+      in
+      let send ~src ~dst m =
+        Engine.send engine ~src:(Node_id.to_int src) ~dst:(Node_id.to_int dst)
+          (Rps_msg m)
+      in
+      let adv =
+        Adversary.create ~rng:adversary_rng ~malicious ~correct ~v
+          ~force:c.force ~send ()
+      in
+      for u = q to c.n - 1 do
+        Engine.register engine u (fun ~from msg ->
+            match msg with
+            | Rps_msg m ->
+                Adversary.on_message adv ~victim_reply:true
+                  ~from:(Node_id.of_int from) ~to_:(Node_id.of_int u) m
+            | Query { preference } ->
+                Engine.send engine ~src:u ~dst:from
+                  (Vote { color = Snowball.opposite preference })
+            | Vote _ -> ())
+      done;
+      Some adv
+    end
+  in
+  (* --- Timers --- *)
+  (match (samplers, c.sampling) with
+  | Some arr, Service protocol ->
+      let proto_scenario =
+        Scenario.make ~n:c.n ~f:c.f ~protocol ~steps:c.steps ()
+      in
+      let tau = Scenario.tau proto_scenario in
+      let refresh = Scenario.refresh_interval proto_scenario in
+      for i = 0 to q - 1 do
+        let phase = Rng.float node_rng tau in
+        Engine.every engine ~phase ~interval:tau arr.(i).Rps.on_round;
+        let stream = states.(i).stream in
+        let sampler = arr.(i) in
+        Engine.every engine
+          ~phase:(phase +. Rng.float node_rng refresh)
+          ~interval:refresh
+          (fun () -> Sample_stream.push_list stream (sampler.Rps.sample_tick ()))
+      done
+  | Some _, Full_knowledge | None, _ -> ());
+  (match adversary with
+  | Some adv ->
+      Engine.every engine ~interval:1.0 (fun () -> Adversary.on_round adv)
+  | None -> ());
+  (* Query rounds: close the previous round's votes, then ask a fresh
+     committee. *)
+  for i = 0 to q - 1 do
+    let state = states.(i) in
+    let phase = c.warmup +. Rng.float node_rng c.query_interval in
+    Engine.every engine ~phase ~interval:c.query_interval (fun () ->
+        if not (Snowball.decided state.snowball) then begin
+          Snowball.register_votes state.snowball state.pending_votes;
+          if
+            Snowball.decided state.snowball
+            && Float.is_nan state.decision_time
+          then state.decision_time <- Engine.now engine;
+          state.pending_votes <- [];
+          let committee =
+            match c.sampling with
+            | Full_knowledge ->
+                Array.init c.snowball.Snowball.sample_size (fun _ ->
+                    Node_id.of_int (Rng.int committee_rng c.n))
+            | Service _ ->
+                Sample_stream.draw state.stream committee_rng
+                  ~k:c.snowball.Snowball.sample_size
+          in
+          if Array.length committee > 0 then begin
+            let byz =
+              Basalt_proto.View_ops.proportion
+                (fun id -> is_malicious (Node_id.to_int id))
+                committee
+            in
+            Basalt_analysis.Stats.Online.add committee_byz_acc byz;
+            Array.iter
+              (fun peer ->
+                incr queries_sent;
+                Engine.send engine ~src:i ~dst:(Node_id.to_int peer)
+                  (Query { preference = Snowball.preference state.snowball }))
+              committee
+          end
+        end)
+  done;
+  Engine.run_until engine c.steps;
+  (* --- Collect results --- *)
+  let decided = ref 0 in
+  let decided_red = ref 0 in
+  let decision_times = ref [] in
+  Array.iter
+    (fun state ->
+      if Snowball.decided state.snowball then begin
+        incr decided;
+        (match Snowball.decision state.snowball with
+        | Some Snowball.Red -> incr decided_red
+        | Some Snowball.Blue | None -> ());
+        if not (Float.is_nan state.decision_time) then
+          decision_times := state.decision_time :: !decision_times
+      end)
+    states;
+  let colors =
+    Array.to_list states
+    |> List.filter_map (fun s -> Snowball.decision s.snowball)
+  in
+  let agreement =
+    match colors with
+    | [] -> true
+    | first :: rest -> List.for_all (Snowball.color_equal first) rest
+  in
+  {
+    decided_fraction = float_of_int !decided /. float_of_int (max 1 q);
+    agreement;
+    decided_red_fraction =
+      (if !decided = 0 then Float.nan
+       else float_of_int !decided_red /. float_of_int !decided);
+    mean_decision_time =
+      (match !decision_times with
+      | [] -> Float.nan
+      | ts ->
+          List.fold_left ( +. ) 0.0 ts /. float_of_int (List.length ts));
+    committee_byz = Basalt_analysis.Stats.Online.mean committee_byz_acc;
+    queries_sent = !queries_sent;
+  }

@@ -1,0 +1,56 @@
+(** The Snowball metastable binary consensus (Team Rocket et al., 2019).
+
+    Snowball is the single-decision core of the Avalanche family — the
+    paper's target use case for a secure RPS: each node repeatedly queries
+    a small committee of [sample_size] peers {e drawn from the peer
+    sampling service} and shifts its preference toward colors that gather
+    an [alpha]-quorum, finalising after [beta] consecutive quorums for the
+    same color.  A biased sampler lets an adversary over-represent its
+    votes in committees, which is precisely what Basalt prevents. *)
+
+type color = Red | Blue
+
+val color_equal : color -> color -> bool
+val opposite : color -> color
+val pp_color : Format.formatter -> color -> unit
+
+type config = private {
+  sample_size : int;  (** Committee size k. *)
+  alpha : int;  (** Quorum threshold (votes needed for a "success"). *)
+  beta : int;  (** Consecutive successes needed to finalise. *)
+}
+
+val config : ?sample_size:int -> ?alpha:int -> ?beta:int -> unit -> config
+(** [config ()] defaults to [k = 10], [alpha = 7], [beta = 15] (values in
+    the Avalanche paper's deployment range).
+    @raise Invalid_argument unless [0 < alpha <= sample_size] and
+    [beta > 0]. *)
+
+type t
+(** One node's Snowball instance for one decision. *)
+
+val create : config -> color -> t
+(** [create config initial] starts with preference [initial]. *)
+
+val preference : t -> color
+(** Current preferred color (what the node answers to queries). *)
+
+val decided : t -> bool
+(** Whether the instance has finalised. *)
+
+val decision : t -> color option
+(** The finalised color, if {!decided}. *)
+
+val register_votes : t -> color list -> unit
+(** [register_votes t votes] processes one completed query round.  If
+    some color has at least [alpha] votes, its confidence counter
+    increases and the conviction streak advances (resetting when the
+    successful color changes); otherwise the streak resets.  No-op once
+    decided. *)
+
+val confidence : t -> color -> int
+(** [confidence t c] is the accumulated count of successful rounds for
+    [c]. *)
+
+val streak : t -> int
+(** Current consecutive-success streak length. *)

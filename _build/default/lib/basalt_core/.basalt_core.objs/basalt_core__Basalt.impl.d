@@ -1,0 +1,1 @@
+lib/basalt_core/basalt.ml: Array Basalt_hashing Basalt_prng Basalt_proto Config Hashtbl List Option Slot

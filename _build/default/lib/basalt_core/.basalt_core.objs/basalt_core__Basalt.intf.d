@@ -1,0 +1,1 @@
+lib/basalt_core/basalt.mli: Basalt_prng Basalt_proto Config

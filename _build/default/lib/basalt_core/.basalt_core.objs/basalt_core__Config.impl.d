@@ -1,0 +1,1 @@
+lib/basalt_core/config.ml: Basalt_hashing Format Option

@@ -1,0 +1,1 @@
+lib/basalt_core/config.mli: Basalt_hashing Format

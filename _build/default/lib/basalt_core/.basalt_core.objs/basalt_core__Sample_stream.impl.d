@@ -1,0 +1,1 @@
+lib/basalt_core/sample_stream.ml: Array Basalt_prng Basalt_proto List

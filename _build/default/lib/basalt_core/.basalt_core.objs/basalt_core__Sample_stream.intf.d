@@ -1,0 +1,1 @@
+lib/basalt_core/sample_stream.mli: Basalt_prng Basalt_proto

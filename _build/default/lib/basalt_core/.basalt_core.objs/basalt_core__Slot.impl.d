@@ -1,0 +1,1 @@
+lib/basalt_core/slot.ml: Basalt_hashing Basalt_proto

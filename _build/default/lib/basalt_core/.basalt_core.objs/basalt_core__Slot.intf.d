@@ -1,0 +1,1 @@
+lib/basalt_core/slot.mli: Basalt_hashing Basalt_prng Basalt_proto

@@ -1,0 +1,225 @@
+module Node_id = Basalt_proto.Node_id
+module Message = Basalt_proto.Message
+module Rps = Basalt_proto.Rps
+module Rng = Basalt_prng.Rng
+
+type t = {
+  config : Config.t;
+  id : Node_id.t;
+  slots : Slot.t array;
+  rng : Rng.t;
+  send : Rps.send;
+  mutable next_reset : int;  (* round-robin pointer r, 0-based *)
+  mutable next_select : int;  (* used by the Rotating_slot strategy *)
+  mutable rounds : int;
+  mutable emitted : int;
+  (* Dead-peer detection: peers we pulled from and the round of the
+     oldest unanswered pull (only populated when eviction is enabled). *)
+  probes : (int, int) Hashtbl.t;
+  mutable evicted : int;
+}
+
+let config t = t.config
+let id t = t.id
+
+let update_sample t ids =
+  let skip_self = t.config.Config.exclude_self in
+  let backend = t.config.Config.backend in
+  let offer_all id =
+    if not (skip_self && Node_id.equal id t.id) then begin
+      let prepared =
+        Basalt_hashing.Rank.prepare backend (Node_id.to_int id)
+      in
+      Array.iter
+        (fun slot -> ignore (Slot.offer_prepared slot id prepared))
+        t.slots
+    end
+  in
+  Array.iter offer_all ids
+
+let create ?(config = Config.default) ~id ~bootstrap ~rng ~send () =
+  let rng = Rng.split rng in
+  let slots =
+    Array.init config.Config.v (fun _ -> Slot.create config.Config.backend rng)
+  in
+  let t =
+    {
+      config;
+      id;
+      slots;
+      rng;
+      send;
+      next_reset = 0;
+      next_select = 0;
+      rounds = 0;
+      emitted = 0;
+      probes = Hashtbl.create 16;
+      evicted = 0;
+    }
+  in
+  update_sample t bootstrap;
+  t
+
+let view t =
+  let out = ref [] in
+  for i = Array.length t.slots - 1 downto 0 do
+    match Slot.peer t.slots.(i) with
+    | Some p -> out := p :: !out
+    | None -> ()
+  done;
+  Array.of_list !out
+
+let view_slots t = Array.map Slot.peer t.slots
+
+let select_peer t =
+  match t.config.Config.select with
+  | Config.Uniform_slot ->
+      (* Try a few random slots before falling back to a scan, so that a
+         mostly-empty view during bootstrap still yields a peer. *)
+      let v = Array.length t.slots in
+      let rec try_random attempts =
+        if attempts = 0 then
+          Array.find_map Slot.peer t.slots
+        else
+          match Slot.peer t.slots.(Rng.int t.rng v) with
+          | Some p -> Some p
+          | None -> try_random (attempts - 1)
+      in
+      try_random 8
+  | Config.Rotating_slot ->
+      let v = Array.length t.slots in
+      let rec scan remaining =
+        if remaining = 0 then None
+        else begin
+          let i = t.next_select in
+          t.next_select <- (t.next_select + 1) mod v;
+          match Slot.peer t.slots.(i) with
+          | Some p -> Some p
+          | None -> scan (remaining - 1)
+        end
+      in
+      scan v
+  | Config.Least_used_slot ->
+      (* The filled slot with the fewest exchanges served since its last
+         reset; ties broken by slot order. *)
+      let best = ref None in
+      Array.iter
+        (fun slot ->
+          match (Slot.peer slot, !best) with
+          | None, _ -> ()
+          | Some _, Some chosen when Slot.uses slot >= Slot.uses chosen -> ()
+          | Some _, _ -> best := Some slot)
+        t.slots;
+      Option.map
+        (fun slot ->
+          Slot.mark_used slot;
+          match Slot.peer slot with
+          | Some p -> p
+          | None -> assert false)
+        !best
+
+(* Reset every slot currently holding [peer] and re-offer the rest of the
+   view, so the freed slots immediately converge to live candidates. *)
+let evict_peer t peer =
+  let snapshot =
+    Array.of_list
+      (List.filter
+         (fun p -> not (Node_id.equal p peer))
+         (Array.to_list (view t)))
+  in
+  Array.iter
+    (fun slot ->
+      match Slot.peer slot with
+      | Some p when Node_id.equal p peer ->
+          Slot.reset t.config.Config.backend t.rng slot;
+          t.evicted <- t.evicted + 1
+      | Some _ | None -> ())
+    t.slots;
+  update_sample t snapshot
+
+let run_eviction t limit =
+  let expired =
+    Hashtbl.fold
+      (fun peer probed acc ->
+        if t.rounds - probed > limit then peer :: acc else acc)
+      t.probes []
+  in
+  List.iter
+    (fun peer ->
+      Hashtbl.remove t.probes peer;
+      evict_peer t (Node_id.of_int peer))
+    expired
+
+let on_round t =
+  t.rounds <- t.rounds + 1;
+  (match t.config.Config.evict_after_rounds with
+  | Some limit -> run_eviction t limit
+  | None -> ());
+  (match select_peer t with
+  | Some p ->
+      (* Record the probe before sending so that a reply — however fast —
+         always clears it. *)
+      (match t.config.Config.evict_after_rounds with
+      | Some _ ->
+          let key = Node_id.to_int p in
+          if not (Hashtbl.mem t.probes key) then
+            Hashtbl.replace t.probes key t.rounds
+      | None -> ());
+      t.send ~dst:p Message.Pull_request
+  | None -> ());
+  match select_peer t with
+  | Some q ->
+      let payload =
+        if t.config.Config.push_own_id_only then Message.Push_id t.id
+        else Message.Push (view t)
+      in
+      t.send ~dst:q payload
+  | None -> ()
+
+let on_message t ~from msg =
+  (* Any traffic from a peer proves it alive. *)
+  if t.config.Config.evict_after_rounds <> None then
+    Hashtbl.remove t.probes (Node_id.to_int from);
+  match msg with
+  | Message.Pull_request -> t.send ~dst:from (Message.Pull_reply (view t))
+  | Message.Pull_reply ids | Message.Push ids ->
+      (* Alg. 1 line 13: the sender itself is a candidate too. *)
+      update_sample t ids;
+      update_sample t [| from |]
+  | Message.Push_id id -> update_sample t [| id |]
+
+let sample_tick t =
+  let v = Array.length t.slots in
+  let k = t.config.Config.k in
+  (* Snapshot the pre-reset view: Alg. 1 line 19 re-offers "the current
+     view", in which the just-reset slots still hold their old peers. *)
+  let snapshot = view t in
+  let samples = ref [] in
+  for _ = 1 to k do
+    let i = t.next_reset in
+    t.next_reset <- (t.next_reset + 1) mod v;
+    (match Slot.peer t.slots.(i) with
+    | Some p ->
+        samples := p :: !samples;
+        t.emitted <- t.emitted + 1
+    | None -> ());
+    Slot.reset t.config.Config.backend t.rng t.slots.(i)
+  done;
+  update_sample t snapshot;
+  List.rev !samples
+
+let samples_emitted t = t.emitted
+let rounds_executed t = t.rounds
+let evictions t = t.evicted
+
+let sampler ?config () : Rps.maker =
+ fun ~id ~bootstrap ~rng ~send ->
+  let t = create ?config ~id ~bootstrap ~rng ~send () in
+  {
+    Rps.protocol = "basalt";
+    node = id;
+    on_message = (fun ~from msg -> on_message t ~from msg);
+    on_round = (fun () -> on_round t);
+    sample_tick = (fun () -> sample_tick t);
+    current_view = (fun () -> view t);
+  }

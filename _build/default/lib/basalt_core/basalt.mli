@@ -1,0 +1,79 @@
+(** The Basalt Byzantine-tolerant random peer sampler (paper Algorithm 1).
+
+    Each node maintains [v] slots, each defining a random ranking function
+    over node identifiers.  The node stubbornly keeps, per slot, the
+    best-ranked identifier seen since the slot's seed was drawn, and uses
+    the resulting view both as the output of the sampling service and to
+    drive the epidemic pull/push exchanges that discover new identifiers —
+    the tight feedback loop that distinguishes Basalt from Brahms (§2.3).
+
+    Protocol driver contract (matching {!Basalt_proto.Rps.t}):
+    - call {!on_round} every [tau] (sends one PULL and one PUSH);
+    - route incoming messages to {!on_message};
+    - call {!sample_tick} every [k / rho] (emits [k] samples and resets
+      the corresponding seeds in round-robin order). *)
+
+type t
+(** One node's Basalt state. *)
+
+val create :
+  ?config:Config.t ->
+  id:Basalt_proto.Node_id.t ->
+  bootstrap:Basalt_proto.Node_id.t array ->
+  rng:Basalt_prng.Rng.t ->
+  send:Basalt_proto.Rps.send ->
+  unit ->
+  t
+(** [create ~id ~bootstrap ~rng ~send ()] initialises all [v] slots with
+    fresh seeds and offers the bootstrap peers to every slot (Alg. 1
+    lines 3–6). *)
+
+val config : t -> Config.t
+val id : t -> Basalt_proto.Node_id.t
+
+val update_sample : t -> Basalt_proto.Node_id.t array -> unit
+(** [update_sample t ids] offers every identifier of [ids] to every slot
+    (Alg. 1 lines 20–23).  The local identifier is skipped when the
+    configuration sets [exclude_self]. *)
+
+val select_peer : t -> Basalt_proto.Node_id.t option
+(** [select_peer t] picks an exchange partner from the view (Alg. 1
+    lines 24–26); [None] while the view is entirely empty. *)
+
+val on_round : t -> unit
+(** [on_round t] performs one exchange round: sends [PULL] to one selected
+    peer and [PUSH view] to another (Alg. 1 lines 7–9). *)
+
+val on_message : t -> from:Basalt_proto.Node_id.t -> Basalt_proto.Message.t -> unit
+(** [on_message t ~from msg] handles [PULL] (replies with the view),
+    view-carrying pushes and replies (feeds them, plus the sender, to
+    {!update_sample}), and single-identifier pushes. *)
+
+val sample_tick : t -> Basalt_proto.Node_id.t list
+(** [sample_tick t] executes Alg. 1 lines 14–19: for [k] slots in
+    round-robin order, returns the slot's current peer as a fresh sample
+    and resets the slot's seed; finally re-offers the (pre-reset) view to
+    all slots.  Empty slots yield no sample. *)
+
+val view : t -> Basalt_proto.Node_id.t array
+(** [view t] is the current view: the peers of all non-empty slots, in
+    slot order (duplicates possible — distinct slots may have converged to
+    the same identifier). *)
+
+val view_slots : t -> Basalt_proto.Node_id.t option array
+(** [view_slots t] is the per-slot contents including empty slots. *)
+
+val samples_emitted : t -> int
+(** [samples_emitted t] counts samples returned by {!sample_tick} so
+    far. *)
+
+val rounds_executed : t -> int
+(** [rounds_executed t] counts {!on_round} invocations. *)
+
+val evictions : t -> int
+(** [evictions t] counts slots reset by dead-peer eviction (always 0 when
+    [evict_after_rounds] is [None]). *)
+
+val sampler : ?config:Config.t -> unit -> Basalt_proto.Rps.maker
+(** [sampler ?config ()] packages the protocol for the simulation
+    runner. *)

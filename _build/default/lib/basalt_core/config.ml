@@ -1,0 +1,55 @@
+type select_strategy = Uniform_slot | Rotating_slot | Least_used_slot
+
+type t = {
+  v : int;
+  tau : float;
+  rho : float;
+  k : int;
+  backend : Basalt_hashing.Rank.backend;
+  select : select_strategy;
+  exclude_self : bool;
+  evict_after_rounds : int option;
+  push_own_id_only : bool;
+}
+
+let make ?(v = 160) ?(tau = 1.0) ?(rho = 1.0) ?k
+    ?(backend = Basalt_hashing.Rank.Cheap) ?(select = Uniform_slot)
+    ?(exclude_self = true) ?evict_after_rounds ?(push_own_id_only = false) () =
+  let k = Option.value k ~default:(max 1 (v / 2)) in
+  if v <= 0 then invalid_arg "Config.make: v must be positive";
+  if k < 1 || k > v then invalid_arg "Config.make: k must be in [1, v]";
+  if tau <= 0.0 then invalid_arg "Config.make: tau must be positive";
+  if rho <= 0.0 then invalid_arg "Config.make: rho must be positive";
+  (match evict_after_rounds with
+  | Some r when r <= 0 ->
+      invalid_arg "Config.make: evict_after_rounds must be positive"
+  | Some _ | None -> ());
+  {
+    v;
+    tau;
+    rho;
+    k;
+    backend;
+    select;
+    exclude_self;
+    evict_after_rounds;
+    push_own_id_only;
+  }
+
+let default = make ()
+let refresh_interval c = float_of_int c.k /. c.rho
+let slot_lifetime c = float_of_int c.v /. c.rho
+
+let equilibrium_exists c ~n ~f =
+  let v = float_of_int c.v in
+  let n = float_of_int n in
+  ((1.0 -. f) ** 2.0) -. (2.0 *. c.rho *. f *. (1.0 -. f) *. n /. (v *. v))
+  > 0.0
+
+let pp ppf c =
+  Format.fprintf ppf "basalt{v=%d; tau=%g; rho=%g; k=%d; select=%s}" c.v c.tau
+    c.rho c.k
+    (match c.select with
+    | Uniform_slot -> "uniform"
+    | Rotating_slot -> "rotating"
+    | Least_used_slot -> "least-used")

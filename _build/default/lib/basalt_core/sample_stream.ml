@@ -1,0 +1,61 @@
+module Node_id = Basalt_proto.Node_id
+
+type t = {
+  buf : Node_id.t array;
+  capacity : int;
+  mutable next : int;  (* next write position *)
+  mutable filled : int;  (* number of valid entries, <= capacity *)
+  mutable total : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Sample_stream.create: capacity <= 0";
+  {
+    buf = Array.make capacity (Node_id.of_int 0);
+    capacity;
+    next = 0;
+    filled = 0;
+    total = 0;
+  }
+
+let push t id =
+  t.buf.(t.next) <- id;
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.filled < t.capacity then t.filled <- t.filled + 1;
+  t.total <- t.total + 1
+
+let push_list t ids = List.iter (push t) ids
+let total t = t.total
+let retained t = t.filled
+
+let recent t n =
+  let n = min n t.filled in
+  (* Iterate oldest-to-newest, prepending, so the result is newest first. *)
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    let pos = (t.next - 1 - i + (2 * t.capacity)) mod t.capacity in
+    out := t.buf.(pos) :: !out
+  done;
+  !out
+
+let iter f t =
+  for i = t.filled - 1 downto 0 do
+    let pos = (t.next - 1 - i + (2 * t.capacity)) mod t.capacity in
+    f t.buf.(pos)
+  done
+
+let proportion p t =
+  if t.filled = 0 then 0.0
+  else begin
+    let hits = ref 0 in
+    iter (fun id -> if p id then incr hits) t;
+    float_of_int !hits /. float_of_int t.filled
+  end
+
+let draw t rng ~k =
+  if t.filled = 0 then [||]
+  else
+    Array.init k (fun _ ->
+        let i = Basalt_prng.Rng.int rng t.filled in
+        let pos = (t.next - 1 - i + (2 * t.capacity)) mod t.capacity in
+        t.buf.(pos))

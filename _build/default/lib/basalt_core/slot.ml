@@ -1,0 +1,47 @@
+type t = {
+  mutable seed : Basalt_hashing.Rank.seed;
+  (* [best] is meaningful only when [filled]; [best_rank] caches
+     [rank seed best] so each offer costs one hash. *)
+  mutable filled : bool;
+  mutable best : Basalt_proto.Node_id.t;
+  mutable best_rank : int;
+  mutable uses : int;
+}
+
+let create backend rng =
+  {
+    seed = Basalt_hashing.Rank.fresh backend rng;
+    filled = false;
+    best = Basalt_proto.Node_id.of_int 0;
+    best_rank = max_int;
+    uses = 0;
+  }
+
+let install slot id r =
+  if (not slot.filled) || r < slot.best_rank then begin
+    slot.filled <- true;
+    slot.best <- id;
+    slot.best_rank <- r;
+    true
+  end
+  else false
+
+let offer slot id =
+  install slot id
+    (Basalt_hashing.Rank.rank slot.seed (Basalt_proto.Node_id.to_int id))
+
+let offer_prepared slot id p =
+  install slot id (Basalt_hashing.Rank.rank_prepared slot.seed p)
+
+let peer slot = if slot.filled then Some slot.best else None
+
+let reset backend rng slot =
+  slot.seed <- Basalt_hashing.Rank.fresh backend rng;
+  slot.filled <- false;
+  slot.best_rank <- max_int;
+  slot.uses <- 0
+
+let uses slot = slot.uses
+let mark_used slot = slot.uses <- slot.uses + 1
+let seed slot = slot.seed
+let best_rank slot = if slot.filled then Some slot.best_rank else None

@@ -1,0 +1,47 @@
+(** One view slot of the stubborn chaotic search.
+
+    A slot pairs a random ranking seed with the best-matching identifier
+    seen since the seed was last reset (Fig. 1 of the paper).  The current
+    best rank is cached so that offering a candidate costs a single hash
+    evaluation and comparison. *)
+
+type t
+(** A mutable slot. *)
+
+val create : Basalt_hashing.Rank.backend -> Basalt_prng.Rng.t -> t
+(** [create backend rng] is an empty slot ([peer = None]) with a fresh
+    random seed. *)
+
+val offer : t -> Basalt_proto.Node_id.t -> bool
+(** [offer slot id] installs [id] as the slot's peer if its rank under the
+    slot's seed is strictly smaller than the current best (or if the slot
+    is empty); returns whether the slot changed (Alg. 1 lines 20–23). *)
+
+val offer_prepared :
+  t -> Basalt_proto.Node_id.t -> Basalt_hashing.Rank.prepared -> bool
+(** [offer_prepared slot id p] is {!offer} with the identifier-side hash
+    work pre-computed via {!Basalt_hashing.Rank.prepare} — the hot path
+    when one identifier is offered to every slot of a view. *)
+
+val peer : t -> Basalt_proto.Node_id.t option
+(** [peer slot] is the best-matching identifier seen so far, if any. *)
+
+val reset :
+  Basalt_hashing.Rank.backend -> Basalt_prng.Rng.t -> t -> unit
+(** [reset backend rng slot] draws a fresh seed and forgets the current
+    peer (Alg. 1 line 18); the caller is expected to re-offer the rest of
+    the view afterwards (line 19). *)
+
+val seed : t -> Basalt_hashing.Rank.seed
+(** [seed slot] is the slot's current ranking seed. *)
+
+val best_rank : t -> int option
+(** [best_rank slot] is the cached rank of the current peer. *)
+
+val uses : t -> int
+(** [uses slot] counts exchanges served by this slot since its last seed
+    reset (the hit counter behind
+    {!Config.select_strategy.Least_used_slot}). *)
+
+val mark_used : t -> unit
+(** [mark_used slot] increments the hit counter. *)

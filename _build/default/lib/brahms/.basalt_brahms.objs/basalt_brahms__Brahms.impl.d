@@ -1,0 +1,1 @@
+lib/brahms/brahms.ml: Array Basalt_core Basalt_hashing Basalt_prng Basalt_proto Brahms_config Float List

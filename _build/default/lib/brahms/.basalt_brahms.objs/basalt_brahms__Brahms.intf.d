@@ -1,0 +1,1 @@
+lib/brahms/brahms.mli: Basalt_prng Basalt_proto Brahms_config

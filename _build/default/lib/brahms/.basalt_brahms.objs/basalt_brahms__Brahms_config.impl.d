@@ -1,0 +1,1 @@
+lib/brahms/brahms_config.ml: Basalt_hashing Float Format Option

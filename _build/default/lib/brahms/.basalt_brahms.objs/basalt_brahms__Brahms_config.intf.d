@@ -1,0 +1,1 @@
+lib/brahms/brahms_config.mli: Basalt_hashing Format

@@ -1,0 +1,194 @@
+module Node_id = Basalt_proto.Node_id
+module Message = Basalt_proto.Message
+module Rps = Basalt_proto.Rps
+module View_ops = Basalt_proto.View_ops
+module Rng = Basalt_prng.Rng
+module Slot = Basalt_core.Slot
+
+type t = {
+  config : Brahms_config.t;
+  id : Node_id.t;
+  rng : Rng.t;
+  send : Rps.send;
+  mutable view : Node_id.t array;
+  samplers : Slot.t array;
+  mutable pending_push : Node_id.t list;
+  mutable pending_push_count : int;  (* push messages, for the limit *)
+  mutable pending_pull : Node_id.t list;
+  mutable got_pull_reply : bool;
+  mutable next_reset : int;
+  mutable blocked : int;
+  mutable emitted : int;
+}
+
+let config t = t.config
+let id t = t.id
+
+let feed_samplers t ids =
+  let skip_self = t.config.Brahms_config.exclude_self in
+  let backend = t.config.Brahms_config.backend in
+  List.iter
+    (fun id ->
+      if not (skip_self && Node_id.equal id t.id) then begin
+        let prepared = Basalt_hashing.Rank.prepare backend (Node_id.to_int id) in
+        Array.iter (fun s -> ignore (Slot.offer_prepared s id prepared)) t.samplers
+      end)
+    ids
+
+let create ?(config = Brahms_config.default) ~id ~bootstrap ~rng ~send () =
+  let rng = Rng.split rng in
+  let samplers =
+    Array.init config.Brahms_config.l (fun _ ->
+        Slot.create config.Brahms_config.backend rng)
+  in
+  let initial_view =
+    let candidates =
+      Array.of_list
+        (List.filter
+           (fun p -> not (Node_id.equal p id))
+           (Array.to_list bootstrap))
+    in
+    View_ops.random_subset rng ~k:config.Brahms_config.l candidates
+  in
+  let t =
+    {
+      config;
+      id;
+      rng;
+      send;
+      view = initial_view;
+      samplers;
+      pending_push = [];
+      pending_push_count = 0;
+      pending_pull = [];
+      got_pull_reply = false;
+      next_reset = 0;
+      blocked = 0;
+      emitted = 0;
+    }
+  in
+  feed_samplers t (Array.to_list bootstrap);
+  t
+
+let sampler_outputs t =
+  let out = ref [] in
+  for i = Array.length t.samplers - 1 downto 0 do
+    match Slot.peer t.samplers.(i) with
+    | Some p -> out := p :: !out
+    | None -> ()
+  done;
+  Array.of_list !out
+
+(* Rebuild the view per Eq. (2):
+   rand(alpha*l, pushed) ∪ rand(beta*l, pulled) ∪ rand(gamma*l, samplers). *)
+let rebuild_view t =
+  let cfg = t.config in
+  let l = float_of_int cfg.Brahms_config.l in
+  let over_limit =
+    match cfg.Brahms_config.push_limit with
+    | Some limit -> t.pending_push_count > limit
+    | None -> false
+  in
+  if over_limit then begin
+    t.blocked <- t.blocked + 1;
+    false
+  end
+  else if t.pending_push = [] || not t.got_pull_reply then
+    (* Original Brahms only rebuilds when the round yielded both pushed
+       and pulled identifiers; otherwise the previous view persists.
+       This gating is part of Brahms's resilience: the push channel is
+       honest-dominated (Byzantine pushes are what the deactivatable
+       limit counts), so a round fed only by pull replies cannot replace
+       the view. *)
+    false
+  else begin
+    let pushed = View_ops.distinct (Array.of_list t.pending_push) in
+    let pulled = View_ops.distinct (Array.of_list t.pending_pull) in
+    let sampled = View_ops.distinct (sampler_outputs t) in
+    let take frac arr =
+      let k = int_of_float (Float.round (frac *. l)) in
+      View_ops.random_subset t.rng ~k arr
+    in
+    let candidates =
+      Array.concat
+        [
+          take cfg.Brahms_config.alpha pushed;
+          take cfg.Brahms_config.beta pulled;
+          take cfg.Brahms_config.gamma sampled;
+        ]
+    in
+    if Array.length candidates > 0 then begin
+      t.view <- candidates;
+      true
+    end
+    else false
+  end
+
+let on_round t =
+  ignore (rebuild_view t);
+  t.pending_push <- [];
+  t.pending_push_count <- 0;
+  t.pending_pull <- [];
+  t.got_pull_reply <- false;
+  for _ = 1 to t.config.Brahms_config.pushes_per_round do
+    match View_ops.random_member t.rng t.view with
+    | Some p -> t.send ~dst:p (Message.Push_id t.id)
+    | None -> ()
+  done;
+  for _ = 1 to t.config.Brahms_config.pulls_per_round do
+    match View_ops.random_member t.rng t.view with
+    | Some q -> t.send ~dst:q Message.Pull_request
+    | None -> ()
+  done
+
+let on_message t ~from msg =
+  match msg with
+  | Message.Pull_request -> t.send ~dst:from (Message.Pull_reply t.view)
+  | Message.Push_id id ->
+      t.pending_push <- id :: t.pending_push;
+      t.pending_push_count <- t.pending_push_count + 1;
+      feed_samplers t [ id ]
+  | Message.Push ids ->
+      (* Brahms pushes carry exactly the sender's identifier (§4.3: "limit
+         pushed IDs to a peer's own ID").  A multi-identifier push — the
+         generic adversary payload — is therefore parsed per protocol
+         syntax as a single push from its sender; the extra payload is
+         ignored. *)
+      ignore ids;
+      t.pending_push <- from :: t.pending_push;
+      t.pending_push_count <- t.pending_push_count + 1;
+      feed_samplers t [ from ]
+  | Message.Pull_reply ids ->
+      t.pending_pull <- List.rev_append (Array.to_list ids) t.pending_pull;
+      t.got_pull_reply <- true;
+      feed_samplers t (Array.to_list ids)
+
+let sample_tick t =
+  let l = Array.length t.samplers in
+  let samples = ref [] in
+  for _ = 1 to t.config.Brahms_config.k do
+    let i = t.next_reset in
+    t.next_reset <- (t.next_reset + 1) mod l;
+    (match Slot.peer t.samplers.(i) with
+    | Some p ->
+        samples := p :: !samples;
+        t.emitted <- t.emitted + 1
+    | None -> ());
+    Slot.reset t.config.Brahms_config.backend t.rng t.samplers.(i)
+  done;
+  List.rev !samples
+
+let view t = t.view
+let blocked_rounds t = t.blocked
+
+let sampler ?config () : Rps.maker =
+ fun ~id ~bootstrap ~rng ~send ->
+  let t = create ?config ~id ~bootstrap ~rng ~send () in
+  {
+    Rps.protocol = "brahms";
+    node = id;
+    on_message = (fun ~from msg -> on_message t ~from msg);
+    on_round = (fun () -> on_round t);
+    sample_tick = (fun () -> sample_tick t);
+    current_view = (fun () -> view t);
+  }

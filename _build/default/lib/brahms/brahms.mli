@@ -1,0 +1,67 @@
+(** The Brahms Byzantine-resilient membership sampler (Bortnikov et al.,
+    2009), as configured by the Basalt paper's evaluation (§2.2, §4.3).
+
+    Brahms maintains two structures: a gossip view 𝒱 rebuilt each round
+    from push/pull exchanges and re-injected sampler outputs (Eq. (2)),
+    and a vector 𝒮 of min-wise samplers fed with every identifier that
+    passes through the view exchanges.  Unlike Basalt, the chaotic search
+    (the samplers) gives only limited feedback to the gossip view — the
+    separation the paper identifies as Brahms's weakness.
+
+    Two modifications from the original algorithm, both prescribed by the
+    Basalt paper's evaluation so the protocols are comparable:
+    - {e multi-shot extension}: every [k/rho] time units, [k] samplers are
+      emitted and reset in round-robin order (the analogue of Alg. 1
+      lines 14–18, with line 18 replaced by [S_p[i].init()]);
+    - {e blocking deactivated} by default ([push_limit = None]).
+
+    Per the communication budget of §4.3, each round sends one [PUSH-ID]
+    (Brahms pushes only its own identifier) and one [PULL] request. *)
+
+type t
+(** One node's Brahms state. *)
+
+val create :
+  ?config:Brahms_config.t ->
+  id:Basalt_proto.Node_id.t ->
+  bootstrap:Basalt_proto.Node_id.t array ->
+  rng:Basalt_prng.Rng.t ->
+  send:Basalt_proto.Rps.send ->
+  unit ->
+  t
+(** [create ~id ~bootstrap ~rng ~send ()] initialises the view with (up
+    to) [l] bootstrap peers and feeds the bootstrap list to the
+    samplers. *)
+
+val config : t -> Brahms_config.t
+val id : t -> Basalt_proto.Node_id.t
+
+val on_round : t -> unit
+(** [on_round t] closes the previous round — rebuilding 𝒱 from the
+    pushed ids, pulled ids and sampler outputs per Eq. (2), unless the
+    blocking mechanism vetoes it — then sends this round's [PUSH-ID] and
+    [PULL]. *)
+
+val on_message : t -> from:Basalt_proto.Node_id.t -> Basalt_proto.Message.t -> unit
+(** [on_message t ~from msg] accumulates pushed/pulled identifiers for the
+    current round and feeds them to the samplers. *)
+
+val sample_tick : t -> Basalt_proto.Node_id.t list
+(** [sample_tick t] emits and resets the next [k] samplers (multi-shot
+    extension). *)
+
+val view : t -> Basalt_proto.Node_id.t array
+(** [view t] is the current gossip view 𝒱. *)
+
+val sampler_outputs : t -> Basalt_proto.Node_id.t array
+(** [sampler_outputs t] is the current contents of the sampler vector 𝒮
+    (non-empty samplers only) — what the service would return as samples. *)
+
+val blocked_rounds : t -> int
+(** [blocked_rounds t] counts rounds where the push limit vetoed the view
+    update (always 0 when blocking is deactivated). *)
+
+val sampler : ?config:Brahms_config.t -> unit -> Basalt_proto.Rps.maker
+(** [sampler ?config ()] packages the protocol for the simulation runner.
+    The service's [current_view] is 𝒱 and its emitted samples come from
+    the sampler vector 𝒮, matching the paper's measurement methodology. *)

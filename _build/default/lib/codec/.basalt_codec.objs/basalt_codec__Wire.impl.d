@@ -1,0 +1,1 @@
+lib/codec/wire.ml: Array Basalt_proto Bytes Format Int64 Result

@@ -1,0 +1,100 @@
+module Message = Basalt_proto.Message
+module Node_id = Basalt_proto.Node_id
+
+type error =
+  | Truncated
+  | Bad_magic of int
+  | Bad_version of int
+  | Bad_tag of int
+  | Trailing_garbage of int
+  | Id_out_of_range
+
+let pp_error ppf = function
+  | Truncated -> Format.fprintf ppf "truncated datagram"
+  | Bad_magic m -> Format.fprintf ppf "bad magic %#x" m
+  | Bad_version v -> Format.fprintf ppf "unsupported version %d" v
+  | Bad_tag t -> Format.fprintf ppf "unknown message tag %d" t
+  | Trailing_garbage n -> Format.fprintf ppf "%d trailing bytes" n
+  | Id_out_of_range -> Format.fprintf ppf "identifier out of range"
+
+let magic = 0xB5
+let version = 1
+let header_size = 6
+let max_ids = 0xFFFF
+
+let tag_of = function
+  | Message.Pull_request -> 0
+  | Message.Pull_reply _ -> 1
+  | Message.Push _ -> 2
+  | Message.Push_id _ -> 3
+
+let ids_of = function
+  | Message.Pull_request -> [||]
+  | Message.Pull_reply ids | Message.Push ids -> ids
+  | Message.Push_id id -> [| id |]
+
+let encoded_size msg = header_size + (8 * Array.length (ids_of msg))
+
+let encode msg =
+  let ids = ids_of msg in
+  let count = Array.length ids in
+  if count > max_ids then invalid_arg "Wire.encode: too many identifiers";
+  let buf = Bytes.create (header_size + (8 * count)) in
+  Bytes.set_uint8 buf 0 magic;
+  Bytes.set_uint8 buf 1 version;
+  Bytes.set_uint8 buf 2 (tag_of msg);
+  Bytes.set_uint8 buf 3 0;
+  Bytes.set_uint16_be buf 4 count;
+  Array.iteri
+    (fun i id ->
+      Bytes.set_int64_be buf
+        (header_size + (8 * i))
+        (Int64.of_int (Node_id.to_int id)))
+    ids;
+  buf
+
+let decode_sub buf ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Wire.decode_sub: slice out of bounds";
+  if len < header_size then Error Truncated
+  else begin
+    let m = Bytes.get_uint8 buf off in
+    if m <> magic then Error (Bad_magic m)
+    else begin
+      let v = Bytes.get_uint8 buf (off + 1) in
+      if v <> version then Error (Bad_version v)
+      else begin
+        let tag = Bytes.get_uint8 buf (off + 2) in
+        let count = Bytes.get_uint16_be buf (off + 4) in
+        let expected = header_size + (8 * count) in
+        if len < expected then Error Truncated
+        else if len > expected then Error (Trailing_garbage (len - expected))
+        else begin
+          let read_ids () =
+            let out = Array.make count (Node_id.of_int 0) in
+            let ok = ref true in
+            for i = 0 to count - 1 do
+              let raw = Bytes.get_int64_be buf (off + header_size + (8 * i)) in
+              if raw < 0L || raw > Int64.of_int max_int then ok := false
+              else out.(i) <- Node_id.of_int (Int64.to_int raw)
+            done;
+            if !ok then Ok out else Error Id_out_of_range
+          in
+          match tag with
+          | 0 ->
+              if count = 0 then Ok Message.Pull_request
+              else Error (Trailing_garbage (8 * count))
+          | 1 -> Result.map (fun ids -> Message.Pull_reply ids) (read_ids ())
+          | 2 -> Result.map (fun ids -> Message.Push ids) (read_ids ())
+          | 3 -> (
+              match read_ids () with
+              | Ok [| id |] -> Ok (Message.Push_id id)
+              | Ok _ -> Error (Bad_tag tag)
+              | Error e -> Error e)
+          | t -> Error (Bad_tag t)
+        end
+      end
+    end
+  end
+
+let decode buf = decode_sub buf ~off:0 ~len:(Bytes.length buf)

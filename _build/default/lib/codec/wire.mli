@@ -1,0 +1,49 @@
+(** Binary wire format for RPS messages.
+
+    A compact, versioned datagram encoding used by the real UDP transport
+    ({!Basalt_net}):
+
+    {v
+      offset  size  field
+      0       1     magic        (0xB5)
+      1       1     version      (1)
+      2       1     tag          (0 pull, 1 pull-reply, 2 push, 3 push-id)
+      3       1     reserved     (0)
+      4       2     count        (big-endian u16, number of identifiers)
+      6       8*c   identifiers  (big-endian u64 each)
+    v}
+
+    Identifiers are 64-bit on the wire (the UDP transport packs an IPv4
+    address and port into one identifier; simulators use small ints).
+    With the paper's maximum view of 200 identifiers a datagram is
+    [6 + 1600 = 1606] bytes — above the classical 1500-byte MTU only
+    because of the wider 8-byte identifiers; at the paper's 4-byte
+    identifiers ({!Message.bytes_on_wire}) the budget argument holds.
+    Decoding is total: malformed input yields [Error], never an
+    exception. *)
+
+type error =
+  | Truncated  (** Shorter than its header or declared payload. *)
+  | Bad_magic of int
+  | Bad_version of int
+  | Bad_tag of int
+  | Trailing_garbage of int  (** Extra bytes after the payload. *)
+  | Id_out_of_range  (** An identifier exceeding the native-int range. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : Basalt_proto.Message.t -> bytes
+(** [encode msg] serialises a message. *)
+
+val decode : bytes -> (Basalt_proto.Message.t, error) result
+(** [decode b] parses a whole datagram. *)
+
+val decode_sub : bytes -> off:int -> len:int -> (Basalt_proto.Message.t, error) result
+(** [decode_sub b ~off ~len] parses a slice (e.g. a [recvfrom] buffer).
+    @raise Invalid_argument if the slice is not within [b]. *)
+
+val max_ids : int
+(** Maximum identifier count a datagram may carry (65535). *)
+
+val encoded_size : Basalt_proto.Message.t -> int
+(** [encoded_size msg] is [Bytes.length (encode msg)] without encoding. *)

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Array Basalt_prng Event_queue Link Option

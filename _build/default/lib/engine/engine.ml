@@ -1,0 +1,103 @@
+type 'msg event = Deliver of { src : int; dst : int; msg : 'msg } | Timer of (unit -> unit)
+
+type stats = { sent : int; delivered : int; dropped : int; events : int }
+
+type 'msg t = {
+  queue : 'msg event Event_queue.t;
+  handlers : (from:int -> 'msg -> unit) option array;
+  latency : Link.Latency.t;
+  loss : Link.Loss.t;
+  rng : Basalt_prng.Rng.t;
+  mutable clock : float;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable events : int;
+}
+
+(* A strictly positive delivery delay even for the Zero latency model, so
+   that a message sent while executing round [t]'s timer is handled after
+   that timer completes but before round [t + tau]. *)
+let min_delay = 1e-6
+
+let create ?(latency = Link.Latency.Zero) ?(loss = Link.Loss.None) ~rng ~n ()
+    =
+  if n < 0 then invalid_arg "Engine.create: negative n";
+  {
+    queue = Event_queue.create ();
+    handlers = Array.make n None;
+    latency;
+    loss;
+    rng = Basalt_prng.Rng.split rng;
+    clock = 0.0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    events = 0;
+  }
+
+let n t = Array.length t.handlers
+let now t = t.clock
+
+let register t node handler =
+  if node < 0 || node >= Array.length t.handlers then
+    invalid_arg "Engine.register: node out of range";
+  t.handlers.(node) <- Some handler
+
+let send t ~src ~dst msg =
+  t.sent <- t.sent + 1;
+  if Link.Loss.drops t.loss t.rng then t.dropped <- t.dropped + 1
+  else
+    let delay = min_delay +. Link.Latency.sample t.latency t.rng in
+    Event_queue.push t.queue ~time:(t.clock +. delay)
+      (Deliver { src; dst; msg })
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  Event_queue.push t.queue ~time:(t.clock +. delay) (Timer f)
+
+let every t ?phase ~interval f =
+  if interval <= 0.0 then invalid_arg "Engine.every: interval must be > 0";
+  let phase = Option.value phase ~default:interval in
+  let rec fire () =
+    f ();
+    Event_queue.push t.queue ~time:(t.clock +. interval) (Timer fire)
+  in
+  Event_queue.push t.queue ~time:(t.clock +. phase) (Timer fire)
+
+let execute t event =
+  t.events <- t.events + 1;
+  match event with
+  | Timer f -> f ()
+  | Deliver { src; dst; msg } -> (
+      t.delivered <- t.delivered + 1;
+      if dst >= 0 && dst < Array.length t.handlers then
+        match t.handlers.(dst) with
+        | Some handler -> handler ~from:src msg
+        | None -> ())
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, event) ->
+      t.clock <- max t.clock time;
+      execute t event;
+      true
+
+let run_until t horizon =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= horizon -> (
+        match Event_queue.pop t.queue with
+        | Some (time, event) ->
+            t.clock <- max t.clock time;
+            execute t event;
+            loop ()
+        | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ();
+  t.clock <- max t.clock horizon
+
+let stats t =
+  { sent = t.sent; delivered = t.delivered; dropped = t.dropped; events = t.events }

@@ -1,0 +1,72 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* [heap] slots at indices >= [len] are stale; a dummy entry fills slot 0
+     of a fresh queue until the first push. *)
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0 }
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q entry =
+  let capacity = Array.length q.heap in
+  if q.len = capacity then begin
+    let new_capacity = max 16 (2 * capacity) in
+    let heap = Array.make new_capacity entry in
+    Array.blit q.heap 0 heap 0 q.len;
+    q.heap <- heap
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < q.len && before q.heap.(left) q.heap.(!smallest) then
+    smallest := left;
+  if right < q.len && before q.heap.(right) q.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q ~time value =
+  let entry = { time; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  q.heap.(q.len) <- entry;
+  q.len <- q.len + 1;
+  sift_up q (q.len - 1)
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.len <- q.len - 1;
+    if q.len > 0 then begin
+      q.heap.(0) <- q.heap.(q.len);
+      sift_down q 0
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_time q = if q.len = 0 then None else Some q.heap.(0).time
+let size q = q.len
+let is_empty q = q.len = 0

@@ -1,0 +1,27 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap ordered by [(time, sequence)]: events scheduled for
+    the same instant are delivered in insertion order, which keeps
+    simulation runs fully deterministic. *)
+
+type 'a t
+(** A queue of events carrying values of type ['a]. *)
+
+val create : unit -> 'a t
+(** [create ()] is an empty queue. *)
+
+val push : 'a t -> time:float -> 'a -> unit
+(** [push q ~time v] schedules [v] at [time]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** [pop q] removes and returns the earliest event, or [None] if empty. *)
+
+val peek_time : 'a t -> float option
+(** [peek_time q] is the timestamp of the earliest event without removing
+    it. *)
+
+val size : 'a t -> int
+(** [size q] is the number of pending events. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty q] is [size q = 0]. *)

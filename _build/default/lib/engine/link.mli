@@ -1,0 +1,33 @@
+(** Network link models: delivery latency and message loss.
+
+    The paper assumes a complete communication network with a weak form of
+    synchrony (§2.1): some fraction of messages between correct nodes
+    arrive within a bounded delay.  These models let experiments inject
+    constant or jittered latency and independent (non-adversarial) loss;
+    adversarially-biased loss is instead modelled through the attack force
+    [F] (§2.1, §4.1). *)
+
+module Latency : sig
+  type t =
+    | Zero  (** Instantaneous delivery (synchronous-round simulations). *)
+    | Constant of float  (** Fixed one-way delay. *)
+    | Uniform of { lo : float; hi : float }
+        (** Delay drawn uniformly in [\[lo, hi\]]. *)
+
+  val sample : t -> Basalt_prng.Rng.t -> float
+  (** [sample t rng] draws a one-way delay. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Loss : sig
+  type t =
+    | None  (** Reliable channels (the paper's default assumption). *)
+    | Bernoulli of float  (** Each message dropped independently with
+                              the given probability. *)
+
+  val drops : t -> Basalt_prng.Rng.t -> bool
+  (** [drops t rng] is [true] if the message should be discarded. *)
+
+  val pp : Format.formatter -> t -> unit
+end

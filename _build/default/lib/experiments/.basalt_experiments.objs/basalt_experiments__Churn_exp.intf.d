@@ -1,0 +1,1 @@
+lib/experiments/churn_exp.mli: Basalt_sim Scale

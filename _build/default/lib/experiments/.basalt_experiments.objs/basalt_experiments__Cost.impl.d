@@ -1,0 +1,1 @@
+lib/experiments/cost.ml: Array Basalt_brahms Basalt_core Basalt_sim Basalt_sps Float List Output Printf Scale

@@ -1,0 +1,1 @@
+lib/experiments/cost.mli: Basalt_sim Scale

@@ -1,0 +1,1 @@
+lib/experiments/dag_exp.ml: Array Basalt_avalanche Basalt_core Basalt_sim Basalt_sps List Output Printf Scale

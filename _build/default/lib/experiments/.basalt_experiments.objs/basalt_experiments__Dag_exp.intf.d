@@ -1,0 +1,1 @@
+lib/experiments/dag_exp.mli: Basalt_sim Scale

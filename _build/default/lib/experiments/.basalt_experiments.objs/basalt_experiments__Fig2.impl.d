@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Array Basalt_brahms Basalt_core Basalt_sim List Output Printf Scale

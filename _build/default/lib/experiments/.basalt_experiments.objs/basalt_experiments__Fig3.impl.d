@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Array Basalt_brahms Basalt_core Basalt_sim Float Fun List Output Printf Scale

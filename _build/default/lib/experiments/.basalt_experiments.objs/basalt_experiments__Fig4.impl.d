@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Basalt_analysis Basalt_brahms Basalt_core Basalt_sim List Output Printf Scale

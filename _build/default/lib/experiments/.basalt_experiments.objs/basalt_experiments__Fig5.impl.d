@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Basalt_brahms Basalt_core Basalt_sim List Output Printf Scale

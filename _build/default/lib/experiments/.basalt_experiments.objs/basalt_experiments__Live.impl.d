@@ -1,0 +1,1 @@
+lib/experiments/live.ml: Array Basalt_avalanche Basalt_sim Output Printf Scale

@@ -1,0 +1,1 @@
+lib/experiments/live.mli: Basalt_avalanche Basalt_sim Scale

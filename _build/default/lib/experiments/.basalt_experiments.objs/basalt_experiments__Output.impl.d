@@ -1,0 +1,1 @@
+lib/experiments/output.ml: Basalt_sim Printf

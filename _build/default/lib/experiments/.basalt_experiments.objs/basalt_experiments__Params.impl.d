@@ -1,0 +1,1 @@
+lib/experiments/params.ml: Array Basalt_analysis Basalt_sim List Printf Scale

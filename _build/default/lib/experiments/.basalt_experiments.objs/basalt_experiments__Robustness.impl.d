@@ -1,0 +1,1 @@
+lib/experiments/robustness.ml: Array Basalt_brahms Basalt_core Basalt_engine Basalt_sim List Output Printf Scale

@@ -1,0 +1,1 @@
+lib/experiments/sps_failure.ml: Array Basalt_adversary Basalt_brahms Basalt_core Basalt_sim Basalt_sps List Output Printf Scale

@@ -1,0 +1,1 @@
+lib/experiments/sps_failure.mli: Basalt_sim Scale

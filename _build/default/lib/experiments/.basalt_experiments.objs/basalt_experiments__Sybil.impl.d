@@ -1,0 +1,1 @@
+lib/experiments/sybil.ml: Array Basalt_core Basalt_hashing Basalt_sim List Output Printf Scale

@@ -1,0 +1,1 @@
+lib/experiments/sybil.mli: Basalt_sim Scale

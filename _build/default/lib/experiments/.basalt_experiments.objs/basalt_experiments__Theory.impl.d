@@ -1,0 +1,1 @@
+lib/experiments/theory.ml: Array Basalt_analysis Basalt_core Basalt_sim List Printf Scale

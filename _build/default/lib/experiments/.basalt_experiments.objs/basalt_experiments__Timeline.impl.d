@@ -1,0 +1,1 @@
+lib/experiments/timeline.ml: Array Basalt_brahms Basalt_core Basalt_sim Basalt_sps List Output Printf String

@@ -1,0 +1,1 @@
+lib/experiments/timeline.mli: Basalt_sim

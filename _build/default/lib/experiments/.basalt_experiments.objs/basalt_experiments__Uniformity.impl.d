@@ -1,0 +1,1 @@
+lib/experiments/uniformity.ml: Array Basalt_analysis Basalt_brahms Basalt_core Basalt_prng Basalt_sim Basalt_sps Float List Output Printf Scale

@@ -1,0 +1,1 @@
+lib/experiments/uniformity.mli: Basalt_sim Scale

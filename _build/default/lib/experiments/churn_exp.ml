@@ -1,0 +1,86 @@
+module Scenario = Basalt_sim.Scenario
+module Runner = Basalt_sim.Runner
+module Sweep = Basalt_sim.Sweep
+module Churn = Basalt_sim.Churn
+module Report = Basalt_sim.Report
+
+type row = {
+  churn_rate : float;
+  basalt : Sweep.aggregate;
+  brahms : Sweep.aggregate;
+  basalt_churned : int;
+}
+
+let rates = [ 0.0; 0.005; 0.01; 0.02; 0.05 ]
+
+let run ?(scale = Scale.Standard) () =
+  let n = Scale.n scale in
+  let v = Scale.v scale in
+  let steps = Scale.steps scale in
+  let seeds = Scale.seeds scale in
+  List.map
+    (fun churn_rate ->
+      let churn =
+        if churn_rate = 0.0 then None
+        else Some (Churn.make ~start:(steps /. 4.0) ~rate:churn_rate ())
+      in
+      let scenario protocol =
+        Scenario.make ~name:"churn" ~n ~f:0.1 ~force:10.0 ~protocol ~steps
+          ?churn ()
+      in
+      let basalt_scenario =
+        scenario (Scenario.Basalt (Basalt_core.Config.make ~v ()))
+      in
+      let basalt_runs = Sweep.run_seeds basalt_scenario ~seeds in
+      let brahms =
+        Sweep.aggregate
+          (Sweep.run_seeds
+             (scenario (Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ())))
+             ~seeds)
+      in
+      {
+        churn_rate;
+        basalt = Sweep.aggregate basalt_runs;
+        brahms;
+        basalt_churned =
+          (match basalt_runs with
+          | r :: _ -> r.Runner.nodes_churned
+          | [] -> 0);
+      })
+    rates
+
+let columns rows =
+  let arr = Array.of_list rows in
+  ( Array.length arr,
+    [
+      {
+        Report.header = "churn_rate";
+        cell = (fun i -> Report.float_cell arr.(i).churn_rate);
+      };
+      {
+        Report.header = "basalt_samples_byz";
+        cell = (fun i -> Report.float_cell arr.(i).basalt.Sweep.mean_sample_byz);
+      };
+      {
+        Report.header = "brahms_samples_byz";
+        cell = (fun i -> Report.float_cell arr.(i).brahms.Sweep.mean_sample_byz);
+      };
+      {
+        Report.header = "basalt_isolated";
+        cell = (fun i -> Report.float_cell arr.(i).basalt.Sweep.mean_isolated);
+      };
+      {
+        Report.header = "brahms_isolated";
+        cell = (fun i -> Report.float_cell arr.(i).brahms.Sweep.mean_isolated);
+      };
+      {
+        Report.header = "replacements";
+        cell = (fun i -> string_of_int arr.(i).basalt_churned);
+      };
+    ] )
+
+let print ?(scale = Scale.Standard) ?csv () =
+  Printf.printf "== churn extension (n=%d, v=%d, f=0.1, F=10)\n" (Scale.n scale)
+    (Scale.v scale);
+  let rows, cols = columns (run ~scale ()) in
+  Output.emit ?csv ~rows cols

@@ -1,0 +1,20 @@
+(** Extension: sample quality under continuous churn.
+
+    The paper replaces churn by the all-nodes-just-joined worst case
+    (§4.1); this extension restores continuous churn (see
+    {!Basalt_sim.Churn}) and measures how Basalt and Brahms cope with
+    simultaneous flooding ([F = 10]) and node replacement.  Expected
+    behavior: Basalt degrades gracefully (each replaced node re-converges
+    within a few slot lifetimes) while Brahms, already stressed by the
+    attack, loses more ground as churn rises. *)
+
+type row = {
+  churn_rate : float;  (** Fraction of correct nodes replaced per unit. *)
+  basalt : Basalt_sim.Sweep.aggregate;
+  brahms : Basalt_sim.Sweep.aggregate;
+  basalt_churned : int;  (** Replacements over the run (one seed). *)
+}
+
+val run : ?scale:Scale.t -> unit -> row list
+val columns : row list -> int * Basalt_sim.Report.column list
+val print : ?scale:Scale.t -> ?csv:string -> unit -> unit

@@ -1,0 +1,81 @@
+module Scenario = Basalt_sim.Scenario
+module Runner = Basalt_sim.Runner
+module Report = Basalt_sim.Report
+
+type row = {
+  protocol : string;
+  msgs_per_node_round : float;
+  bytes_per_node_round : float;
+  max_datagram : int;
+  fits_mtu : bool;
+  adversary_bytes_ratio : float;
+}
+
+let run ?(scale = Scale.Standard) () =
+  let n = Scale.n scale in
+  let v = Scale.v scale in
+  let steps = Scale.steps scale in
+  let protocols =
+    [
+      ("basalt", Scenario.Basalt (Basalt_core.Config.make ~v ()));
+      ("brahms", Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ()));
+      ("sps", Scenario.Sps (Basalt_sps.Sps.config ~l:v ()));
+      ("classic", Scenario.Classic (Basalt_sps.Classic.config ~l:v ()));
+    ]
+  in
+  List.map
+    (fun (name, protocol) ->
+      let scenario =
+        Scenario.make ~name:"cost" ~n ~f:0.1 ~force:10.0 ~protocol ~steps ()
+      in
+      let r = Runner.run scenario in
+      let q = float_of_int (Scenario.num_correct scenario) in
+      let rounds = steps /. Scenario.tau scenario in
+      let b = r.Runner.bandwidth in
+      let per_round x = float_of_int x /. (q *. rounds) in
+      {
+        protocol = name;
+        msgs_per_node_round = per_round b.Runner.correct_messages;
+        bytes_per_node_round = per_round b.Runner.correct_bytes;
+        max_datagram = b.Runner.max_datagram;
+        fits_mtu = b.Runner.max_datagram <= 1500;
+        adversary_bytes_ratio =
+          (if b.Runner.correct_bytes = 0 then Float.nan
+           else
+             float_of_int b.Runner.adversary_bytes
+             /. float_of_int b.Runner.correct_bytes);
+      })
+    protocols
+
+let columns rows =
+  let arr = Array.of_list rows in
+  ( Array.length arr,
+    [
+      { Report.header = "protocol"; cell = (fun i -> arr.(i).protocol) };
+      {
+        Report.header = "msgs/node/round";
+        cell = (fun i -> Report.float_cell arr.(i).msgs_per_node_round);
+      };
+      {
+        Report.header = "bytes/node/round";
+        cell = (fun i -> Report.float_cell arr.(i).bytes_per_node_round);
+      };
+      {
+        Report.header = "max_datagram";
+        cell = (fun i -> string_of_int arr.(i).max_datagram);
+      };
+      {
+        Report.header = "fits_MTU";
+        cell = (fun i -> string_of_bool arr.(i).fits_mtu);
+      };
+      {
+        Report.header = "adv/correct bytes";
+        cell = (fun i -> Report.float_cell arr.(i).adversary_bytes_ratio);
+      };
+    ] )
+
+let print ?(scale = Scale.Standard) ?csv () =
+  Printf.printf "== communication cost (n=%d, v=%d, f=0.1, F=10)\n"
+    (Scale.n scale) (Scale.v scale);
+  let rows, cols = columns (run ~scale ()) in
+  Output.emit ?csv ~rows cols

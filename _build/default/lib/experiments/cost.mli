@@ -1,0 +1,22 @@
+(** Communication-cost accounting (the §4.3 budget argument).
+
+    The paper's evaluation gives each protocol two datagram exchanges per
+    round per node and argues every datagram fits one 1500-byte MTU (at
+    most 200 four-byte identifiers plus headers).  This experiment runs
+    each protocol in the base scenario and reports measured message and
+    byte rates, checking the budget empirically. *)
+
+type row = {
+  protocol : string;
+  msgs_per_node_round : float;  (** Messages a correct node sends per τ. *)
+  bytes_per_node_round : float;
+  max_datagram : int;  (** Largest payload observed (bytes). *)
+  fits_mtu : bool;  (** [max_datagram <= 1500]. *)
+  adversary_bytes_ratio : float;
+      (** Adversary bytes / correct bytes — the resource asymmetry the
+          attack force F buys. *)
+}
+
+val run : ?scale:Scale.t -> unit -> row list
+val columns : row list -> int * Basalt_sim.Report.column list
+val print : ?scale:Scale.t -> ?csv:string -> unit -> unit

@@ -1,0 +1,96 @@
+module Scenario = Basalt_sim.Scenario
+module Sweep = Basalt_sim.Sweep
+module Report = Basalt_sim.Report
+
+type panel = F_byzantine | Force | Rho | View_size
+
+let panel_name = function
+  | F_byzantine -> "fig2a (vs f)"
+  | Force -> "fig2b (vs F)"
+  | Rho -> "fig2c (vs rho)"
+  | View_size -> "fig2d (vs v)"
+
+let all_panels = [ F_byzantine; Force; Rho; View_size ]
+
+type row = {
+  x : float;
+  optimal : float;
+  basalt : Sweep.aggregate;
+  brahms : Sweep.aggregate;
+}
+
+type point = { f : float; force : float; rho : float; v : int }
+
+let base scale =
+  { f = 0.1; force = 10.0; rho = 1.0; v = Scale.v scale }
+
+let protocol_of which point =
+  match which with
+  | `Basalt -> Scenario.Basalt (Basalt_core.Config.make ~v:point.v ~rho:point.rho ())
+  | `Brahms ->
+      Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:point.v ~rho:point.rho ())
+
+let scenario scale which point =
+  Scenario.make
+    ~name:(panel_name F_byzantine)
+    ~n:(Scale.n scale) ~f:point.f ~force:point.force
+    ~protocol:(protocol_of which point)
+    ~steps:(Scale.steps scale) ()
+
+let points scale panel =
+  let base = base scale in
+  match panel with
+  | F_byzantine ->
+      List.map
+        (fun f -> (f, { base with f }))
+        (Scale.byzantine_fractions scale)
+  | Force ->
+      List.map (fun force -> (force, { base with force })) (Scale.forces scale)
+  | Rho ->
+      List.map (fun rho -> (rho, { base with rho })) (Scale.sampling_rates scale)
+  | View_size ->
+      List.map
+        (fun v -> (float_of_int v, { base with v }))
+        (Scale.view_sizes scale)
+
+let run ?(scale = Scale.Standard) panel =
+  let seeds = Scale.seeds scale in
+  List.map
+    (fun (x, point) ->
+      let agg which =
+        Sweep.aggregate (Sweep.run_seeds (scenario scale which point) ~seeds)
+      in
+      { x; optimal = point.f; basalt = agg `Basalt; brahms = agg `Brahms })
+    (points scale panel)
+
+let columns rows =
+  let arr = Array.of_list rows in
+  ( Array.length arr,
+    [
+      { Report.header = "x"; cell = (fun i -> Report.float_cell arr.(i).x) };
+      {
+        Report.header = "basalt_samples_byz";
+        cell = (fun i -> Report.float_cell arr.(i).basalt.Sweep.mean_sample_byz);
+      };
+      {
+        Report.header = "brahms_samples_byz";
+        cell = (fun i -> Report.float_cell arr.(i).brahms.Sweep.mean_sample_byz);
+      };
+      {
+        Report.header = "optimal";
+        cell = (fun i -> Report.float_cell arr.(i).optimal);
+      };
+      {
+        Report.header = "basalt_isolated";
+        cell = (fun i -> Report.float_cell arr.(i).basalt.Sweep.mean_isolated);
+      };
+      {
+        Report.header = "brahms_isolated";
+        cell = (fun i -> Report.float_cell arr.(i).brahms.Sweep.mean_isolated);
+      };
+    ] )
+
+let print ?(scale = Scale.Standard) ?csv panel =
+  Printf.printf "== %s  [scale=%s]\n" (panel_name panel) (Scale.to_string scale);
+  let rows, cols = columns (run ~scale panel) in
+  Output.emit ?csv ~rows cols

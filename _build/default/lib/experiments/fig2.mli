@@ -1,0 +1,37 @@
+(** Figure 2: proportion of Byzantine samples, Basalt vs Brahms.
+
+    Four panels vary one parameter around the base scenario ([f = 0.1],
+    [rho = 1], base view size, [F = 10]) and report the mean Byzantine
+    proportion among the samples correct nodes' services emitted by the
+    end of the run:
+
+    - (a) vs the fraction [f] of Byzantine nodes,
+    - (b) vs the attack force [F],
+    - (c) vs the sampling rate [rho],
+    - (d) vs the view size [v].
+
+    Expected shape (paper §4.4): Basalt stays near the optimum [f] up to
+    [f ≈ 20%]; Brahms is consistently worse, degrades with [F], and
+    collapses at high [rho] and small [v]. *)
+
+type panel = F_byzantine | Force | Rho | View_size
+
+val panel_name : panel -> string
+val all_panels : panel list
+
+type row = {
+  x : float;  (** The varied parameter's value. *)
+  optimal : float;  (** The optimum: the Byzantine fraction [f]. *)
+  basalt : Basalt_sim.Sweep.aggregate;
+  brahms : Basalt_sim.Sweep.aggregate;
+}
+
+val run : ?scale:Scale.t -> panel -> row list
+(** [run ~scale panel] executes both protocols over the panel's x-axis,
+    averaged over the scale's seeds. *)
+
+val columns : row list -> int * Basalt_sim.Report.column list
+(** [columns rows] is [(row count, printable columns)]. *)
+
+val print : ?scale:Scale.t -> ?csv:string -> panel -> unit
+(** [print ~scale panel] runs the panel and prints its table. *)

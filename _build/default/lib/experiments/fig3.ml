@@ -1,0 +1,85 @@
+module Scenario = Basalt_sim.Scenario
+module Runner = Basalt_sim.Runner
+module Measurements = Basalt_sim.Measurements
+module Report = Basalt_sim.Report
+
+type row = {
+  f : float;
+  basalt_time : float option;
+  brahms_time : float option;
+}
+
+(* Fig. 3 runs at the paper's own n = 1000 / v = 100 for the standard and
+   full presets; quick shrinks further. *)
+let dims scale =
+  match scale with
+  | Scale.Quick -> (300, 40, 100.0)
+  | Scale.Standard | Scale.Full -> (1000, 100, 300.0)
+
+let convergence_of_runs runs ~optimal ~within =
+  let times =
+    List.map
+      (fun r ->
+        Measurements.convergence_time ~optimal ~within r.Runner.series)
+      runs
+  in
+  let converged = List.filter_map Fun.id times in
+  (* Majority rule: report the median time if most seeds converged. *)
+  if 2 * List.length converged < List.length times + 1 then None
+  else begin
+    let sorted = List.sort Float.compare converged in
+    Some (List.nth sorted (List.length sorted / 2))
+  end
+
+let run ?(scale = Scale.Standard) ?(within = 0.25) () =
+  let n, v, steps = dims scale in
+  let seeds = Scale.seeds scale in
+  List.map
+    (fun f ->
+      let scenario protocol =
+        Scenario.make ~name:"fig3" ~n ~f ~force:10.0 ~protocol ~steps ()
+      in
+      let runs protocol =
+        List.map
+          (fun seed -> Runner.run (Scenario.with_seed (scenario protocol) seed))
+          seeds
+      in
+      let basalt_runs =
+        runs (Scenario.Basalt (Basalt_core.Config.make ~v ()))
+      in
+      let brahms_runs =
+        runs (Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ()))
+      in
+      {
+        f;
+        basalt_time = convergence_of_runs basalt_runs ~optimal:f ~within;
+        brahms_time = convergence_of_runs brahms_runs ~optimal:f ~within;
+      })
+    (Scale.byzantine_fractions scale)
+
+let time_cell = function
+  | Some t -> Report.float_cell t
+  | None -> "no-convergence"
+
+let columns rows =
+  let arr = Array.of_list rows in
+  ( Array.length arr,
+    [
+      { Report.header = "f"; cell = (fun i -> Report.float_cell arr.(i).f) };
+      {
+        Report.header = "basalt_time";
+        cell = (fun i -> time_cell arr.(i).basalt_time);
+      };
+      {
+        Report.header = "brahms_time";
+        cell = (fun i -> time_cell arr.(i).brahms_time);
+      };
+    ] )
+
+let print ?(scale = Scale.Standard) ?csv () =
+  let n, v, steps = dims scale in
+  Printf.printf
+    "== fig3 (convergence time within 25%% of optimal)  [n=%d v=%d steps=%g]\n"
+    n v steps;
+  let rows, cols = columns (run ~scale ()) in
+  Output.emit ?csv ~rows cols

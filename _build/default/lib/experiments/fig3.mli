@@ -1,0 +1,22 @@
+(** Figure 3: time to convergence within 25% of the optimal proportion of
+    Byzantine samples, vs the Byzantine fraction [f].
+
+    Paper setting: n = 1000, v = 100, F = 10, ρ = 1.  Expected shape:
+    Basalt's convergence time stays low up to [f ≈ 30%]; Brahms takes
+    much longer and stops converging within the experiment's duration
+    from [f ≈ 20%] ("no convergence" is reported as [None]). *)
+
+type row = {
+  f : float;
+  basalt_time : float option;  (** [None] = did not converge. *)
+  brahms_time : float option;
+}
+
+val run : ?scale:Scale.t -> ?within:float -> unit -> row list
+(** [run ~scale ~within ()] measures the earliest time from which the
+    Byzantine sample proportion stays at or below
+    [(1 + within) * f] (default [within = 0.25]), median across seeds
+    ([None] when the majority of seeds never converge). *)
+
+val columns : row list -> int * Basalt_sim.Report.column list
+val print : ?scale:Scale.t -> ?csv:string -> unit -> unit

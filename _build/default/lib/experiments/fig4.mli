@@ -1,0 +1,28 @@
+(** Figure 4: convergence of graph quality metrics over time.
+
+    Paper setting: n = 10000, f = 10%, F = 1, ρ = 0.5, v = 160 — a
+    favorable situation highlighting convergence speed.  Four time
+    series per protocol (lower is better on all):
+
+    - Byzantine proportion in views,
+    - average local clustering coefficient (malicious assumed fully
+      interconnected),
+    - mean path length over the correct-only subgraph,
+    - in-degree concentration (last minus first decile).
+
+    Expected shape: Basalt converges markedly faster than Brahms on every
+    metric. *)
+
+type series = {
+  protocol : string;
+  points : Basalt_sim.Measurements.point list;
+}
+
+val run : ?scale:Scale.t -> unit -> series list
+(** [run ~scale ()] produces one series per protocol (Basalt, Brahms). *)
+
+val columns : series list -> int * Basalt_sim.Report.column list
+(** Interleaved table: one row per measurement time, one column group per
+    protocol. *)
+
+val print : ?scale:Scale.t -> ?csv:string -> unit -> unit

@@ -1,0 +1,57 @@
+module Scenario = Basalt_sim.Scenario
+module Sweep = Basalt_sim.Sweep
+module Report = Basalt_sim.Report
+
+type row = {
+  v : int;
+  basalt_max_rho : float option;
+  brahms_max_rho : float option;
+}
+
+let run ?(scale = Scale.Standard) () =
+  let n = Scale.n scale in
+  let steps = Scale.steps scale in
+  let seeds = Scale.seeds scale in
+  let rhos = Scale.sampling_rates scale in
+  let make_basalt v ~rho =
+    Scenario.make ~name:"fig5-basalt" ~n ~f:0.1 ~force:10.0
+      ~protocol:(Scenario.Basalt (Basalt_core.Config.make ~v ~rho ()))
+      ~steps ()
+  in
+  let make_brahms v ~rho =
+    Scenario.make ~name:"fig5-brahms" ~n ~f:0.1 ~force:10.0
+      ~protocol:(Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ~rho ()))
+      ~steps ()
+  in
+  List.map
+    (fun v ->
+      {
+        v;
+        basalt_max_rho = Sweep.max_rho ~make:(make_basalt v) ~rhos ~seeds;
+        brahms_max_rho = Sweep.max_rho ~make:(make_brahms v) ~rhos ~seeds;
+      })
+    (Scale.view_sizes scale)
+
+let rho_cell = function Some r -> Report.float_cell r | None -> "none"
+
+let columns rows =
+  let arr = Array.of_list rows in
+  ( Array.length arr,
+    [
+      { Report.header = "v"; cell = (fun i -> string_of_int arr.(i).v) };
+      {
+        Report.header = "basalt_max_rho";
+        cell = (fun i -> rho_cell arr.(i).basalt_max_rho);
+      };
+      {
+        Report.header = "brahms_max_rho";
+        cell = (fun i -> rho_cell arr.(i).brahms_max_rho);
+      };
+    ] )
+
+let print ?(scale = Scale.Standard) ?csv () =
+  Printf.printf
+    "== fig5 (max sampling rate without isolation)  [n=%d f=0.1 F=10]\n"
+    (Scale.n scale);
+  let rows, cols = columns (run ~scale ()) in
+  Output.emit ?csv ~rows cols

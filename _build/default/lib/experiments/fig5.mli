@@ -1,0 +1,18 @@
+(** Figure 5: maximum achievable sampling rate ρ without isolation,
+    vs view size [v].
+
+    Paper setting: n = 10000, f = 10%, F = 10.  A run succeeds if, from
+    half of the allotted time onward, no correct node is ever isolated;
+    the figure plots the largest ρ with only successful runs for each
+    [v].  Expected shape: Basalt sustains a higher ρ than Brahms at every
+    view size (more utility for the same view). *)
+
+type row = {
+  v : int;
+  basalt_max_rho : float option;  (** [None]: no tested ρ succeeded. *)
+  brahms_max_rho : float option;
+}
+
+val run : ?scale:Scale.t -> unit -> row list
+val columns : row list -> int * Basalt_sim.Report.column list
+val print : ?scale:Scale.t -> ?csv:string -> unit -> unit

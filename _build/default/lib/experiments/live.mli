@@ -1,0 +1,17 @@
+(** The §5 live-deployment measurement (simulated; see
+    {!Basalt_avalanche.Deployment}).
+
+    Reports the malicious proportion in a witness node's samples under an
+    Eclipse attempt by ≈20% of the network, for the Basalt-derived
+    sampler, a full-knowledge uniform sampler, and the ground truth.
+    Paper numbers: 17.5% / 18.4% / 18.8%. *)
+
+type row = {
+  sampler : string;
+  malicious_proportion : float;
+  paper_value : float;  (** The value the paper reports. *)
+}
+
+val run : ?scale:Scale.t -> unit -> row list * Basalt_avalanche.Deployment.result
+val columns : row list -> int * Basalt_sim.Report.column list
+val print : ?scale:Scale.t -> ?csv:string -> unit -> unit

@@ -1,0 +1,9 @@
+module Report = Basalt_sim.Report
+
+let emit ?csv ~rows cols =
+  Report.print_table ~rows cols;
+  match csv with
+  | None -> ()
+  | Some path ->
+      Report.write_csv ~path ~rows cols;
+      Printf.printf "(csv written to %s)\n" path

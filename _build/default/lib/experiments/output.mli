@@ -1,0 +1,7 @@
+(** Shared table emission for experiment modules: print to stdout and
+    optionally write the same rows as CSV for external plotting. *)
+
+val emit :
+  ?csv:string -> rows:int -> Basalt_sim.Report.column list -> unit
+(** [emit ?csv ~rows cols] prints the aligned table; when [csv] is given,
+    also writes the data to that path and notes it on stdout. *)

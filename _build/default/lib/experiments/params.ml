@@ -1,0 +1,50 @@
+module Report = Basalt_sim.Report
+module Model = Basalt_analysis.Model
+
+let rows =
+  [
+    ("n", "number of nodes", "1000, 10000", "scale preset");
+    ("f", "fraction of Byzantine nodes", "10%, 30%", "0.1");
+    ("Q", "number of correct nodes", "(1-f)n", "derived");
+    ("F", "attack force", ">= 0", "10");
+    ("v", "view size", "50 to 200", "scale preset");
+    ("tau", "exchange interval", "1 time unit", "1");
+    ("rho", "sampling rate", "~1 per time unit", "1");
+    ("k", "replacement count", "up to v/2", "v/2");
+    ("l", "Brahms view/sampler size", "= v", "= v");
+    ("alpha,beta,gamma", "Brahms push/pull/sample weights", "1/3", "1/3");
+  ]
+
+let print ?(scale = Scale.Standard) () =
+  Printf.printf "== Table 1: parameters (scale=%s: n=%d, v=%d)\n"
+    (Scale.to_string scale) (Scale.n scale) (Scale.v scale);
+  let arr = Array.of_list rows in
+  Report.print_table ~rows:(Array.length arr)
+    [
+      { Report.header = "param"; cell = (fun i -> let a, _, _, _ = arr.(i) in a) };
+      {
+        Report.header = "meaning";
+        cell = (fun i -> let _, b, _, _ = arr.(i) in b);
+      };
+      { Report.header = "paper"; cell = (fun i -> let _, _, c, _ = arr.(i) in c) };
+      {
+        Report.header = "default here";
+        cell = (fun i -> let _, _, _, d = arr.(i) in d);
+      };
+    ];
+  Printf.printf "\nEq.16 stability across the paper envelope (exists B1?):\n";
+  List.iter
+    (fun (n, f, v) ->
+      let env = Model.env ~n ~f ~v () in
+      Printf.printf "  n=%-6d f=%.2f v=%-4d -> %s\n" n f v
+        (match Model.steady_state env with
+        | Some b1 -> Printf.sprintf "B1 = %.4f (optimal %.2f)" b1 f
+        | None -> "no equilibrium (attack wins)"))
+    [
+      (1000, 0.1, 50);
+      (1000, 0.1, 100);
+      (1000, 0.3, 100);
+      (10_000, 0.1, 160);
+      (10_000, 0.3, 160);
+      (10_000, 0.1, 50);
+    ]

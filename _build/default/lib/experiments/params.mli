@@ -1,0 +1,7 @@
+(** Table 1: parameter envelope and validity checks.
+
+    Prints the algorithm and environment parameters with their paper
+    ranges and this repository's defaults, and evaluates the Eq. (16)
+    stability condition across the paper's envelope. *)
+
+val print : ?scale:Scale.t -> unit -> unit

@@ -1,0 +1,101 @@
+module Scenario = Basalt_sim.Scenario
+module Sweep = Basalt_sim.Sweep
+module Report = Basalt_sim.Report
+module Link = Basalt_engine.Link
+
+type row = {
+  loss_rate : float;
+  basalt : Sweep.aggregate;
+  brahms : Sweep.aggregate;
+}
+
+let loss_rates = [ 0.0; 0.1; 0.2; 0.4 ]
+
+let run ?(scale = Scale.Standard) () =
+  let n = Scale.n scale in
+  let v = Scale.v scale in
+  let steps = Scale.steps scale in
+  let seeds = Scale.seeds scale in
+  List.map
+    (fun loss_rate ->
+      let loss =
+        if loss_rate = 0.0 then Link.Loss.None
+        else Link.Loss.Bernoulli loss_rate
+      in
+      let agg protocol =
+        Sweep.aggregate
+          (Sweep.run_seeds
+             (Scenario.make ~name:"robustness" ~n ~f:0.1 ~force:10.0 ~protocol
+                ~steps ~loss ())
+             ~seeds)
+      in
+      {
+        loss_rate;
+        basalt = agg (Scenario.Basalt (Basalt_core.Config.make ~v ()));
+        brahms = agg (Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ()));
+      })
+    loss_rates
+
+type latency_row = { jitter : float; basalt_sample_byz : float }
+
+let jitters = [ 0.0; 0.25; 0.5; 1.0 ]
+
+let run_latency ?(scale = Scale.Standard) () =
+  let n = Scale.n scale in
+  let v = Scale.v scale in
+  let steps = Scale.steps scale in
+  let seeds = Scale.seeds scale in
+  List.map
+    (fun jitter ->
+      let latency =
+        if jitter = 0.0 then Link.Latency.Zero
+        else Link.Latency.Uniform { lo = 0.0; hi = jitter }
+      in
+      let agg =
+        Sweep.aggregate
+          (Sweep.run_seeds
+             (Scenario.make ~name:"robustness-latency" ~n ~f:0.1 ~force:10.0
+                ~protocol:(Scenario.Basalt (Basalt_core.Config.make ~v ()))
+                ~steps ~latency ())
+             ~seeds)
+      in
+      { jitter; basalt_sample_byz = agg.Sweep.mean_sample_byz })
+    jitters
+
+let columns rows =
+  let arr = Array.of_list rows in
+  ( Array.length arr,
+    [
+      {
+        Report.header = "loss_rate";
+        cell = (fun i -> Report.float_cell arr.(i).loss_rate);
+      };
+      {
+        Report.header = "basalt_samples_byz";
+        cell = (fun i -> Report.float_cell arr.(i).basalt.Sweep.mean_sample_byz);
+      };
+      {
+        Report.header = "brahms_samples_byz";
+        cell = (fun i -> Report.float_cell arr.(i).brahms.Sweep.mean_sample_byz);
+      };
+      {
+        Report.header = "basalt_isolated";
+        cell = (fun i -> Report.float_cell arr.(i).basalt.Sweep.mean_isolated);
+      };
+      {
+        Report.header = "brahms_isolated";
+        cell = (fun i -> Report.float_cell arr.(i).brahms.Sweep.mean_isolated);
+      };
+    ] )
+
+let print ?(scale = Scale.Standard) ?csv () =
+  Printf.printf "== robustness extension: message loss (n=%d, v=%d, F=10)\n"
+    (Scale.n scale) (Scale.v scale);
+  let rows, cols = columns (run ~scale ()) in
+  Output.emit ?csv ~rows cols;
+  Printf.printf "latency jitter sweep (basalt, max delay as fraction of tau):\n";
+  List.iter
+    (fun r ->
+      Printf.printf "  jitter=%.2f  samples_byz=%.4f\n" r.jitter
+        r.basalt_sample_byz)
+    (run_latency ~scale ())

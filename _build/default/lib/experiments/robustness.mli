@@ -1,0 +1,30 @@
+(** Extension: resilience to non-adversarial network faults.
+
+    The system model (§2.1) assumes reliable channels and notes that
+    unreliable ones with attacker-independent loss would only matter
+    through the attack-force abstraction.  This experiment checks that
+    empirically: Basalt and Brahms run under increasing uniform message
+    loss (and, separately, under latency jitter comparable to the
+    exchange interval) while flooding continues at F = 10.  Expected
+    behavior: loss slows discovery but does not bias it — Basalt's sample
+    quality degrades only mildly even at 40% loss. *)
+
+type row = {
+  loss_rate : float;
+  basalt : Basalt_sim.Sweep.aggregate;
+  brahms : Basalt_sim.Sweep.aggregate;
+}
+
+val run : ?scale:Scale.t -> unit -> row list
+(** Loss sweep at the scale's base parameters. *)
+
+type latency_row = {
+  jitter : float;  (** Max one-way delay as a fraction of τ. *)
+  basalt_sample_byz : float;
+}
+
+val run_latency : ?scale:Scale.t -> unit -> latency_row list
+(** Latency-jitter sweep (Basalt only). *)
+
+val columns : row list -> int * Basalt_sim.Report.column list
+val print : ?scale:Scale.t -> ?csv:string -> unit -> unit

@@ -1,0 +1,71 @@
+module Scenario = Basalt_sim.Scenario
+module Sweep = Basalt_sim.Sweep
+module Report = Basalt_sim.Report
+
+type row = {
+  protocol : string;
+  isolated_fraction : float;
+  view_byz : float;
+  ever_isolated : bool;
+}
+
+let dims scale =
+  match scale with
+  | Scale.Quick -> (300, 40, 100.0)
+  | Scale.Standard | Scale.Full -> (1000, 100, 200.0)
+
+let run ?(scale = Scale.Standard) ?(force = 0.0) () =
+  let n, v, steps = dims scale in
+  let seeds = Scale.seeds scale in
+  let strategy =
+    if force = 0.0 then Basalt_adversary.Adversary.Silent
+    else Basalt_adversary.Adversary.Flood
+  in
+  let protocols =
+    [
+      ("sps", Scenario.Sps (Basalt_sps.Sps.config ~l:v ()));
+      ("basalt", Scenario.Basalt (Basalt_core.Config.make ~v ()));
+      ("brahms", Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ()));
+      ("classic", Scenario.Classic (Basalt_sps.Classic.config ~l:v ()));
+    ]
+  in
+  List.map
+    (fun (name, protocol) ->
+      let scenario =
+        Scenario.make ~name:"sps-failure" ~n ~f:0.3 ~force ~strategy ~protocol
+          ~steps ()
+      in
+      let runs = Sweep.run_seeds scenario ~seeds in
+      let agg = Sweep.aggregate runs in
+      {
+        protocol = name;
+        isolated_fraction = agg.Sweep.mean_isolated;
+        view_byz = agg.Sweep.mean_view_byz;
+        ever_isolated = agg.Sweep.isolation_runs > 0;
+      })
+    protocols
+
+let columns rows =
+  let arr = Array.of_list rows in
+  ( Array.length arr,
+    [
+      { Report.header = "protocol"; cell = (fun i -> arr.(i).protocol) };
+      {
+        Report.header = "isolated_frac";
+        cell = (fun i -> Report.float_cell arr.(i).isolated_fraction);
+      };
+      {
+        Report.header = "view_byz";
+        cell = (fun i -> Report.float_cell arr.(i).view_byz);
+      };
+      {
+        Report.header = "ever_isolated";
+        cell = (fun i -> string_of_bool arr.(i).ever_isolated);
+      };
+    ] )
+
+let print ?(scale = Scale.Standard) ?csv () =
+  let n, v, steps = dims scale in
+  Printf.printf "== sps-failure (f=0.3, F=0)  [n=%d v=%d steps=%g]\n" n v steps;
+  let rows, cols = columns (run ~scale ()) in
+  Output.emit ?csv ~rows cols

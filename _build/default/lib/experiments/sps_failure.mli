@@ -1,0 +1,25 @@
+(** The §4.3 SPS failure result.
+
+    "For n = 1000, f = 30%, and even with a favorable attack force F of
+    0, 90% of correct nodes become isolated in the network rapidly using
+    SPS and remain so during the whole simulation.  In contrast, both
+    BASALT and Brahms were able to prevent all correct nodes from
+    becoming isolated in this scenario."
+
+    This experiment runs all three protocols (plus the classical
+    non-tolerant baseline for context) in that scenario and reports the
+    final fraction of isolated correct nodes. *)
+
+type row = {
+  protocol : string;
+  isolated_fraction : float;  (** Final fraction of isolated correct nodes. *)
+  view_byz : float;
+  ever_isolated : bool;  (** Any isolation during the second half. *)
+}
+
+val run : ?scale:Scale.t -> ?force:float -> unit -> row list
+(** [run ~scale ~force ()] uses [f = 0.3] and [force] (default 0: the
+    adversary only answers pulls). *)
+
+val columns : row list -> int * Basalt_sim.Report.column list
+val print : ?scale:Scale.t -> ?csv:string -> unit -> unit

@@ -1,0 +1,35 @@
+(** Extension: institutional (Sybil) attacks and prefix-diverse ranking.
+
+    Basalt bounds an attacker's share of samples by its share of
+    {e identifiers} (§6), so an attacker that can mint many identifiers —
+    a Sybil attack — still wins.  The paper's discussion points at
+    HAPS-style address-based defenses and suggests "spreading connections
+    over a variety of IP prefixes by using a specially crafted rank
+    function".
+
+    This experiment implements that suggestion
+    ({!Basalt_hashing.Rank.Prefix_diverse}) and evaluates it in the
+    institutional setting: honest nodes spread across many address
+    prefixes, the attacker minting unlimited identifiers inside a handful
+    of prefixes it owns.  Expected result: with vanilla ranking the
+    attacker's sample share tracks its {e identifier} share (growing with
+    the Sybil multiplier), while with prefix-diverse ranking it stays
+    pinned near its {e prefix} share. *)
+
+type row = {
+  sybil_ids : float;  (** Attacker identifiers as a fraction of all ids. *)
+  prefix_share : float;  (** Attacker prefixes / all prefixes. *)
+  vanilla : float;  (** Byzantine sample share, vanilla Basalt. *)
+  diverse : float;  (** Byzantine sample share, prefix-diverse Basalt. *)
+}
+
+val prefix_layout :
+  honest:int -> honest_prefixes:int -> attacker_prefixes:int -> int -> int
+(** [prefix_layout ~honest ~honest_prefixes ~attacker_prefixes id] is the
+    experiment's address map: honest identifiers ([id < honest]) are
+    spread round-robin over [honest_prefixes]; attacker identifiers
+    cycle over [attacker_prefixes] prefixes of their own. *)
+
+val run : ?scale:Scale.t -> unit -> row list
+val columns : row list -> int * Basalt_sim.Report.column list
+val print : ?scale:Scale.t -> ?csv:string -> unit -> unit

@@ -1,0 +1,37 @@
+(** Free-form single-run time series.
+
+    Runs one scenario with user-chosen parameters and prints the full
+    measurement series (plus graph metrics on demand) — the generic tool
+    behind "plot what Fig. 4 plots, but for my configuration". *)
+
+type spec = {
+  protocol : string;  (** "basalt" | "brahms" | "sps" | "classic". *)
+  n : int;
+  f : float;
+  force : float;
+  v : int;
+  rho : float;
+  steps : float;
+  seed : int;
+  graph_metrics : bool;
+}
+
+val spec :
+  ?protocol:string ->
+  ?n:int ->
+  ?f:float ->
+  ?force:float ->
+  ?v:int ->
+  ?rho:float ->
+  ?steps:float ->
+  ?seed:int ->
+  ?graph_metrics:bool ->
+  unit ->
+  (spec, string) result
+(** Defaults: basalt, n = 1000, f = 0.1, F = 10, v = 100, rho = 1,
+    200 steps, seed 42, no graph metrics.  Errors on an unknown protocol
+    name (construction-parameter errors surface as [Invalid_argument]
+    from {!run}). *)
+
+val run : spec -> Basalt_sim.Runner.result
+val print : ?csv:string -> spec -> unit

@@ -1,0 +1,118 @@
+module Scenario = Basalt_sim.Scenario
+module Runner = Basalt_sim.Runner
+module Report = Basalt_sim.Report
+module Rng = Basalt_prng.Rng
+
+type row = {
+  sampler : string;
+  samples : int;
+  tv_distance : float;
+  coeff_variation : float;
+  max_over_mean : float;
+}
+
+let of_histogram ~sampler ~correct hist =
+  let counts = Array.sub hist 0 correct in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then
+    {
+      sampler;
+      samples = 0;
+      tv_distance = Float.nan;
+      coeff_variation = Float.nan;
+      max_over_mean = Float.nan;
+    }
+  else begin
+    let totalf = float_of_int total in
+    let uniform = 1.0 /. float_of_int correct in
+    let tv = ref 0.0 in
+    Array.iter
+      (fun c -> tv := !tv +. Float.abs ((float_of_int c /. totalf) -. uniform))
+      counts;
+    let floats = Array.map float_of_int counts in
+    let mean = Basalt_analysis.Stats.mean floats in
+    let std = Basalt_analysis.Stats.stddev floats in
+    let _, maxc = Basalt_analysis.Stats.min_max floats in
+    {
+      sampler;
+      samples = total;
+      tv_distance = 0.5 *. !tv;
+      coeff_variation = (if mean = 0.0 then Float.nan else std /. mean);
+      max_over_mean = (if mean = 0.0 then Float.nan else maxc /. mean);
+    }
+  end
+
+let ideal_histogram rng ~correct ~samples =
+  let hist = Array.make correct 0 in
+  for _ = 1 to samples do
+    let i = Rng.int rng correct in
+    hist.(i) <- hist.(i) + 1
+  done;
+  hist
+
+let run ?(scale = Scale.Standard) () =
+  let n = Scale.n scale in
+  let v = Scale.v scale in
+  let steps = Scale.steps scale in
+  let protocols =
+    [
+      ("basalt", Scenario.Basalt (Basalt_core.Config.make ~v ()));
+      ("brahms", Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ()));
+      ("classic", Scenario.Classic (Basalt_sps.Classic.config ~l:v ()));
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, protocol) ->
+        let scenario =
+          Scenario.make ~name:"uniformity" ~n ~f:0.1 ~force:10.0 ~protocol
+            ~steps ()
+        in
+        let r = Runner.run scenario in
+        of_histogram ~sampler:name
+          ~correct:(Scenario.num_correct scenario)
+          r.Runner.sample_histogram)
+      protocols
+  in
+  (* Calibration: a perfect uniform sampler drawing as many samples as
+     Basalt did. *)
+  let basalt_samples =
+    match rows with r :: _ -> max 1 r.samples | [] -> 1
+  in
+  let correct = n - int_of_float (Float.round (0.1 *. float_of_int n)) in
+  let ideal =
+    of_histogram ~sampler:"ideal-uniform" ~correct
+      (ideal_histogram (Rng.create ~seed:7) ~correct ~samples:basalt_samples)
+  in
+  rows @ [ ideal ]
+
+let columns rows =
+  let arr = Array.of_list rows in
+  ( Array.length arr,
+    [
+      { Report.header = "sampler"; cell = (fun i -> arr.(i).sampler) };
+      {
+        Report.header = "samples";
+        cell = (fun i -> string_of_int arr.(i).samples);
+      };
+      {
+        Report.header = "tv_distance";
+        cell = (fun i -> Report.float_cell arr.(i).tv_distance);
+      };
+      {
+        Report.header = "coeff_var";
+        cell = (fun i -> Report.float_cell arr.(i).coeff_variation);
+      };
+      {
+        Report.header = "max/mean";
+        cell = (fun i -> Report.float_cell arr.(i).max_over_mean);
+      };
+    ] )
+
+let print ?(scale = Scale.Standard) ?csv () =
+  Printf.printf
+    "== uniformity extension: sample-stream diversity over correct nodes \
+     (n=%d, f=0.1, F=10)\n"
+    (Scale.n scale);
+  let rows, cols = columns (run ~scale ()) in
+  Output.emit ?csv ~rows cols

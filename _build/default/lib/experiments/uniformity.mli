@@ -1,0 +1,31 @@
+(** Extension: uniformity of the sample stream.
+
+    A secure RPS must not only limit Byzantine over-representation
+    (goal ii of §2) but also keep the stream {e diverse} (goal i): every
+    correct node should be emitted equally often.  This experiment
+    aggregates the sample histogram over a whole run and reports, over
+    correct identifiers only:
+
+    - the total-variation distance between the empirical sampling
+      distribution and the uniform distribution (0 = perfectly uniform);
+    - the coefficient of variation of per-node sampling counts;
+    - the max/mean count ratio (how over-sampled the hottest node is).
+
+    For calibration, the table includes an ideal uniform sampler drawing
+    the same number of samples (its TV distance is pure sampling noise). *)
+
+type row = {
+  sampler : string;
+  samples : int;  (** Total samples drawn over the run. *)
+  tv_distance : float;
+  coeff_variation : float;
+  max_over_mean : float;
+}
+
+val of_histogram : sampler:string -> correct:int -> int array -> row
+(** [of_histogram ~sampler ~correct hist] computes the statistics over
+    the first [correct] entries of [hist]. *)
+
+val run : ?scale:Scale.t -> unit -> row list
+val columns : row list -> int * Basalt_sim.Report.column list
+val print : ?scale:Scale.t -> ?csv:string -> unit -> unit

@@ -1,0 +1,1 @@
+lib/graph/digraph.ml: Array Basalt_proto Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/graph/digraph.mli: Basalt_proto

@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Basalt_prng Digraph Fun Hashtbl List

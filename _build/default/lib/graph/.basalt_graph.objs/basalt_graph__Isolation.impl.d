@@ -1,0 +1,1 @@
+lib/graph/isolation.ml: Array List

@@ -1,0 +1,1 @@
+lib/graph/isolation.mli: Basalt_proto

@@ -1,0 +1,1 @@
+lib/graph/metrics.ml: Array Basalt_prng Digraph Float Hashtbl Int List Queue

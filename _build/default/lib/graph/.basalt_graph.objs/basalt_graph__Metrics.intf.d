@@ -1,0 +1,1 @@
+lib/graph/metrics.mli: Basalt_prng Digraph

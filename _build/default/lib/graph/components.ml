@@ -1,0 +1,116 @@
+let weakly_connected ?(restrict = fun _ -> true) g =
+  let n = Digraph.n g in
+  let rev = Digraph.transpose g in
+  let labels = Array.make n (-1) in
+  let next_label = ref 0 in
+  let queue = Queue.create () in
+  for start = 0 to n - 1 do
+    if restrict start && labels.(start) < 0 then begin
+      let label = !next_label in
+      incr next_label;
+      labels.(start) <- label;
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        let visit v =
+          if restrict v && labels.(v) < 0 then begin
+            labels.(v) <- label;
+            Queue.add v queue
+          end
+        in
+        Array.iter visit (Digraph.out_neighbors g u);
+        Array.iter visit (Digraph.out_neighbors rev u)
+      done
+    end
+  done;
+  labels
+
+let count_components labels =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun l -> if l >= 0 && not (Hashtbl.mem seen l) then Hashtbl.add seen l ())
+    labels;
+  Hashtbl.length seen
+
+let largest_component_fraction ?restrict g =
+  let labels = weakly_connected ?restrict g in
+  let sizes = Hashtbl.create 16 in
+  let included = ref 0 in
+  Array.iter
+    (fun l ->
+      if l >= 0 then begin
+        incr included;
+        Hashtbl.replace sizes l
+          (1 + Option.value (Hashtbl.find_opt sizes l) ~default:0)
+      end)
+    labels;
+  if !included = 0 then 0.0
+  else begin
+    let largest = Hashtbl.fold (fun _ size acc -> max size acc) sizes 0 in
+    float_of_int largest /. float_of_int !included
+  end
+
+(* Iterative Tarjan SCC. *)
+let strongly_connected g =
+  let n = Digraph.n g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let scc = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_scc = ref 0 in
+  (* Explicit DFS stack: (vertex, next-child position). *)
+  let dfs root =
+    let call_stack = ref [ (root, 0) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !call_stack <> [] do
+      match !call_stack with
+      | [] -> ()
+      | (u, child_pos) :: rest ->
+          let neighbors = Digraph.out_neighbors g u in
+          if child_pos < Array.length neighbors then begin
+            call_stack := (u, child_pos + 1) :: rest;
+            let v = neighbors.(child_pos) in
+            if index.(v) < 0 then begin
+              index.(v) <- !next_index;
+              lowlink.(v) <- !next_index;
+              incr next_index;
+              stack := v :: !stack;
+              on_stack.(v) <- true;
+              call_stack := (v, 0) :: !call_stack
+            end
+            else if on_stack.(v) then
+              lowlink.(u) <- min lowlink.(u) index.(v)
+          end
+          else begin
+            call_stack := rest;
+            (match rest with
+            | (parent, _) :: _ ->
+                lowlink.(parent) <- min lowlink.(parent) lowlink.(u)
+            | [] -> ());
+            if lowlink.(u) = index.(u) then begin
+              let label = !next_scc in
+              incr next_scc;
+              let rec pop () =
+                match !stack with
+                | [] -> ()
+                | v :: tail ->
+                    stack := tail;
+                    on_stack.(v) <- false;
+                    scc.(v) <- label;
+                    if v <> u then pop ()
+              in
+              pop ()
+            end
+          end
+    done
+  in
+  for u = 0 to n - 1 do
+    if index.(u) < 0 then dfs u
+  done;
+  scc

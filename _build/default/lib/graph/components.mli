@@ -1,0 +1,26 @@
+(** Connected components of the overlay.
+
+    Weak connectivity over the correct-only subgraph detects network
+    partitions (the catastrophic failure mode of Fig. 2c/2d, where "the
+    network becomes fully disconnected"); strongly connected components
+    refine the analysis for directed reachability. *)
+
+val weakly_connected :
+  ?restrict:(int -> bool) -> Digraph.t -> int array
+(** [weakly_connected ?restrict g] labels each vertex with a component id
+    ([-1] for vertices excluded by [restrict], which defaults to
+    including all). *)
+
+val largest_component_fraction :
+  ?restrict:(int -> bool) -> Digraph.t -> float
+(** [largest_component_fraction ?restrict g] is the size of the largest
+    weak component divided by the number of included vertices ([0.] if
+    none). *)
+
+val strongly_connected : Digraph.t -> int array
+(** [strongly_connected g] labels each vertex with its SCC id (Tarjan,
+    iterative — safe on large graphs). *)
+
+val count_components : int array -> int
+(** [count_components labels] is the number of distinct non-negative
+    labels. *)

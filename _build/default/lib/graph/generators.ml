@@ -1,0 +1,69 @@
+module Rng = Basalt_prng.Rng
+
+let erdos_renyi rng ~n ~p =
+  if n < 0 then invalid_arg "Generators.erdos_renyi: negative n";
+  if p < 0.0 || p > 1.0 then invalid_arg "Generators.erdos_renyi: p out of [0,1]";
+  let adj =
+    Array.init n (fun u ->
+        let out = ref [] in
+        for v = 0 to n - 1 do
+          if v <> u && Rng.bernoulli rng ~p then out := v :: !out
+        done;
+        Array.of_list !out)
+  in
+  Digraph.of_adjacency adj
+
+let k_out rng ~n ~k =
+  if n < 0 then invalid_arg "Generators.k_out: negative n";
+  let adj =
+    Array.init n (fun u ->
+        let candidates =
+          Array.of_list (List.filter (fun v -> v <> u) (List.init n Fun.id))
+        in
+        Rng.sample_without_replacement rng ~k candidates)
+  in
+  Digraph.of_adjacency adj
+
+let ring ?(shortcuts = 0) rng ~n =
+  if n < 0 then invalid_arg "Generators.ring: negative n";
+  let adj = Array.init n (fun u -> [ (u + 1) mod n ]) in
+  for _ = 1 to shortcuts do
+    if n > 1 then begin
+      let u = Rng.int rng n in
+      let v = Rng.int rng n in
+      if u <> v then adj.(u) <- v :: adj.(u)
+    end
+  done;
+  Digraph.of_adjacency (Array.map Array.of_list adj)
+
+let preferential_attachment rng ~n ~out_degree =
+  if n < 0 then invalid_arg "Generators.preferential_attachment: negative n";
+  if out_degree <= 0 then
+    invalid_arg "Generators.preferential_attachment: out_degree <= 0";
+  let in_degree = Array.make (max n 1) 0 in
+  let adj = Array.make (max n 1) [||] in
+  for u = 1 to n - 1 do
+    let k = min out_degree u in
+    (* Weighted sampling without replacement by rejection: weight of
+       candidate v is in_degree(v) + 1. *)
+    let chosen = Hashtbl.create k in
+    let total_weight = ref 0 in
+    for v = 0 to u - 1 do
+      total_weight := !total_weight + in_degree.(v) + 1
+    done;
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < k && !attempts < 1000 * k do
+      incr attempts;
+      let r = ref (Rng.int rng !total_weight) in
+      let v = ref 0 in
+      while !r >= in_degree.(!v) + 1 do
+        r := !r - (in_degree.(!v) + 1);
+        incr v
+      done;
+      if not (Hashtbl.mem chosen !v) then Hashtbl.add chosen !v ()
+    done;
+    let targets = Hashtbl.fold (fun v () acc -> v :: acc) chosen [] in
+    adj.(u) <- Array.of_list targets;
+    List.iter (fun v -> in_degree.(v) <- in_degree.(v) + 1) targets
+  done;
+  Digraph.of_adjacency (Array.sub adj 0 (max n 0))

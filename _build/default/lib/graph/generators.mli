@@ -1,0 +1,33 @@
+(** Random graph generators.
+
+    Reference models used to calibrate the overlay metrics (a healthy RPS
+    overlay should look like a random k-out digraph) and to test the
+    metric implementations against known closed forms:
+
+    - Erdős–Rényi G(n, p): expected clustering ≈ p, short paths;
+    - uniform k-out: every vertex picks k random out-neighbors — the
+      shape an ideal peer sampler induces;
+    - directed ring (+ optional shortcuts): high diameter, zero
+      clustering — the opposite extreme;
+    - preferential attachment: heavy-tailed in-degrees, the shape a
+      {e biased} sampler drifts towards. *)
+
+val erdos_renyi : Basalt_prng.Rng.t -> n:int -> p:float -> Digraph.t
+(** [erdos_renyi rng ~n ~p] includes each ordered pair [(u, v)], [u <> v],
+    independently with probability [p].
+    @raise Invalid_argument if [p] is outside [\[0, 1\]] or [n < 0]. *)
+
+val k_out : Basalt_prng.Rng.t -> n:int -> k:int -> Digraph.t
+(** [k_out rng ~n ~k] gives every vertex [min k (n-1)] distinct uniform
+    out-neighbors. *)
+
+val ring : ?shortcuts:int -> Basalt_prng.Rng.t -> n:int -> Digraph.t
+(** [ring rng ~n] is the directed cycle [0 -> 1 -> … -> 0];
+    [shortcuts] adds that many uniformly random extra edges. *)
+
+val preferential_attachment :
+  Basalt_prng.Rng.t -> n:int -> out_degree:int -> Digraph.t
+(** [preferential_attachment rng ~n ~out_degree] grows the graph vertex
+    by vertex, each newcomer linking to [out_degree] targets chosen
+    proportionally to in-degree + 1 (a Barabási–Albert flavor for
+    digraphs). *)

@@ -1,0 +1,1 @@
+lib/hashing/mix.ml: Char Int64 String

@@ -1,0 +1,1 @@
+lib/hashing/rank.ml: Basalt_prng Format Int64 Mix Siphash

@@ -1,0 +1,1 @@
+lib/hashing/rank.mli: Basalt_prng Format Siphash

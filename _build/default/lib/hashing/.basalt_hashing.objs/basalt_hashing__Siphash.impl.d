@@ -1,0 +1,1 @@
+lib/hashing/siphash.ml: Basalt_prng Bytes Char Int64

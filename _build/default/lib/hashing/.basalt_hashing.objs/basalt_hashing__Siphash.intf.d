@@ -1,0 +1,1 @@
+lib/hashing/siphash.mli: Basalt_prng

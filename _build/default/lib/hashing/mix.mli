@@ -1,0 +1,25 @@
+(** Stateless 64-bit and 63-bit integer mixers.
+
+    These are bijective finalizers (SplitMix64 / MurmurHash3 style) used as
+    cheap rank functions on the simulator's hot path.  They are {e not}
+    cryptographic: a real deployment would use {!Siphash} with a per-node
+    secret key (the rank-backend ablation in the bench harness compares the
+    two). *)
+
+val mix64 : int64 -> int64
+(** [mix64 z] is the SplitMix64 finalizer (Stafford's Mix13 variant). *)
+
+val fmix64 : int64 -> int64
+(** [fmix64 z] is the MurmurHash3 64-bit finalizer. *)
+
+val mix63 : int -> int
+(** [mix63 x] mixes a native OCaml integer and returns a non-negative
+    native integer.  This is the fastest rank primitive: no boxing. *)
+
+val combine63 : int -> int -> int
+(** [combine63 seed x] is a non-negative native-integer hash of the pair
+    [(seed, x)], suitable for [rank_seed(p) = h(<seed, p>)]. *)
+
+val fnv1a64 : string -> int64
+(** [fnv1a64 s] is the FNV-1a 64-bit hash of [s] (used for deriving stable
+    seeds from textual labels, e.g. scenario names). *)

@@ -1,0 +1,48 @@
+type backend =
+  | Cheap
+  | Siphash of Siphash.key
+  | Prefix_diverse of { prefix_of : int -> int }
+
+type seed = { backend : backend; value : int }
+
+let fresh backend rng = { backend; value = Basalt_prng.Rng.bits rng }
+let of_int backend value = { backend; value }
+let seed_value s = s.value
+
+(* Lexicographic (prefix-rank, id-rank) pair packed into one non-negative
+   native integer: 30 bits of prefix rank above 32 bits of id rank. *)
+let composite ~prefix_rank ~id_rank =
+  ((prefix_rank land 0x3FFFFFFF) lsl 32) lor (id_rank land 0xFFFFFFFF)
+
+let rank s id =
+  match s.backend with
+  | Cheap -> Mix.combine63 s.value id
+  | Siphash key ->
+      Int64.to_int
+        (Siphash.hash_int64_pair key (Int64.of_int s.value) (Int64.of_int id))
+      land max_int
+  | Prefix_diverse { prefix_of } ->
+      composite
+        ~prefix_rank:(Mix.combine63 s.value (prefix_of id))
+        ~id_rank:(Mix.combine63 s.value id)
+
+(* [mixed] caches the identifier-side half of the cheap mixer;
+   [raw] keeps the identifier for backends that hash it whole. *)
+type prepared = { raw : int; mixed : int }
+
+let prepare _backend id = { raw = id; mixed = Mix.mix63 id }
+
+let rank_prepared s p =
+  match s.backend with
+  | Cheap -> Mix.mix63 (s.value lxor p.mixed)
+  | Siphash key ->
+      Int64.to_int
+        (Siphash.hash_int64_pair key (Int64.of_int s.value)
+           (Int64.of_int p.raw))
+      land max_int
+  | Prefix_diverse { prefix_of } ->
+      composite
+        ~prefix_rank:(Mix.combine63 s.value (prefix_of p.raw))
+        ~id_rank:(Mix.mix63 (s.value lxor p.mixed))
+
+let pp ppf s = Format.fprintf ppf "seed:%#x" s.value

@@ -1,0 +1,66 @@
+(** Seeded rank functions (min-wise independent permutations).
+
+    Basalt's stubborn chaotic search defines a node's target [i]-th
+    neighbor as the peer [p] minimising [rank_seed[i](p)], where
+    [rank_seed(p) = h(<seed, p>)] for a uniform hash function [h]
+    (paper §2.3).  Drawing a fresh random [seed] re-randomises the
+    permutation of node identifiers, realising a uniform sample of the
+    identifiers subsequently offered to the slot.
+
+    Three backends are provided:
+    - {!Cheap}: a native-integer mixer — the simulator's default, fast
+      enough to evaluate ~10⁹ ranks per experiment;
+    - {!Siphash}: a keyed PRF — what a real deployment would use so that
+      an adversary cannot precompute low-ranking identifiers;
+    - {!Prefix_diverse}: the §6 "specially crafted rank function":
+      identifiers are ranked first by a hash of their {e address prefix}
+      and only then by a hash of the identifier itself, so a slot's
+      target is a uniformly random prefix (then a uniform member of it).
+      An attacker concentrated in a few prefixes — the institutional /
+      Sybil setting of HAPS — is thereby capped near its {e prefix}
+      share instead of its identifier share.  The trade-off: sampling is
+      uniform over prefixes, not over nodes.
+
+    The test suite checks that the cheap and SipHash backends produce
+    statistically indistinguishable sampling behavior; the bench harness
+    measures the speed gap (the hash-function ablation of DESIGN.md §4). *)
+
+type backend =
+  | Cheap
+  | Siphash of Siphash.key
+  | Prefix_diverse of { prefix_of : int -> int }
+      (** [prefix_of id] maps an identifier to its address prefix (e.g.
+          an IP /24); prefixes must be non-negative. *)
+
+type seed
+(** One random ranking function, i.e. one slot's seed. *)
+
+val fresh : backend -> Basalt_prng.Rng.t -> seed
+(** [fresh backend rng] draws a new uniformly random seed. *)
+
+val of_int : backend -> int -> seed
+(** [of_int backend v] builds a deterministic seed (for tests). *)
+
+val rank : seed -> int -> int
+(** [rank seed id] is a non-negative integer rank of node [id] under
+    [seed]; lower ranks are better matches.  Deterministic in
+    [(seed, id)]. *)
+
+type prepared
+(** A candidate identifier pre-digested for repeated ranking.  Offering
+    one identifier to all [v] slots of a view evaluates [v] ranks of the
+    same identifier under different seeds; preparing the identifier once
+    hoists the identifier-side mixing out of that loop. *)
+
+val prepare : backend -> int -> prepared
+(** [prepare backend id] pre-digests [id] for the given backend. *)
+
+val rank_prepared : seed -> prepared -> int
+(** [rank_prepared seed p] equals [rank seed id] for the [id] that [p] was
+    prepared from (under the same backend). *)
+
+val seed_value : seed -> int
+(** [seed_value s] exposes the raw seed integer (for diagnostics). *)
+
+val pp : Format.formatter -> seed -> unit
+(** Prints the seed value in hex. *)

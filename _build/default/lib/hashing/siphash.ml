@@ -1,0 +1,92 @@
+type key = { k0 : int64; k1 : int64 }
+
+let key_of_ints k0 k1 = { k0; k1 }
+
+let key_of_rng rng =
+  { k0 = Basalt_prng.Rng.int64 rng; k1 = Basalt_prng.Rng.int64 rng }
+
+let rotl x b = Int64.(logor (shift_left x b) (shift_right_logical x (64 - b)))
+
+(* The SipRound permutation applied to the four state words. *)
+type state = {
+  mutable v0 : int64;
+  mutable v1 : int64;
+  mutable v2 : int64;
+  mutable v3 : int64;
+}
+
+let sipround s =
+  s.v0 <- Int64.add s.v0 s.v1;
+  s.v1 <- rotl s.v1 13;
+  s.v1 <- Int64.logxor s.v1 s.v0;
+  s.v0 <- rotl s.v0 32;
+  s.v2 <- Int64.add s.v2 s.v3;
+  s.v3 <- rotl s.v3 16;
+  s.v3 <- Int64.logxor s.v3 s.v2;
+  s.v0 <- Int64.add s.v0 s.v3;
+  s.v3 <- rotl s.v3 21;
+  s.v3 <- Int64.logxor s.v3 s.v0;
+  s.v2 <- Int64.add s.v2 s.v1;
+  s.v1 <- rotl s.v1 17;
+  s.v1 <- Int64.logxor s.v1 s.v2;
+  s.v2 <- rotl s.v2 32
+
+let init key =
+  {
+    v0 = Int64.logxor key.k0 0x736f6d6570736575L;
+    v1 = Int64.logxor key.k1 0x646f72616e646f6dL;
+    v2 = Int64.logxor key.k0 0x6c7967656e657261L;
+    v3 = Int64.logxor key.k1 0x7465646279746573L;
+  }
+
+let compress s ~c m =
+  s.v3 <- Int64.logxor s.v3 m;
+  for _ = 1 to c do
+    sipround s
+  done;
+  s.v0 <- Int64.logxor s.v0 m
+
+let finalize s ~d =
+  s.v2 <- Int64.logxor s.v2 0xFFL;
+  for _ = 1 to d do
+    sipround s
+  done;
+  Int64.(logxor (logxor s.v0 s.v1) (logxor s.v2 s.v3))
+
+let hash_bytes ?(c = 2) ?(d = 4) key msg =
+  let len = Bytes.length msg in
+  let s = init key in
+  let full_blocks = len / 8 in
+  for i = 0 to full_blocks - 1 do
+    compress s ~c (Bytes.get_int64_le msg (i * 8))
+  done;
+  (* Last block: remaining bytes, padded, with the length in the top byte. *)
+  let last = ref (Int64.shift_left (Int64.of_int (len land 0xFF)) 56) in
+  for i = full_blocks * 8 to len - 1 do
+    last :=
+      Int64.logor !last
+        (Int64.shift_left
+           (Int64.of_int (Char.code (Bytes.get msg i)))
+           (8 * (i mod 8)))
+  done;
+  compress s ~c !last;
+  finalize s ~d
+
+let hash_string ?c ?d key msg = hash_bytes ?c ?d key (Bytes.of_string msg)
+
+let hash_int64 ?(c = 2) ?(d = 4) key x =
+  let s = init key in
+  compress s ~c x;
+  (* A single full 8-byte block, then the empty last block carrying the
+     length byte (8 mod 256) in its top byte. *)
+  compress s ~c (Int64.shift_left 8L 56);
+  finalize s ~d
+
+let hash_int ?c ?d key x = hash_int64 ?c ?d key (Int64.of_int x)
+
+let hash_int64_pair ?(c = 2) ?(d = 4) key a b =
+  let s = init key in
+  compress s ~c a;
+  compress s ~c b;
+  compress s ~c (Int64.shift_left 16L 56);
+  finalize s ~d

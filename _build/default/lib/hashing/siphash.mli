@@ -1,0 +1,38 @@
+(** SipHash-c-d keyed hash function (Aumasson & Bernstein, 2012).
+
+    Implemented from scratch on [int64].  SipHash is a pseudo-random
+    function: under a secret key, outputs on attacker-chosen inputs are
+    indistinguishable from random, which is exactly the property the
+    Basalt rank function needs (a Byzantine node must not be able to craft
+    identifiers that rank low under a correct node's fresh seeds).
+
+    The default instance is SipHash-2-4; a faster SipHash-1-3 instance is
+    also exposed.  Both match the reference implementation (the 2-4 test
+    vectors from the paper's appendix are checked in the unit tests). *)
+
+type key = { k0 : int64; k1 : int64 }
+(** A 128-bit secret key. *)
+
+val key_of_rng : Basalt_prng.Rng.t -> key
+(** [key_of_rng rng] draws a fresh random key. *)
+
+val key_of_ints : int64 -> int64 -> key
+(** [key_of_ints k0 k1] builds a key from two explicit words. *)
+
+val hash_bytes : ?c:int -> ?d:int -> key -> bytes -> int64
+(** [hash_bytes ~c ~d key msg] is SipHash-c-d of [msg] under [key]
+    (default [c = 2], [d = 4]). *)
+
+val hash_string : ?c:int -> ?d:int -> key -> string -> int64
+(** [hash_string] is {!hash_bytes} on the bytes of a string. *)
+
+val hash_int64 : ?c:int -> ?d:int -> key -> int64 -> int64
+(** [hash_int64 ~c ~d key x] hashes the 8-byte little-endian encoding of
+    [x]; a fast path that allocates nothing. *)
+
+val hash_int : ?c:int -> ?d:int -> key -> int -> int64
+(** [hash_int key x] is [hash_int64 key (Int64.of_int x)]. *)
+
+val hash_int64_pair : ?c:int -> ?d:int -> key -> int64 -> int64 -> int64
+(** [hash_int64_pair key a b] hashes the 16-byte little-endian encoding of
+    [(a, b)]; the allocation-free primitive behind seeded rank functions. *)

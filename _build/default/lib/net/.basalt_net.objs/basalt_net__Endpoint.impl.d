@@ -1,0 +1,1 @@
+lib/net/endpoint.ml: Array Basalt_proto Format Printf String Unix

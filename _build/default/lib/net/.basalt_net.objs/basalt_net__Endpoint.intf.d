@@ -1,0 +1,1 @@
+lib/net/endpoint.mli: Basalt_proto Format Unix

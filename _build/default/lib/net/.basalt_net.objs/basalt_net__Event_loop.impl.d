@@ -1,0 +1,1 @@
+lib/net/event_loop.ml: Basalt_engine Float List Option Unix

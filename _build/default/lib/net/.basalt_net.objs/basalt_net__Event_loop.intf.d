@@ -1,0 +1,1 @@
+lib/net/event_loop.mli: Unix

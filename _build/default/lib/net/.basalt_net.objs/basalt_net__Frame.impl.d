@@ -1,0 +1,1 @@
+lib/net/frame.ml: Basalt_codec Basalt_proto Buffer Bytes Format Int32 Int64 List String

@@ -1,0 +1,1 @@
+lib/net/tcp_node.ml: Array Basalt_core Basalt_prng Basalt_proto Bytes Endpoint Event_loop Frame Hashtbl List Unix

@@ -1,0 +1,1 @@
+lib/net/tcp_node.mli: Basalt_core Basalt_proto Endpoint Event_loop

@@ -1,0 +1,1 @@
+lib/net/udp_node.ml: Array Basalt_codec Basalt_core Basalt_prng Bytes Endpoint Event_loop List Unix

@@ -1,0 +1,67 @@
+type t = { addr : Unix.inet_addr; port : int }
+
+let check_port port =
+  if port < 0 || port > 0xFFFF then
+    invalid_arg "Endpoint: port out of [0, 65535]"
+
+let make host port =
+  check_port port;
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found | Invalid_argument _ ->
+        invalid_arg ("Endpoint.make: cannot resolve " ^ host))
+  in
+  { addr; port }
+
+let of_string s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "missing ':' in endpoint %S" s)
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port_str = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port_str with
+      | None -> Error (Printf.sprintf "bad port in endpoint %S" s)
+      | Some port -> (
+          try Ok (make host port)
+          with Invalid_argument msg -> Error msg))
+
+let to_string e =
+  Printf.sprintf "%s:%d" (Unix.string_of_inet_addr e.addr) e.port
+
+let pp ppf e = Format.fprintf ppf "%s" (to_string e)
+
+(* Pack a.b.c.d:port as (a<<40)|(b<<32)|(c<<24)|(d<<16)|port — 48 bits,
+   comfortably inside a non-negative native integer. *)
+let to_node_id e =
+  let s = Unix.string_of_inet_addr e.addr in
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+      let a = int_of_string a
+      and b = int_of_string b
+      and c = int_of_string c
+      and d = int_of_string d in
+      Basalt_proto.Node_id.of_int
+        ((a lsl 40) lor (b lsl 32) lor (c lsl 24) lor (d lsl 16) lor e.port)
+  | _ -> invalid_arg "Endpoint.to_node_id: not an IPv4 address"
+
+let of_node_id id =
+  let x = Basalt_proto.Node_id.to_int id in
+  let a = (x lsr 40) land 0xFF
+  and b = (x lsr 32) land 0xFF
+  and c = (x lsr 24) land 0xFF
+  and d = (x lsr 16) land 0xFF
+  and port = x land 0xFFFF in
+  {
+    addr = Unix.inet_addr_of_string (Printf.sprintf "%d.%d.%d.%d" a b c d);
+    port;
+  }
+
+let to_sockaddr e = Unix.ADDR_INET (e.addr, e.port)
+
+let of_sockaddr = function
+  | Unix.ADDR_INET (addr, port) -> Ok { addr; port }
+  | Unix.ADDR_UNIX _ -> Error "unix-domain address"
+
+let equal a b = a.addr = b.addr && a.port = b.port

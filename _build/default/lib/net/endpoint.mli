@@ -1,0 +1,34 @@
+(** Network endpoints as node identifiers.
+
+    The paper's system model (§2.1) assumes that knowing a node's
+    identifier suffices to send it a message — "essentially what the
+    Internet and the TCP/IP protocol stack provides".  The UDP transport
+    realises that literally: a node's identifier {e is} its IPv4 address
+    and port, packed losslessly into one non-negative native integer
+    (32 address bits above 16 port bits), so the same
+    {!Basalt_core.Basalt} instance drives both the simulator and the real
+    network. *)
+
+type t = { addr : Unix.inet_addr; port : int }
+(** An IPv4 endpoint. *)
+
+val make : string -> int -> t
+(** [make host port] resolves a dotted-quad (or name) and checks the
+    port range. @raise Invalid_argument on a bad address or port. *)
+
+val of_string : string -> (t, string) result
+(** [of_string "a.b.c.d:port"] parses an endpoint. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val to_node_id : t -> Basalt_proto.Node_id.t
+(** [to_node_id e] packs the endpoint into an identifier.
+    @raise Invalid_argument on a non-IPv4 address. *)
+
+val of_node_id : Basalt_proto.Node_id.t -> t
+(** [of_node_id id] unpacks an identifier produced by {!to_node_id}. *)
+
+val to_sockaddr : t -> Unix.sockaddr
+val of_sockaddr : Unix.sockaddr -> (t, string) result
+val equal : t -> t -> bool

@@ -1,0 +1,82 @@
+module Event_queue = Basalt_engine.Event_queue
+
+type t = {
+  timers : (unit -> unit) Event_queue.t;
+  mutable fds : (Unix.file_descr * (unit -> unit)) list;
+  mutable write_fds : (Unix.file_descr * (unit -> unit)) list;
+  mutable stopped : bool;
+}
+
+let create () =
+  { timers = Event_queue.create (); fds = []; write_fds = []; stopped = false }
+
+let now _ = Unix.gettimeofday ()
+
+let on_readable t fd f = t.fds <- (fd, f) :: List.remove_assoc fd t.fds
+
+let on_writable t fd f =
+  t.write_fds <- (fd, f) :: List.remove_assoc fd t.write_fds
+
+let remove_writable t fd = t.write_fds <- List.remove_assoc fd t.write_fds
+
+let remove_fd t fd =
+  t.fds <- List.remove_assoc fd t.fds;
+  remove_writable t fd
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Event_loop.schedule: negative delay";
+  Event_queue.push t.timers ~time:(now t +. delay) f
+
+let every t ?phase ~interval f =
+  if interval <= 0.0 then invalid_arg "Event_loop.every: interval must be > 0";
+  let phase = Option.value phase ~default:interval in
+  let rec fire () =
+    f ();
+    Event_queue.push t.timers ~time:(now t +. interval) fire
+  in
+  Event_queue.push t.timers ~time:(now t +. phase) fire
+
+let stop t = t.stopped <- true
+
+let run_due_timers t =
+  let rec loop () =
+    match Event_queue.peek_time t.timers with
+    | Some deadline when deadline <= now t -> (
+        match Event_queue.pop t.timers with
+        | Some (_, f) ->
+            f ();
+            loop ()
+        | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let run_for t duration =
+  t.stopped <- false;
+  let horizon = now t +. duration in
+  while (not t.stopped) && now t < horizon do
+    run_due_timers t;
+    let next_deadline =
+      match Event_queue.peek_time t.timers with
+      | Some d -> Float.min d horizon
+      | None -> horizon
+    in
+    let timeout = Float.max 0.0 (Float.min 0.05 (next_deadline -. now t)) in
+    let read_fds = List.map fst t.fds in
+    let write_fds = List.map fst t.write_fds in
+    match Unix.select read_fds write_fds [] timeout with
+    | readable, writable, _ ->
+        List.iter
+          (fun fd ->
+            match List.assoc_opt fd t.fds with
+            | Some callback -> callback ()
+            | None -> ())
+          readable;
+        List.iter
+          (fun fd ->
+            match List.assoc_opt fd t.write_fds with
+            | Some callback -> callback ()
+            | None -> ())
+          writable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done

@@ -1,0 +1,45 @@
+(** Single-threaded real-time event loop over Unix file descriptors.
+
+    A minimal reactor: readable-fd callbacks plus monotonic-deadline
+    timers, multiplexed with [Unix.select].  One loop can host many
+    sockets — the integration tests run a whole overlay of UDP nodes
+    inside one process. *)
+
+type t
+(** A loop instance. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** [now t] is the current monotonic-ish time in seconds (wall clock from
+    [Unix.gettimeofday]; only differences are used). *)
+
+val on_readable : t -> Unix.file_descr -> (unit -> unit) -> unit
+(** [on_readable t fd f] invokes [f] whenever [fd] is readable.  One
+    callback per fd; registering again replaces it. *)
+
+val on_writable : t -> Unix.file_descr -> (unit -> unit) -> unit
+(** [on_writable t fd f] invokes [f] when [fd] becomes writable (used for
+    non-blocking connects and backpressured sends).  One callback per fd;
+    remove it with {!remove_writable} once the buffer drains. *)
+
+val remove_writable : t -> Unix.file_descr -> unit
+(** [remove_writable t fd] stops watching [fd] for writability. *)
+
+val remove_fd : t -> Unix.file_descr -> unit
+(** [remove_fd t fd] stops watching [fd] (both directions). *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] once after [delay] seconds. *)
+
+val every : t -> ?phase:float -> interval:float -> (unit -> unit) -> unit
+(** [every t ~interval f] runs [f] periodically ([phase] defaults to
+    [interval]). @raise Invalid_argument if [interval <= 0]. *)
+
+val stop : t -> unit
+(** [stop t] makes the current {!run} return after the ongoing
+    iteration. *)
+
+val run_for : t -> float -> unit
+(** [run_for t seconds] processes events for (at least) the given wall
+    duration, then returns.  Returns earlier only on {!stop}. *)

@@ -1,0 +1,65 @@
+module Wire = Basalt_codec.Wire
+module Node_id = Basalt_proto.Node_id
+
+let max_frame = 1 lsl 20
+
+let encode ~sender msg =
+  let payload = Wire.encode msg in
+  let len = 8 + Bytes.length payload in
+  let frame = Bytes.create (4 + len) in
+  Bytes.set_int32_be frame 0 (Int32.of_int len);
+  Bytes.set_int64_be frame 4 (Int64.of_int (Node_id.to_int sender));
+  Bytes.blit payload 0 frame 12 (Bytes.length payload);
+  frame
+
+module Decoder = struct
+  type event = Frame of Node_id.t * Basalt_proto.Message.t | Corrupt of string
+
+  type t = { mutable buffer : Buffer.t; mutable corrupt : string option }
+
+  let create () = { buffer = Buffer.create 256; corrupt = None }
+  let buffered t = Buffer.length t.buffer
+
+  (* Try to extract one complete frame from the front of the buffer. *)
+  let try_frame t =
+    let data = Buffer.contents t.buffer in
+    let available = String.length data in
+    if available < 4 then None
+    else begin
+      let len = Int32.to_int (String.get_int32_be data 0) in
+      if len < 8 then Some (Error "frame shorter than its sender field")
+      else if len > max_frame then Some (Error "frame exceeds maximum size")
+      else if available < 4 + len then None
+      else begin
+        let sender_raw = String.get_int64_be data 4 in
+        let rest = Buffer.create (available - 4 - len) in
+        Buffer.add_substring rest data (4 + len) (available - 4 - len);
+        t.buffer <- rest;
+        if sender_raw < 0L || sender_raw > Int64.of_int max_int then
+          Some (Error "sender id out of range")
+        else begin
+          let sender = Node_id.of_int (Int64.to_int sender_raw) in
+          match
+            Wire.decode_sub (Bytes.unsafe_of_string data) ~off:12 ~len:(len - 8)
+          with
+          | Ok msg -> Some (Ok (sender, msg))
+          | Error e -> Some (Error (Format.asprintf "%a" Wire.pp_error e))
+        end
+      end
+    end
+
+  let feed t buf ~off ~len =
+    match t.corrupt with
+    | Some msg -> [ Corrupt msg ]
+    | None ->
+        Buffer.add_subbytes t.buffer buf off len;
+        let rec drain acc =
+          match try_frame t with
+          | None -> List.rev acc
+          | Some (Ok (sender, msg)) -> drain (Frame (sender, msg) :: acc)
+          | Some (Error e) ->
+              t.corrupt <- Some e;
+              List.rev (Corrupt e :: acc)
+        in
+        drain []
+end

@@ -1,0 +1,42 @@
+(** Stream framing for the TCP transport.
+
+    TCP gives a byte stream, not datagrams, so messages travel in frames:
+
+    {v
+      offset  size  field
+      0       4     length   (big-endian u32: bytes after this field)
+      4       8     sender   (big-endian u64: the sender's node id —
+                              needed because a TCP connection's source
+                              port is ephemeral, unlike UDP)
+      12      len-8 payload  (a {!Basalt_codec.Wire} datagram)
+    v}
+
+    {!Decoder} incrementally extracts frames from arbitrarily-chunked
+    input (the unit tests feed it byte by byte). *)
+
+val max_frame : int
+(** Upper bound on the accepted frame length (1 MiB) — a peer announcing
+    more is treated as malicious and disconnected. *)
+
+val encode : sender:Basalt_proto.Node_id.t -> Basalt_proto.Message.t -> bytes
+(** [encode ~sender msg] builds one frame. *)
+
+module Decoder : sig
+  type t
+
+  type event =
+    | Frame of Basalt_proto.Node_id.t * Basalt_proto.Message.t
+        (** A complete, well-formed frame: (sender, message). *)
+    | Corrupt of string
+        (** Unparseable input; the connection should be dropped. *)
+
+  val create : unit -> t
+
+  val feed : t -> bytes -> off:int -> len:int -> event list
+  (** [feed t buf ~off ~len] appends received bytes and returns every
+      event completed by them, in order.  After a [Corrupt] event the
+      decoder refuses further input (returns [Corrupt] again). *)
+
+  val buffered : t -> int
+  (** Bytes currently held waiting for a complete frame. *)
+end

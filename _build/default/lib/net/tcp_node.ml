@@ -1,0 +1,259 @@
+module Basalt = Basalt_core.Basalt
+module Config = Basalt_core.Config
+module Sample_stream = Basalt_core.Sample_stream
+module Node_id = Basalt_proto.Node_id
+
+type stats = {
+  frames_in : int;
+  frames_out : int;
+  connections_in : int;
+  connections_out : int;
+  connection_errors : int;
+}
+
+(* One TCP connection, either dialed (we know the peer id) or accepted
+   (peer id learned from its frames). *)
+type conn = {
+  fd : Unix.file_descr;
+  decoder : Frame.Decoder.t;
+  mutable connecting : bool;  (* dialed, handshake not yet complete *)
+  mutable outbuf : bytes;  (* pending unwritten output *)
+  mutable out_off : int;
+}
+
+type t = {
+  loop : Event_loop.t;
+  listener : Unix.file_descr;
+  endpoint : Endpoint.t;
+  node : Basalt.t;
+  stream : Sample_stream.t;
+  outgoing : (int, conn) Hashtbl.t;  (* peer id -> conn *)
+  mutable incoming : conn list;
+  read_buffer : bytes;
+  frames_in : int ref;
+  frames_out : int ref;
+  connections_in : int ref;
+  connections_out : int ref;
+  connection_errors : int ref;
+}
+
+let bind_listener listen =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Endpoint.to_sockaddr listen);
+  Unix.listen fd 64;
+  Unix.set_nonblock fd;
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (addr, port) -> (fd, { Endpoint.addr; port })
+  | Unix.ADDR_UNIX _ -> assert false
+
+let drop_conn t conn =
+  Event_loop.remove_fd t.loop conn.fd;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Hashtbl.iter
+    (fun peer c -> if c == conn then Hashtbl.remove t.outgoing peer)
+    (Hashtbl.copy t.outgoing);
+  t.incoming <- List.filter (fun c -> not (c == conn)) t.incoming
+
+(* Flush as much pending output as the socket accepts; arm a writable
+   watch for the rest. *)
+let rec flush_out t conn =
+  let pending = Bytes.length conn.outbuf - conn.out_off in
+  if pending = 0 then Event_loop.remove_writable t.loop conn.fd
+  else begin
+    match Unix.write conn.fd conn.outbuf conn.out_off pending with
+    | written ->
+        conn.out_off <- conn.out_off + written;
+        if written < pending then arm_writable t conn
+        else begin
+          conn.outbuf <- Bytes.empty;
+          conn.out_off <- 0;
+          Event_loop.remove_writable t.loop conn.fd
+        end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        arm_writable t conn
+    | exception Unix.Unix_error _ ->
+        incr t.connection_errors;
+        drop_conn t conn
+  end
+
+and arm_writable t conn =
+  Event_loop.on_writable t.loop conn.fd (fun () ->
+      if conn.connecting then begin
+        conn.connecting <- false;
+        match Unix.getsockopt_error conn.fd with
+        | Some _ ->
+            incr t.connection_errors;
+            drop_conn t conn
+        | None -> flush_out t conn
+      end
+      else flush_out t conn)
+
+let queue_frame t conn frame =
+  let pending = Bytes.length conn.outbuf - conn.out_off in
+  let merged = Bytes.create (pending + Bytes.length frame) in
+  Bytes.blit conn.outbuf conn.out_off merged 0 pending;
+  Bytes.blit frame 0 merged pending (Bytes.length frame);
+  conn.outbuf <- merged;
+  conn.out_off <- 0;
+  incr t.frames_out;
+  if conn.connecting then arm_writable t conn else flush_out t conn
+
+let handle_events t events =
+  List.iter
+    (fun event ->
+      match event with
+      | Frame.Decoder.Frame (sender, msg) ->
+          incr t.frames_in;
+          Basalt.on_message t.node ~from:sender msg
+      | Frame.Decoder.Corrupt _ -> incr t.connection_errors)
+    events
+
+let watch_reads t conn =
+  Event_loop.on_readable t.loop conn.fd (fun () ->
+      match Unix.read conn.fd t.read_buffer 0 (Bytes.length t.read_buffer) with
+      | 0 -> drop_conn t conn
+      | len ->
+          let events = Frame.Decoder.feed conn.decoder t.read_buffer ~off:0 ~len in
+          handle_events t events;
+          if
+            List.exists
+              (function Frame.Decoder.Corrupt _ -> true | _ -> false)
+              events
+          then drop_conn t conn
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error _ ->
+          incr t.connection_errors;
+          drop_conn t conn)
+
+let dial t peer_id =
+  let endpoint = Endpoint.of_node_id (Node_id.of_int peer_id) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  let conn =
+    {
+      fd;
+      decoder = Frame.Decoder.create ();
+      connecting = true;
+      outbuf = Bytes.empty;
+      out_off = 0;
+    }
+  in
+  let register () =
+    incr t.connections_out;
+    Hashtbl.replace t.outgoing peer_id conn;
+    watch_reads t conn;
+    Some conn
+  in
+  match Unix.connect fd (Endpoint.to_sockaddr endpoint) with
+  | () ->
+      conn.connecting <- false;
+      register ()
+  | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> register ()
+  | exception Unix.Unix_error _ ->
+      incr t.connection_errors;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+
+let create ?(config = Config.make ~v:16 ~k:4 ()) ~loop ~listen ~bootstrap
+    ~seed () =
+  let listener, endpoint = bind_listener listen in
+  let frames_in = ref 0 in
+  let frames_out = ref 0 in
+  let connections_in = ref 0 in
+  let connections_out = ref 0 in
+  let connection_errors = ref 0 in
+  let self = Endpoint.to_node_id endpoint in
+  let t_ref = ref None in
+  let send ~dst msg =
+    match !t_ref with
+    | None -> ()
+    | Some t -> (
+        let peer = Node_id.to_int dst in
+        let conn =
+          match Hashtbl.find_opt t.outgoing peer with
+          | Some c -> Some c
+          | None -> dial t peer
+        in
+        match conn with
+        | Some conn -> queue_frame t conn (Frame.encode ~sender:self msg)
+        | None -> ())
+  in
+  let node =
+    Basalt.create ~config ~id:self
+      ~bootstrap:(Array.of_list (List.map Endpoint.to_node_id bootstrap))
+      ~rng:(Basalt_prng.Rng.create ~seed)
+      ~send ()
+  in
+  let t =
+    {
+      loop;
+      listener;
+      endpoint;
+      node;
+      stream = Sample_stream.create ~capacity:1024;
+      outgoing = Hashtbl.create 32;
+      incoming = [];
+      read_buffer = Bytes.create 65536;
+      frames_in;
+      frames_out;
+      connections_in;
+      connections_out;
+      connection_errors;
+    }
+  in
+  t_ref := Some t;
+  Event_loop.on_readable loop listener (fun () ->
+      match Unix.accept listener with
+      | fd, _addr ->
+          Unix.set_nonblock fd;
+          incr t.connections_in;
+          let conn =
+            {
+              fd;
+              decoder = Frame.Decoder.create ();
+              connecting = false;
+              outbuf = Bytes.empty;
+              out_off = 0;
+            }
+          in
+          t.incoming <- conn :: t.incoming;
+          watch_reads t conn
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ());
+  let tau = config.Config.tau in
+  let phase = 0.01 +. (float_of_int (seed land 0xF) /. 500.0) in
+  Event_loop.every loop ~phase ~interval:tau (fun () -> Basalt.on_round node);
+  Event_loop.every loop ~interval:(Config.refresh_interval config) (fun () ->
+      Sample_stream.push_list t.stream (Basalt.sample_tick node));
+  t
+
+let endpoint t = t.endpoint
+let id t = Basalt.id t.node
+let view t = Array.to_list (Array.map Endpoint.of_node_id (Basalt.view t.node))
+let samples t = t.stream
+
+let stats t =
+  {
+    frames_in = !(t.frames_in);
+    frames_out = !(t.frames_out);
+    connections_in = !(t.connections_in);
+    connections_out = !(t.connections_out);
+    connection_errors = !(t.connection_errors);
+  }
+
+let close t =
+  Event_loop.remove_fd t.loop t.listener;
+  (try Unix.close t.listener with Unix.Unix_error _ -> ());
+  Hashtbl.iter
+    (fun _ conn ->
+      Event_loop.remove_fd t.loop conn.fd;
+      try Unix.close conn.fd with Unix.Unix_error _ -> ())
+    t.outgoing;
+  Hashtbl.reset t.outgoing;
+  List.iter
+    (fun conn ->
+      Event_loop.remove_fd t.loop conn.fd;
+      try Unix.close conn.fd with Unix.Unix_error _ -> ())
+    t.incoming;
+  t.incoming <- []

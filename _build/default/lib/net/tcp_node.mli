@@ -1,0 +1,42 @@
+(** A Basalt node over TCP with persistent framed connections.
+
+    The same protocol core as {!Udp_node}, carried over TCP streams
+    ({!Frame} framing).  Outgoing connections are dialed lazily
+    (non-blocking) per destination and kept open; incoming connections
+    are identified by the sender field of their first frame.  Connection
+    failures simply drop the affected messages — the epidemic protocol
+    tolerates loss by design, so no retransmission machinery is needed.
+
+    Useful where UDP is filtered, and as a demonstration that the core is
+    transport-agnostic. *)
+
+type stats = {
+  frames_in : int;
+  frames_out : int;
+  connections_in : int;  (** Accepted. *)
+  connections_out : int;  (** Dialed. *)
+  connection_errors : int;  (** Dial failures, resets, corrupt streams. *)
+}
+
+type t
+
+val create :
+  ?config:Basalt_core.Config.t ->
+  loop:Event_loop.t ->
+  listen:Endpoint.t ->
+  bootstrap:Endpoint.t list ->
+  seed:int ->
+  unit ->
+  t
+(** Binds and listens on [listen] (port 0 = OS-assigned) and schedules
+    the protocol's periodic tasks on [loop].
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val endpoint : t -> Endpoint.t
+val id : t -> Basalt_proto.Node_id.t
+val view : t -> Endpoint.t list
+val samples : t -> Basalt_core.Sample_stream.t
+val stats : t -> stats
+
+val close : t -> unit
+(** Closes the listener and every open connection. *)

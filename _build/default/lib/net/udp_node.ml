@@ -1,0 +1,114 @@
+module Basalt = Basalt_core.Basalt
+module Config = Basalt_core.Config
+module Sample_stream = Basalt_core.Sample_stream
+module Wire = Basalt_codec.Wire
+
+type stats = {
+  datagrams_in : int;
+  datagrams_out : int;
+  decode_errors : int;
+}
+
+type t = {
+  loop : Event_loop.t;
+  socket : Unix.file_descr;
+  endpoint : Endpoint.t;
+  node : Basalt.t;
+  stream : Sample_stream.t;
+  buffer : bytes;
+  datagrams_in : int ref;
+  datagrams_out : int ref;
+  decode_errors : int ref;
+}
+
+let bind_socket listen =
+  let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.setsockopt socket Unix.SO_REUSEADDR true;
+  Unix.bind socket (Endpoint.to_sockaddr listen);
+  Unix.set_nonblock socket;
+  (* Resolve the actually-bound endpoint (meaningful when port 0 was
+     requested). *)
+  match Unix.getsockname socket with
+  | Unix.ADDR_INET (addr, port) -> (socket, { Endpoint.addr; port })
+  | Unix.ADDR_UNIX _ -> assert false
+
+let create ?(config = Config.make ~v:16 ~k:4 ()) ~loop ~listen ~bootstrap
+    ~seed () =
+  let socket, endpoint = bind_socket listen in
+  let datagrams_in = ref 0 in
+  let datagrams_out = ref 0 in
+  let decode_errors = ref 0 in
+  let send ~dst msg =
+    let packet = Wire.encode msg in
+    let target = Endpoint.to_sockaddr (Endpoint.of_node_id dst) in
+    (try ignore (Unix.sendto socket packet 0 (Bytes.length packet) [] target)
+     with Unix.Unix_error _ -> ());
+    incr datagrams_out
+  in
+  let node =
+    Basalt.create ~config
+      ~id:(Endpoint.to_node_id endpoint)
+      ~bootstrap:(Array.of_list (List.map Endpoint.to_node_id bootstrap))
+      ~rng:(Basalt_prng.Rng.create ~seed)
+      ~send ()
+  in
+  let t =
+    {
+      loop;
+      socket;
+      endpoint;
+      node;
+      stream = Sample_stream.create ~capacity:1024;
+      buffer = Bytes.create 65536;
+      datagrams_in;
+      datagrams_out;
+      decode_errors;
+    }
+  in
+  let receive () =
+    (* Drain everything currently queued on the socket. *)
+    let rec drain () =
+      match Unix.recvfrom t.socket t.buffer 0 (Bytes.length t.buffer) [] with
+      | len, Unix.ADDR_INET (addr, port) -> (
+          incr t.datagrams_in;
+          let from = Endpoint.to_node_id { Endpoint.addr; port } in
+          (match Wire.decode_sub t.buffer ~off:0 ~len with
+          | Ok msg -> Basalt.on_message t.node ~from msg
+          | Error _ -> incr t.decode_errors);
+          drain ())
+      | _, Unix.ADDR_UNIX _ -> drain ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+          (* A peer's socket is gone; UDP reports it asynchronously. *)
+          drain ()
+    in
+    drain ()
+  in
+  Event_loop.on_readable loop t.socket receive;
+  let tau = config.Config.tau in
+  let phase = 0.01 +. (float_of_int (seed land 0xF) /. 500.0) in
+  Event_loop.every loop ~phase ~interval:tau (fun () ->
+      Basalt.on_round t.node);
+  Event_loop.every loop ~interval:(Config.refresh_interval config) (fun () ->
+      Sample_stream.push_list t.stream (Basalt.sample_tick t.node));
+  t
+
+let endpoint t = t.endpoint
+let id t = Basalt.id t.node
+
+let view t =
+  Array.to_list (Array.map Endpoint.of_node_id (Basalt.view t.node))
+
+let samples t = t.stream
+
+let stats t =
+  {
+    datagrams_in = !(t.datagrams_in);
+    datagrams_out = !(t.datagrams_out);
+    decode_errors = !(t.decode_errors);
+  }
+
+let close t =
+  Event_loop.remove_fd t.loop t.socket;
+  Unix.close t.socket

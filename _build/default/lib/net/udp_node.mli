@@ -1,0 +1,50 @@
+(** A Basalt node over real UDP datagrams.
+
+    Binds a socket, runs {!Basalt_core.Basalt} with the {!Wire} codec on
+    an {!Event_loop}, and exposes the sampling service.  Identifiers are
+    packed endpoints ({!Endpoint.to_node_id}), so discovering an
+    identifier is discovering how to reach it — the paper's system model
+    made concrete.
+
+    Several nodes can share one event loop (and thus one OS thread),
+    which is how the integration tests and the [local_udp] example run a
+    whole overlay inside a single process. *)
+
+type stats = {
+  datagrams_in : int;
+  datagrams_out : int;
+  decode_errors : int;
+}
+
+type t
+
+val create :
+  ?config:Basalt_core.Config.t ->
+  loop:Event_loop.t ->
+  listen:Endpoint.t ->
+  bootstrap:Endpoint.t list ->
+  seed:int ->
+  unit ->
+  t
+(** [create ~loop ~listen ~bootstrap ~seed ()] binds [listen] (port 0
+    lets the OS pick; see {!endpoint}) and schedules the protocol's
+    periodic tasks on [loop]: one exchange round every [tau] {e seconds}
+    and a sampling tick every [k/rho] seconds.
+    @raise Unix.Unix_error if the socket cannot be bound. *)
+
+val endpoint : t -> Endpoint.t
+(** [endpoint t] is the actually-bound address (resolves port 0). *)
+
+val id : t -> Basalt_proto.Node_id.t
+(** [id t] is the node's identifier (its packed endpoint). *)
+
+val view : t -> Endpoint.t list
+(** [view t] is the current view as endpoints. *)
+
+val samples : t -> Basalt_core.Sample_stream.t
+(** [samples t] is the service's output stream. *)
+
+val stats : t -> stats
+
+val close : t -> unit
+(** [close t] unregisters from the loop and closes the socket. *)

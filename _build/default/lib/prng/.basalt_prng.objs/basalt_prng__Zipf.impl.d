@@ -1,0 +1,1 @@
+lib/prng/zipf.ml: Array Float Rng

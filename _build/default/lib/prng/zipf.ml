@@ -1,0 +1,31 @@
+type t = { cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0.0 then invalid_arg "Zipf.create: s must be non-negative";
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+    cdf.(i) <- !total
+  done;
+  let z = !total in
+  Array.iteri (fun i c -> cdf.(i) <- c /. z) cdf;
+  { cdf }
+
+let n t = Array.length t.cdf
+
+let probability t i =
+  if i < 0 || i >= n t then invalid_arg "Zipf.probability: rank out of range";
+  if i = 0 then t.cdf.(0) else t.cdf.(i) -. t.cdf.(i - 1)
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Smallest index whose cdf strictly exceeds u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) > u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length t.cdf - 1)

@@ -1,0 +1,23 @@
+(** Zipf-distributed integer sampling.
+
+    Used by workload generators (e.g. skewed choice of gossip targets or of
+    decisions submitted to the consensus example).  The sampler precomputes
+    the cumulative distribution once and then draws in O(log n) by binary
+    search. *)
+
+type t
+(** A prepared Zipf distribution over [{0, …, n-1}]. *)
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares a Zipf distribution with exponent [s] over [n]
+    ranks; rank [i] has weight [1 / (i+1)^s].
+    @raise Invalid_argument if [n <= 0] or [s < 0]. *)
+
+val sample : t -> Rng.t -> int
+(** [sample t rng] draws a rank in [\[0, n)]. *)
+
+val n : t -> int
+(** [n t] is the support size. *)
+
+val probability : t -> int -> float
+(** [probability t i] is the probability of rank [i]. *)

@@ -1,0 +1,1 @@
+lib/proto/node_id.ml: Array Format Int

@@ -1,0 +1,1 @@
+lib/proto/node_id.mli: Format

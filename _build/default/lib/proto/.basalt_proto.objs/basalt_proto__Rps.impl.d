@@ -1,0 +1,1 @@
+lib/proto/rps.ml: Basalt_prng Message Node_id

@@ -1,0 +1,1 @@
+lib/proto/rps.mli: Basalt_prng Message Node_id

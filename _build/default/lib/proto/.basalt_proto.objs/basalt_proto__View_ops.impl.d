@@ -1,0 +1,1 @@
+lib/proto/view_ops.ml: Array Basalt_prng Hashtbl List Node_id

@@ -1,0 +1,1 @@
+lib/proto/view_ops.mli: Basalt_prng Node_id

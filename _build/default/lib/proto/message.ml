@@ -1,0 +1,25 @@
+type t =
+  | Pull_request
+  | Pull_reply of Node_id.t array
+  | Push of Node_id.t array
+  | Push_id of Node_id.t
+
+let kind = function
+  | Pull_request -> "pull"
+  | Pull_reply _ -> "pull-reply"
+  | Push _ -> "push"
+  | Push_id _ -> "push-id"
+
+let payload_ids = function
+  | Pull_request -> 0
+  | Pull_reply view | Push view -> Array.length view
+  | Push_id _ -> 1
+
+let bytes_on_wire ?(id_size = 4) m = 4 + (id_size * payload_ids m)
+
+let pp ppf m =
+  match m with
+  | Pull_request -> Format.fprintf ppf "PULL"
+  | Pull_reply view -> Format.fprintf ppf "PULL-REPLY[%d ids]" (Array.length view)
+  | Push view -> Format.fprintf ppf "PUSH[%d ids]" (Array.length view)
+  | Push_id id -> Format.fprintf ppf "PUSH-ID[%a]" Node_id.pp id

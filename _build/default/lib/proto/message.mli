@@ -1,0 +1,29 @@
+(** Wire messages exchanged by the peer-sampling protocols.
+
+    The four message kinds cover every protocol in this repository:
+    - Basalt (Alg. 1) uses [Pull_request] and view-carrying pushes/replies;
+    - Brahms pushes only the sender's own identifier ([Push_id], its §4.3
+      design choice) and pulls full views;
+    - SPS and the classical RPS shuffle views both ways.
+
+    Payload sizes are what the paper's communication-budget argument
+    (§4.3) accounts for: a full view of at most 200 four-byte identifiers
+    fits one 1500-byte MTU datagram. *)
+
+type t =
+  | Pull_request  (** Ask the recipient for its current view. *)
+  | Pull_reply of Node_id.t array  (** Reply to a pull: sender's view. *)
+  | Push of Node_id.t array  (** Unsolicited view advertisement. *)
+  | Push_id of Node_id.t  (** Brahms-style push of a single identifier. *)
+
+val kind : t -> string
+(** [kind m] is a short label ("pull", "pull-reply", "push", "push-id"). *)
+
+val payload_ids : t -> int
+(** [payload_ids m] is the number of identifiers carried by [m]. *)
+
+val bytes_on_wire : ?id_size:int -> t -> int
+(** [bytes_on_wire ~id_size m] estimates the datagram payload size
+    ([id_size] defaults to 4 bytes per identifier plus a 4-byte header). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Node_id.of_int: negative id";
+  i
+
+let to_int id = id
+let equal = Int.equal
+let compare = Int.compare
+let hash id = id
+let pp ppf id = Format.fprintf ppf "n%d" id
+let range n = Array.init n (fun i -> i)

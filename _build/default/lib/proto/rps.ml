@@ -1,0 +1,27 @@
+type send = dst:Node_id.t -> Message.t -> unit
+
+type t = {
+  protocol : string;
+  node : Node_id.t;
+  on_message : from:Node_id.t -> Message.t -> unit;
+  on_round : unit -> unit;
+  sample_tick : unit -> Node_id.t list;
+  current_view : unit -> Node_id.t array;
+}
+
+type maker =
+  id:Node_id.t ->
+  bootstrap:Node_id.t array ->
+  rng:Basalt_prng.Rng.t ->
+  send:send ->
+  t
+
+let null node =
+  {
+    protocol = "null";
+    node;
+    on_message = (fun ~from:_ _ -> ());
+    on_round = ignore;
+    sample_tick = (fun () -> []);
+    current_view = (fun () -> [||]);
+  }

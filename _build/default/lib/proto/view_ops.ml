@@ -1,0 +1,30 @@
+let count p view =
+  Array.fold_left (fun acc id -> if p id then acc + 1 else acc) 0 view
+
+let proportion p view =
+  let len = Array.length view in
+  if len = 0 then 0.0 else float_of_int (count p view) /. float_of_int len
+
+let distinct view =
+  let seen = Hashtbl.create (Array.length view) in
+  let out = ref [] in
+  Array.iter
+    (fun id ->
+      let key = Node_id.to_int id in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        out := id :: !out
+      end)
+    view;
+  Array.of_list (List.rev !out)
+
+let contains view id = Array.exists (Node_id.equal id) view
+
+let random_member rng view =
+  if Array.length view = 0 then None
+  else Some (Basalt_prng.Rng.pick rng view)
+
+let random_subset rng ~k view =
+  Basalt_prng.Rng.sample_without_replacement rng ~k view
+
+let union views = distinct (Array.concat views)

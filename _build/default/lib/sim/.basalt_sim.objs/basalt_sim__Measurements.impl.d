@@ -1,0 +1,1 @@
+lib/sim/measurements.ml: Float List

@@ -1,0 +1,1 @@
+lib/sim/report.ml: Array Buffer Float Fun List Measurements Option Printf String

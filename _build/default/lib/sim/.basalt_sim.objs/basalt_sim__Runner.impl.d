@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Basalt_adversary Basalt_analysis Basalt_core Basalt_engine Basalt_graph Basalt_prng Basalt_proto Churn Float Hashtbl List Measurements Scenario

@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Basalt_engine Basalt_proto Measurements Scenario

@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Basalt_adversary Basalt_brahms Basalt_core Basalt_engine Basalt_sps Churn Float Format Option

@@ -1,0 +1,1 @@
+lib/sim/scenario.mli: Basalt_adversary Basalt_brahms Basalt_core Basalt_engine Basalt_proto Basalt_sps Churn Format

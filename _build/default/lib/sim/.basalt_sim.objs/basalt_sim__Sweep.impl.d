@@ -1,0 +1,1 @@
+lib/sim/sweep.ml: Float List Measurements Runner Scenario

@@ -1,0 +1,14 @@
+type style = Replace | Crash
+
+type t = { rate : float; start : float; style : style }
+
+let make ?(start = 0.0) ?(style = Replace) ~rate () =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Churn.make: rate out of [0,1]";
+  if start < 0.0 then invalid_arg "Churn.make: negative start";
+  { rate; start; style }
+
+let replacements t rng ~correct =
+  let expected = t.rate *. float_of_int correct in
+  let whole = int_of_float expected in
+  let frac = expected -. float_of_int whole in
+  whole + (if Basalt_prng.Rng.bernoulli rng ~p:frac then 1 else 0)

@@ -1,0 +1,34 @@
+(** Node churn model.
+
+    The paper's simulations replace churn with an "ultimate churn event"
+    — all nodes having just joined (§4.1).  This model restores
+    continuous churn as an extension: every time unit, an expected
+    [rate] fraction of correct nodes is {e replaced} — the node loses all
+    protocol state and rejoins immediately with a fresh bootstrap sample,
+    as if a new participant had taken its slot.  Byzantine nodes do not
+    churn (the adversary keeps its resources), which is the conservative
+    choice. *)
+
+type style =
+  | Replace
+      (** The affected node loses its state and immediately rejoins with
+          a fresh bootstrap (continuous membership turnover). *)
+  | Crash
+      (** The affected node goes silent forever (fail-stop).  Dead nodes
+          are excluded from the denominator of all measurements. *)
+
+type t = private {
+  rate : float;  (** Expected fraction of correct nodes affected per unit. *)
+  start : float;  (** Churn begins at this time (lets the overlay form). *)
+  style : style;
+}
+
+val make : ?start:float -> ?style:style -> rate:float -> unit -> t
+(** [make ~rate ()] with [start] defaulting to [0.] and [style] to
+    {!Replace}.
+    @raise Invalid_argument if [rate < 0] or [rate > 1] or [start < 0]. *)
+
+val replacements : t -> Basalt_prng.Rng.t -> correct:int -> int
+(** [replacements t rng ~correct] draws how many nodes to replace this
+    unit: the integer part of [rate * correct] plus a Bernoulli trial on
+    the fraction. *)

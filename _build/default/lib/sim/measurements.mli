@@ -1,0 +1,44 @@
+(** Time series recorded during a run and derived statistics.
+
+    One {!point} is appended per measurement instant.  All proportions are
+    averages over correct nodes.  Graph metrics are present only when the
+    scenario requested them (Fig. 4). *)
+
+type point = {
+  time : float;
+  view_byz : float;  (** Mean Byzantine proportion in correct views. *)
+  sample_byz : float;
+      (** Mean Byzantine proportion in recent emitted samples. *)
+  isolated : float;  (** Fraction of correct nodes currently isolated. *)
+  clustering : float option;
+  mean_path : float option;
+  indegree_spread : float option;
+}
+
+type t
+(** A mutable series. *)
+
+val create : unit -> t
+val add : t -> point -> unit
+val points : t -> point list
+(** Oldest first. *)
+
+val length : t -> int
+val last : t -> point option
+
+val convergence_time :
+  ?metric:[ `Samples | `Views ] -> optimal:float -> within:float -> t -> float option
+(** [convergence_time ~optimal ~within series] is the earliest measurement
+    time from which the chosen metric (default [`Samples]) remains at or
+    below [optimal * (1 + within)] for the rest of the series — the
+    definition behind Fig. 3 (convergence within 25% of the optimal
+    proportion uses [within = 0.25]).  [None] if never. *)
+
+val ever_isolated_after : t -> float -> bool
+(** [ever_isolated_after series t0] is whether any measurement at time
+    [>= t0] observed at least one isolated correct node (Fig. 5's failure
+    criterion uses [t0 = steps / 2]). *)
+
+val mean_after : (point -> float) -> t -> float -> float
+(** [mean_after field series t0] averages [field] over points with
+    [time >= t0]; [nan] if none. *)

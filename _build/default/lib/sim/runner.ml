@@ -1,0 +1,308 @@
+module Node_id = Basalt_proto.Node_id
+module Message = Basalt_proto.Message
+module Rps = Basalt_proto.Rps
+module Engine = Basalt_engine.Engine
+module Rng = Basalt_prng.Rng
+module Adversary = Basalt_adversary.Adversary
+module Sample_stream = Basalt_core.Sample_stream
+module Digraph = Basalt_graph.Digraph
+module Metrics = Basalt_graph.Metrics
+module Isolation = Basalt_graph.Isolation
+
+type node_outcome = {
+  node_view_byz : float;
+  node_sample_byz : float;
+  node_samples_total : int;
+  node_isolated : bool;
+}
+
+type bandwidth = {
+  correct_messages : int;
+  correct_bytes : int;
+  adversary_messages : int;
+  adversary_bytes : int;
+  max_datagram : int;
+}
+
+type result = {
+  scenario : Scenario.t;
+  series : Measurements.t;
+  final : Measurements.point;
+  per_node : node_outcome array;
+  ever_isolated_after_half : bool;
+  transport : Engine.stats;
+  bandwidth : bandwidth;
+  adversary_pushes : int;
+  nodes_churned : int;
+  sample_histogram : int array;
+}
+
+let is_malicious s id = Node_id.to_int id >= Scenario.num_correct s
+
+(* Draw a bootstrap sample of [size] peers with Byzantine fraction [f0],
+   excluding [self]. *)
+let bootstrap_sample s rng ~self =
+  let q = Scenario.num_correct s in
+  let num_byz = Scenario.num_byzantine s in
+  let size = s.Scenario.bootstrap_size in
+  let byz_count =
+    min num_byz (int_of_float (Float.round (s.Scenario.bootstrap_f0 *. float_of_int size)))
+  in
+  let correct_count = min (q - 1) (size - byz_count) in
+  let out = ref [] in
+  let seen = Hashtbl.create size in
+  let draw bound offset count =
+    let drawn = ref 0 in
+    let attempts = ref 0 in
+    while !drawn < count && !attempts < 100 * count do
+      incr attempts;
+      let candidate = offset + Rng.int rng bound in
+      if candidate <> self && not (Hashtbl.mem seen candidate) then begin
+        Hashtbl.add seen candidate ();
+        out := Node_id.of_int candidate :: !out;
+        incr drawn
+      end
+    done
+  in
+  if q > 1 then draw q 0 correct_count;
+  if num_byz > 0 then draw num_byz q byz_count;
+  Array.of_list !out
+
+let run_with_observer ?observer s =
+  let master = Rng.create ~seed:s.Scenario.seed in
+  let engine_rng = Rng.split master in
+  let node_rng = Rng.split master in
+  let adversary_rng = Rng.split master in
+  let bootstrap_rng = Rng.split master in
+  let metric_rng = Rng.split master in
+  let n = s.Scenario.n in
+  let q = Scenario.num_correct s in
+  let num_byz = Scenario.num_byzantine s in
+  let engine : Message.t Engine.t =
+    Engine.create ~latency:s.Scenario.latency ~loss:s.Scenario.loss
+      ~rng:engine_rng ~n ()
+  in
+  let malicious_pred id = is_malicious s id in
+  (* Bandwidth accounting: every send is metered by its estimated wire
+     size so experiments can check the §4.3 communication budget. *)
+  let correct_messages = ref 0 in
+  let correct_bytes = ref 0 in
+  let adversary_messages = ref 0 in
+  let adversary_bytes = ref 0 in
+  let max_datagram = ref 0 in
+  let meter ~from_adversary msg =
+    let size = Message.bytes_on_wire msg in
+    if size > !max_datagram then max_datagram := size;
+    if from_adversary then begin
+      incr adversary_messages;
+      adversary_bytes := !adversary_bytes + size
+    end
+    else begin
+      incr correct_messages;
+      correct_bytes := !correct_bytes + size
+    end
+  in
+  (* --- Correct nodes --- *)
+  let maker = Scenario.maker s in
+  let samplers = Array.make q (Rps.null (Node_id.of_int 0)) in
+  let streams =
+    Array.init q (fun _ -> Sample_stream.create ~capacity:s.Scenario.sample_window)
+  in
+  let sample_histogram = Array.make n 0 in
+  let alive = Array.make q true in
+  (* [spawn i] (re)creates node [i]'s protocol instance; handlers and
+     timers go through the array so churn can replace instances live. *)
+  let spawn i =
+    let id = Node_id.of_int i in
+    let send ~dst msg =
+      meter ~from_adversary:false msg;
+      Engine.send engine ~src:i ~dst:(Node_id.to_int dst) msg
+    in
+    let bootstrap = bootstrap_sample s bootstrap_rng ~self:i in
+    samplers.(i) <- maker ~id ~bootstrap ~rng:node_rng ~send
+  in
+  for i = 0 to q - 1 do
+    spawn i;
+    Engine.register engine i (fun ~from msg ->
+        samplers.(i).Rps.on_message ~from:(Node_id.of_int from) msg)
+  done;
+  (* --- Adversary --- *)
+  let adversary =
+    if num_byz = 0 then None
+    else begin
+      let malicious =
+        Array.init num_byz (fun i -> Node_id.of_int (q + i))
+      in
+      let correct = Array.init q Node_id.of_int in
+      let send ~src ~dst msg =
+        meter ~from_adversary:true msg;
+        Engine.send engine ~src:(Node_id.to_int src) ~dst:(Node_id.to_int dst)
+          msg
+      in
+      let adv =
+        Adversary.create ~rng:adversary_rng ~malicious ~correct
+          ~v:(Scenario.view_size s) ~force:s.Scenario.force
+          ~strategy:s.Scenario.strategy ~send ()
+      in
+      for i = q to n - 1 do
+        Engine.register engine i (fun ~from msg ->
+            Adversary.on_message adv ~victim_reply:true
+              ~from:(Node_id.of_int from) ~to_:(Node_id.of_int i) msg)
+      done;
+      Some adv
+    end
+  in
+  (* --- Timers --- *)
+  let tau = Scenario.tau s in
+  let refresh = Scenario.refresh_interval s in
+  (* Stagger node rounds uniformly across the exchange interval so rounds
+     interleave as in an asynchronous deployment; the adversary fires at
+     the interval boundary. *)
+  for i = 0 to q - 1 do
+    let phase = Rng.float node_rng tau in
+    Engine.every engine ~phase ~interval:tau (fun () ->
+        samplers.(i).Rps.on_round ());
+    let sample_phase = phase +. Rng.float node_rng refresh in
+    Engine.every engine ~phase:sample_phase ~interval:refresh (fun () ->
+        let samples = samplers.(i).Rps.sample_tick () in
+        List.iter
+          (fun p ->
+            let idx = Node_id.to_int p in
+            if idx < n then
+              sample_histogram.(idx) <- sample_histogram.(idx) + 1)
+          samples;
+        Sample_stream.push_list streams.(i) samples)
+  done;
+  (match adversary with
+  | Some adv -> Engine.every engine ~phase:tau ~interval:tau (fun () ->
+      Adversary.on_round adv)
+  | None -> ());
+  (* --- Churn --- *)
+  let churned = ref 0 in
+  (match s.Scenario.churn with
+  | None -> ()
+  | Some churn ->
+      let churn_rng = Rng.split master in
+      Engine.every engine
+        ~phase:(Float.max churn.Churn.start 1.0)
+        ~interval:1.0
+        (fun () ->
+          let count = Churn.replacements churn churn_rng ~correct:q in
+          for _ = 1 to count do
+            let i = Rng.int churn_rng q in
+            if alive.(i) then begin
+              (match churn.Churn.style with
+              | Churn.Replace ->
+                  (* The node loses all state and rejoins with a fresh
+                     bootstrap; its sample history dies with it. *)
+                  spawn i
+              | Churn.Crash ->
+                  (* Fail-stop: the node goes silent forever. *)
+                  samplers.(i) <- Rps.null (Node_id.of_int i);
+                  alive.(i) <- false);
+              streams.(i) <-
+                Sample_stream.create ~capacity:s.Scenario.sample_window;
+              incr churned
+            end
+          done));
+  (* --- Measurements --- *)
+  let series = Measurements.create () in
+  let half = s.Scenario.steps /. 2.0 in
+  let ever_isolated_after_half = ref false in
+  let views u =
+    if u < q then samplers.(u).Rps.current_view () else [||]
+  in
+  let measure () =
+    let time = Engine.now engine in
+    let view_acc = Basalt_analysis.Stats.Online.create () in
+    let sample_acc = Basalt_analysis.Stats.Online.create () in
+    let isolated = ref 0 in
+    let alive_count = ref 0 in
+    for i = 0 to q - 1 do
+      if alive.(i) then begin
+        incr alive_count;
+        let view = samplers.(i).Rps.current_view () in
+        if Array.length view > 0 then
+          Basalt_analysis.Stats.Online.add view_acc
+            (Basalt_proto.View_ops.proportion malicious_pred view);
+        if Sample_stream.retained streams.(i) > 0 then
+          Basalt_analysis.Stats.Online.add sample_acc
+            (Sample_stream.proportion malicious_pred streams.(i));
+        if Isolation.is_isolated ~is_malicious:malicious_pred view then
+          incr isolated
+      end
+    done;
+    let isolated_frac =
+      float_of_int !isolated /. float_of_int (max 1 !alive_count)
+    in
+    if time >= half && !isolated > 0 then ever_isolated_after_half := true;
+    let clustering, mean_path, indegree_spread =
+      if s.Scenario.graph_metrics then begin
+        let g = Digraph.of_views ~n views in
+        let is_mal u = u >= q in
+        ( Some (Metrics.clustering_coefficient ~rng:metric_rng ~is_malicious:is_mal g),
+          Some (Metrics.mean_path_length ~rng:metric_rng ~is_malicious:is_mal g),
+          Some (Metrics.indegree_decile_spread ~is_malicious:is_mal g) )
+      end
+      else (None, None, None)
+    in
+    Measurements.add series
+      {
+        Measurements.time;
+        view_byz = Basalt_analysis.Stats.Online.mean view_acc;
+        sample_byz = Basalt_analysis.Stats.Online.mean sample_acc;
+        isolated = isolated_frac;
+        clustering;
+        mean_path;
+        indegree_spread;
+      };
+    match observer with
+    | Some f -> f ~time ~views
+    | None -> ()
+  in
+  Engine.every engine ~phase:s.Scenario.measure_every
+    ~interval:s.Scenario.measure_every measure;
+  (* --- Run --- *)
+  Engine.run_until engine s.Scenario.steps;
+  (* Record a final point unless the periodic task already measured at
+     the horizon. *)
+  (match Measurements.last series with
+  | Some p when p.Measurements.time >= Engine.now engine -> ()
+  | Some _ | None -> measure ());
+  let final =
+    match Measurements.last series with
+    | Some p -> p
+    | None -> assert false
+  in
+  let per_node =
+    Array.init q (fun i ->
+        let view = samplers.(i).Rps.current_view () in
+        {
+          node_view_byz = Basalt_proto.View_ops.proportion malicious_pred view;
+          node_sample_byz = Sample_stream.proportion malicious_pred streams.(i);
+          node_samples_total = Sample_stream.total streams.(i);
+          node_isolated = Isolation.is_isolated ~is_malicious:malicious_pred view;
+        })
+  in
+  {
+    scenario = s;
+    series;
+    final;
+    per_node;
+    ever_isolated_after_half = !ever_isolated_after_half;
+    transport = Engine.stats engine;
+    bandwidth =
+      {
+        correct_messages = !correct_messages;
+        correct_bytes = !correct_bytes;
+        adversary_messages = !adversary_messages;
+        adversary_bytes = !adversary_bytes;
+        max_datagram = !max_datagram;
+      };
+    adversary_pushes =
+      (match adversary with Some a -> Adversary.pushes_sent a | None -> 0);
+    nodes_churned = !churned;
+    sample_histogram;
+  }
+
+let run s = run_with_observer s

@@ -1,0 +1,63 @@
+(** Monte-Carlo run driver.
+
+    Wires a {!Scenario.t} into the discrete-event engine: correct nodes
+    run the scenario's protocol (rounds every τ, sample ticks every k/ρ),
+    Byzantine nodes are impersonated by the collective
+    {!Basalt_adversary.Adversary}, and a measurement task records the
+    statistics of {!Measurements} at the scenario's cadence.
+
+    Node identifiers are laid out deterministically: correct nodes occupy
+    [\[0, Q)], Byzantine nodes [\[Q, n)].  The ranking hash makes the
+    numbering irrelevant to the protocols. *)
+
+type node_outcome = {
+  node_view_byz : float;  (** Final Byzantine proportion in the view. *)
+  node_sample_byz : float;
+      (** Byzantine proportion among the node's retained samples. *)
+  node_samples_total : int;  (** Samples the node's service emitted. *)
+  node_isolated : bool;  (** Whether the node ended isolated. *)
+}
+
+type bandwidth = {
+  correct_messages : int;  (** Messages sent by correct nodes. *)
+  correct_bytes : int;  (** Estimated wire bytes from correct nodes. *)
+  adversary_messages : int;
+  adversary_bytes : int;
+  max_datagram : int;
+      (** Largest single message payload observed — the §4.3 budget
+          argument requires it to fit one 1500-byte MTU. *)
+}
+
+type result = {
+  scenario : Scenario.t;
+  series : Measurements.t;
+  final : Measurements.point;  (** Last measurement. *)
+  per_node : node_outcome array;  (** Indexed by correct node id. *)
+  ever_isolated_after_half : bool;
+      (** Whether any correct node was isolated during the second half of
+          the run (Fig. 5's failure criterion). *)
+  transport : Basalt_engine.Engine.stats;
+  bandwidth : bandwidth;
+  adversary_pushes : int;
+  nodes_churned : int;  (** Replacements performed by the churn model. *)
+  sample_histogram : int array;
+      (** How often each node id was emitted as a sample, aggregated over
+          all correct nodes' service outputs — the raw data behind
+          stream-uniformity statistics (a good RPS draws every node
+          equally often). *)
+}
+
+val is_malicious : Scenario.t -> Basalt_proto.Node_id.t -> bool
+(** [is_malicious s id] under the deterministic layout. *)
+
+val run : Scenario.t -> result
+(** [run s] executes the scenario to completion. *)
+
+val run_with_observer :
+  ?observer:(time:float -> views:(int -> Basalt_proto.Node_id.t array) -> unit) ->
+  Scenario.t ->
+  result
+(** [run_with_observer ~observer s] additionally invokes [observer] at
+    each measurement instant with a view accessor (correct nodes only;
+    malicious indices yield [[||]]) — the hook used to export snapshots or
+    compute custom metrics. *)

@@ -1,0 +1,106 @@
+type protocol =
+  | Basalt of Basalt_core.Config.t
+  | Brahms of Basalt_brahms.Brahms_config.t
+  | Sps of Basalt_sps.Sps.config
+  | Classic of Basalt_sps.Classic.config
+
+type t = {
+  name : string;
+  n : int;
+  f : float;
+  force : float;
+  strategy : Basalt_adversary.Adversary.strategy;
+  protocol : protocol;
+  steps : float;
+  bootstrap_size : int;
+  bootstrap_f0 : float;
+  seed : int;
+  measure_every : float;
+  graph_metrics : bool;
+  sample_window : int;
+  churn : Churn.t option;
+  latency : Basalt_engine.Link.Latency.t;
+  loss : Basalt_engine.Link.Loss.t;
+}
+
+let make ?(name = "base") ?(n = 1000) ?(f = 0.1) ?(force = 10.0)
+    ?(strategy = Basalt_adversary.Adversary.Flood)
+    ?(protocol = Basalt Basalt_core.Config.default) ?(steps = 200.0)
+    ?bootstrap_size ?bootstrap_f0 ?(seed = 42) ?(measure_every = 1.0)
+    ?(graph_metrics = false) ?(sample_window = 200) ?churn
+    ?(latency = Basalt_engine.Link.Latency.Zero)
+    ?(loss = Basalt_engine.Link.Loss.None) () =
+  let bootstrap_size = Option.value bootstrap_size ~default:(max 10 (n / 20)) in
+  let bootstrap_f0 = Option.value bootstrap_f0 ~default:f in
+  if n <= 0 then invalid_arg "Scenario.make: n must be positive";
+  if f < 0.0 || f >= 1.0 then invalid_arg "Scenario.make: f out of [0,1)";
+  if force < 0.0 then invalid_arg "Scenario.make: negative force";
+  if steps <= 0.0 then invalid_arg "Scenario.make: steps must be positive";
+  if bootstrap_size <= 0 then
+    invalid_arg "Scenario.make: bootstrap_size must be positive";
+  if bootstrap_f0 < 0.0 || bootstrap_f0 > 1.0 then
+    invalid_arg "Scenario.make: bootstrap_f0 out of [0,1]";
+  if measure_every <= 0.0 then
+    invalid_arg "Scenario.make: measure_every must be positive";
+  if sample_window <= 0 then
+    invalid_arg "Scenario.make: sample_window must be positive";
+  {
+    name;
+    n;
+    f;
+    force;
+    strategy;
+    protocol;
+    steps;
+    bootstrap_size;
+    bootstrap_f0;
+    seed;
+    measure_every;
+    graph_metrics;
+    sample_window;
+    churn;
+    latency;
+    loss;
+  }
+
+let with_seed s seed = { s with seed }
+let num_byzantine s = int_of_float (Float.round (s.f *. float_of_int s.n))
+let num_correct s = s.n - num_byzantine s
+
+let tau s =
+  match s.protocol with
+  | Basalt c -> c.Basalt_core.Config.tau
+  | Brahms c -> c.Basalt_brahms.Brahms_config.tau
+  | Sps _ | Classic _ -> 1.0
+
+let refresh_interval s =
+  match s.protocol with
+  | Basalt c -> Basalt_core.Config.refresh_interval c
+  | Brahms c -> Basalt_brahms.Brahms_config.refresh_interval c
+  | Sps _ | Classic _ -> 1.0
+
+let view_size s =
+  match s.protocol with
+  | Basalt c -> c.Basalt_core.Config.v
+  | Brahms c -> c.Basalt_brahms.Brahms_config.l
+  | Sps c -> c.Basalt_sps.Sps.l
+  | Classic c -> c.Basalt_sps.Classic.l
+
+let maker s =
+  match s.protocol with
+  | Basalt c -> Basalt_core.Basalt.sampler ~config:c ()
+  | Brahms c -> Basalt_brahms.Brahms.sampler ~config:c ()
+  | Sps c -> Basalt_sps.Sps.sampler ~config:c ()
+  | Classic c -> Basalt_sps.Classic.sampler ~config:c ()
+
+let protocol_name s =
+  match s.protocol with
+  | Basalt _ -> "basalt"
+  | Brahms _ -> "brahms"
+  | Sps _ -> "sps"
+  | Classic _ -> "classic"
+
+let pp ppf s =
+  Format.fprintf ppf
+    "%s{proto=%s; n=%d; f=%g; F=%g; v=%d; steps=%g; seed=%d}" s.name
+    (protocol_name s) s.n s.f s.force (view_size s) s.steps s.seed

@@ -1,0 +1,45 @@
+type aggregate = {
+  mean_view_byz : float;
+  mean_sample_byz : float;
+  mean_isolated : float;
+  isolation_runs : int;
+  runs : int;
+}
+
+let run_seeds s ~seeds =
+  List.map (fun seed -> Runner.run (Scenario.with_seed s seed)) seeds
+
+let aggregate results =
+  match results with
+  | [] -> invalid_arg "Sweep.aggregate: no runs"
+  | _ ->
+      let n = List.length results in
+      let total field =
+        List.fold_left (fun acc r -> acc +. field r.Runner.final) 0.0 results
+        /. float_of_int n
+      in
+      {
+        mean_view_byz = total (fun p -> p.Measurements.view_byz);
+        mean_sample_byz = total (fun p -> p.Measurements.sample_byz);
+        mean_isolated = total (fun p -> p.Measurements.isolated);
+        isolation_runs =
+          List.length
+            (List.filter (fun r -> r.Runner.ever_isolated_after_half) results);
+        runs = n;
+      }
+
+let sweep ~make ~seeds xs =
+  List.map (fun x -> (x, aggregate (run_seeds (make x) ~seeds))) xs
+
+let max_rho ~make ~rhos ~seeds =
+  let sorted = List.sort_uniq Float.compare rhos in
+  (* Try candidates in increasing order and stop at the first failure:
+     isolation risk grows with rho (Fig. 2c), so once a rate fails, all
+     larger ones would too. *)
+  let rec scan best = function
+    | [] -> best
+    | rho :: rest ->
+        let agg = aggregate (run_seeds (make ~rho) ~seeds) in
+        if agg.isolation_runs = 0 then scan (Some rho) rest else best
+  in
+  scan None sorted

@@ -1,0 +1,38 @@
+(** Parameter sweeps and multi-seed aggregation.
+
+    The paper's figures vary one parameter at a time around the base
+    scenario and average results over runs; these helpers drive
+    {!Runner.run} accordingly. *)
+
+type aggregate = {
+  mean_view_byz : float;
+  mean_sample_byz : float;
+  mean_isolated : float;
+  isolation_runs : int;  (** Runs with at least one isolation after the
+                             half-time mark. *)
+  runs : int;
+}
+
+val run_seeds : Scenario.t -> seeds:int list -> Runner.result list
+(** [run_seeds s ~seeds] runs [s] once per seed. *)
+
+val aggregate : Runner.result list -> aggregate
+(** [aggregate results] averages final measurements across runs.
+    @raise Invalid_argument on the empty list. *)
+
+val sweep :
+  make:('a -> Scenario.t) -> seeds:int list -> 'a list -> ('a * aggregate) list
+(** [sweep ~make ~seeds xs] evaluates [make x] for each parameter value
+    [x], averaged over [seeds]. *)
+
+val max_rho :
+  make:(rho:float -> Scenario.t) ->
+  rhos:float list ->
+  seeds:int list ->
+  float option
+(** [max_rho ~make ~rhos ~seeds] tests the candidate rates in increasing
+    order and returns the largest [rho] before the first failure, where a
+    failure is any run observing an isolated correct node during the
+    second half of the simulation — the success criterion of Fig. 5.
+    Isolation risk grows with [rho], so the scan stops at the first
+    failing rate.  [None] if even the smallest fails. *)

@@ -1,0 +1,1 @@
+lib/sps/classic.ml: Array Basalt_prng Basalt_proto List

@@ -1,0 +1,1 @@
+lib/sps/classic.mli: Basalt_prng Basalt_proto

@@ -1,0 +1,1 @@
+lib/sps/indegree_stats.ml: Basalt_proto Float Hashtbl List Option

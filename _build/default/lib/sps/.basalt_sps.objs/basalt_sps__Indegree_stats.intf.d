@@ -1,0 +1,1 @@
+lib/sps/indegree_stats.mli: Basalt_proto

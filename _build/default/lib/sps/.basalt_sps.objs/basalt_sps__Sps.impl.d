@@ -1,0 +1,1 @@
+lib/sps/sps.ml: Array Basalt_proto Classic Hashtbl Indegree_stats

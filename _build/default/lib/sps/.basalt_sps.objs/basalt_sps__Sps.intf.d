@@ -1,0 +1,1 @@
+lib/sps/sps.mli: Basalt_prng Basalt_proto

@@ -1,0 +1,55 @@
+(** Classical (non-Byzantine-tolerant) random peer sampling.
+
+    The baseline update rule of paper Eq. (1): each round the node pushes
+    its view and pulls a partner's view, then rebuilds its own as a
+    uniform selection of [l] identifiers from pushed ∪ pulled ∪ previous
+    view.  With no defense, Byzantine flooding quickly saturates the view
+    — this is the protocol the eclipse-defense example breaks, and the
+    substrate on which {!Sps} adds its statistical filtering. *)
+
+type config = private {
+  l : int;  (** View size. *)
+  keep_old : bool;
+      (** Include the previous view in the selection pool (the common
+          variant; [false] gives pure replacement). *)
+}
+
+val config : ?l:int -> ?keep_old:bool -> unit -> config
+(** [config ()] defaults to [l = 160], [keep_old = true].
+    @raise Invalid_argument if [l <= 0]. *)
+
+type t
+(** One node's state. *)
+
+val create :
+  ?config:config ->
+  ?filter:(Basalt_proto.Node_id.t -> bool) ->
+  id:Basalt_proto.Node_id.t ->
+  bootstrap:Basalt_proto.Node_id.t array ->
+  rng:Basalt_prng.Rng.t ->
+  send:Basalt_proto.Rps.send ->
+  unit ->
+  t
+(** [create ~id ~bootstrap ~rng ~send ()] seeds the view with up to [l]
+    bootstrap peers.  [filter], if given, rejects identifiers before they
+    enter the candidate pool (the hook {!Sps} uses for blacklisting). *)
+
+val on_round : t -> unit
+(** Rebuilds the view from the previous round's receipts, then sends one
+    [PUSH view] and one [PULL]. *)
+
+val on_message : t -> from:Basalt_proto.Node_id.t -> Basalt_proto.Message.t -> unit
+val view : t -> Basalt_proto.Node_id.t array
+
+val sample : t -> int -> Basalt_proto.Node_id.t list
+(** [sample t k] returns [k] uniform members of the current view (the
+    classical service's output stream); fewer if the view is smaller. *)
+
+val evict : t -> (Basalt_proto.Node_id.t -> bool) -> unit
+(** [evict t p] removes from the view all identifiers satisfying [p]. *)
+
+val id : t -> Basalt_proto.Node_id.t
+
+val sampler : ?config:config -> unit -> Basalt_proto.Rps.maker
+(** Packaged for the simulation runner; [sample_tick] emits one view
+    member per tick. *)

@@ -1,0 +1,43 @@
+(** Decayed frequency statistics over observed node identifiers.
+
+    SPS (Jesi, Montresor & van Steen, 2010) detects {e hub attacks} by
+    gathering statistics on the identifiers a node encounters in gossip
+    exchanges: an identifier whose observed frequency (a proxy for its
+    indegree) is extreme compared to the population is suspected of being
+    malicious.  This module implements the bookkeeping: exponentially
+    decayed occurrence counters and an outlier test. *)
+
+type t
+(** A mutable frequency table. *)
+
+val create : ?decay:float -> unit -> t
+(** [create ~decay ()] uses multiplicative decay factor [decay]
+    (default [0.9]) applied by each {!tick}.
+    @raise Invalid_argument unless [0 < decay <= 1]. *)
+
+val record : t -> Basalt_proto.Node_id.t -> unit
+(** [record t id] counts one occurrence of [id]. *)
+
+val tick : t -> unit
+(** [tick t] applies one decay step, prunes negligible entries, and
+    refreshes the mean/std snapshot used by {!is_outlier} (which is
+    otherwise kept stale for speed: one refresh per round, not per
+    observation). *)
+
+val count : t -> Basalt_proto.Node_id.t -> float
+(** [count t id] is the current decayed occurrence count of [id]. *)
+
+val observed : t -> int
+(** [observed t] is the number of identifiers currently tracked. *)
+
+val mean : t -> float
+(** [mean t] is the mean decayed count over tracked identifiers. *)
+
+val std : t -> float
+(** [std t] is the standard deviation of decayed counts. *)
+
+val is_outlier : t -> z:float -> Basalt_proto.Node_id.t -> bool
+(** [is_outlier t ~z id] is [true] when [count id > mean + z * std] and
+    enough identifiers have been observed for the statistics to be
+    meaningful (at least 10 tracked identifiers — the warm-up period the
+    Basalt paper identifies as SPS's weakness). *)

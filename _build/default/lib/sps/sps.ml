@@ -1,0 +1,99 @@
+module Node_id = Basalt_proto.Node_id
+module Message = Basalt_proto.Message
+module Rps = Basalt_proto.Rps
+
+type config = {
+  l : int;
+  z : float;
+  decay : float;
+  blacklist_ttl : int;
+  warmup_rounds : int;
+}
+
+let config ?(l = 160) ?(z = 3.0) ?(decay = 0.9) ?(blacklist_ttl = 50)
+    ?(warmup_rounds = 30) () =
+  if l <= 0 then invalid_arg "Sps.config: l must be positive";
+  if z < 0.0 then invalid_arg "Sps.config: z must be non-negative";
+  if decay <= 0.0 || decay > 1.0 then invalid_arg "Sps.config: decay out of (0,1]";
+  if blacklist_ttl <= 0 then invalid_arg "Sps.config: blacklist_ttl <= 0";
+  if warmup_rounds < 0 then invalid_arg "Sps.config: warmup_rounds < 0";
+  { l; z; decay; blacklist_ttl; warmup_rounds }
+
+type t = {
+  config : config;
+  stats : Indegree_stats.t;
+  blacklist : (int, int) Hashtbl.t;  (* id -> expiry round *)
+  round : int ref;  (* shared with the base protocol's filter closure *)
+  base : Classic.t;
+}
+
+let blacklisted t id =
+  match Hashtbl.find_opt t.blacklist (Node_id.to_int id) with
+  | Some expiry -> expiry > !(t.round)
+  | None -> false
+
+let blacklist_size t =
+  Hashtbl.fold
+    (fun _ expiry acc -> if expiry > !(t.round) then acc + 1 else acc)
+    t.blacklist 0
+
+let default_config = config ()
+
+let create ?(config = default_config) ~id ~bootstrap ~rng ~send () =
+  let stats = Indegree_stats.create ~decay:config.decay () in
+  let blacklist = Hashtbl.create 64 in
+  let round = ref 0 in
+  let accepts node_id =
+    match Hashtbl.find_opt blacklist (Node_id.to_int node_id) with
+    | Some expiry -> expiry <= !round
+    | None -> true
+  in
+  let base =
+    Classic.create
+      ~config:(Classic.config ~l:config.l ~keep_old:false ())
+      ~filter:accepts ~id ~bootstrap ~rng ~send ()
+  in
+  { config; stats; blacklist; round; base }
+
+(* Record every identifier carried by an incoming message, run the outlier
+   test, and blacklist offenders before the base protocol consumes the
+   message. *)
+let inspect t ids =
+  let armed = !(t.round) > t.config.warmup_rounds in
+  Array.iter
+    (fun id ->
+      Indegree_stats.record t.stats id;
+      if armed && Indegree_stats.is_outlier t.stats ~z:t.config.z id then begin
+        Hashtbl.replace t.blacklist (Node_id.to_int id)
+          (!(t.round) + t.config.blacklist_ttl);
+        Classic.evict t.base (Node_id.equal id)
+      end)
+    ids
+
+let on_message t ~from msg =
+  (match msg with
+  | Message.Pull_request -> ()
+  | Message.Push ids | Message.Pull_reply ids ->
+      inspect t (Array.append ids [| from |])
+  | Message.Push_id id -> inspect t [| id; from |]);
+  if not (blacklisted t from) then Classic.on_message t.base ~from msg
+
+let on_round t =
+  incr t.round;
+  Indegree_stats.tick t.stats;
+  Classic.on_round t.base
+
+let view t = Classic.view t.base
+let sample t k = Classic.sample t.base k
+
+let sampler ?config () : Rps.maker =
+ fun ~id ~bootstrap ~rng ~send ->
+  let t = create ?config ~id ~bootstrap ~rng ~send () in
+  {
+    Rps.protocol = "sps";
+    node = id;
+    on_message = (fun ~from msg -> on_message t ~from msg);
+    on_round = (fun () -> on_round t);
+    sample_tick = (fun () -> sample t 1);
+    current_view = (fun () -> view t);
+  }

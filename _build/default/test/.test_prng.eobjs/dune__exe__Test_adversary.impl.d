@@ -1,0 +1,1 @@
+test/test_adversary.ml: Adversary Alcotest Array Basalt_adversary Basalt_prng Basalt_proto Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Basalt_analysis Fit Float Gen Isolation_bound List Model Ode Printf QCheck QCheck_alcotest Stats

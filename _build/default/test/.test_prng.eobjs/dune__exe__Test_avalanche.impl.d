@@ -1,0 +1,1 @@
+test/test_avalanche.ml: Alcotest Basalt_avalanche Basalt_core Basalt_sim Dag_network Deployment Float Format List Network QCheck QCheck_alcotest Result Snowball Tx_dag

@@ -1,0 +1,1 @@
+test/test_basalt.ml: Alcotest Array Basalt Basalt_core Basalt_hashing Basalt_prng Basalt_proto Config Gen Int List Option QCheck QCheck_alcotest Sample_stream Slot

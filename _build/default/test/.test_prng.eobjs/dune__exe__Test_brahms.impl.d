@@ -1,0 +1,1 @@
+test/test_brahms.ml: Alcotest Array Basalt_brahms Basalt_prng Basalt_proto Brahms Brahms_config List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Array Basalt_codec Basalt_proto Bytes Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Basalt_engine Basalt_prng Engine Event_queue Float Int Link List QCheck QCheck_alcotest

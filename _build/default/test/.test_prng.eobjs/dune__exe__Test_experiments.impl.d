@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Basalt_avalanche Basalt_experiments Basalt_sim Cost Fig2 Float Lazy List Live Printf Result Scale Sps_failure String Sybil Theory Timeline Uniformity

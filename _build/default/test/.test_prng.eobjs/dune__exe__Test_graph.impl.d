@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Basalt_graph Basalt_prng Basalt_proto Components Digraph Float Gen Generators Int Isolation List Metrics Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hashing.ml: Alcotest Array Basalt_hashing Basalt_prng Bytes Char Hashtbl Int64 List Mix Printf QCheck QCheck_alcotest Rank Siphash

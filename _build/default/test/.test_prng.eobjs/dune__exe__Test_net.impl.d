@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Basalt_codec Basalt_core Basalt_net Basalt_proto Buffer Bytes Int32 List Printf Result Unix

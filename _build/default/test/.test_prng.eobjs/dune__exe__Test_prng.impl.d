@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Basalt_prng Float Fun Hashtbl Int List Printf QCheck QCheck_alcotest Rng Splitmix64 String Xoshiro256 Zipf

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array Basalt_prng Basalt_proto Format Int List Message Node_id QCheck QCheck_alcotest Rps View_ops

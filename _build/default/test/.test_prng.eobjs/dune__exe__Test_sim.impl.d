@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Basalt_brahms Basalt_core Basalt_engine Basalt_prng Basalt_proto Basalt_sim Basalt_sps Churn Filename Float List Option Printf Report Runner Scenario String Sweep Sys

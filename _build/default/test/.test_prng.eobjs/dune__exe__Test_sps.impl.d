@@ -1,0 +1,1 @@
+test/test_sps.ml: Alcotest Array Basalt_prng Basalt_proto Basalt_sps Classic Float Indegree_stats List Sps

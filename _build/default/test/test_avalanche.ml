@@ -1,0 +1,382 @@
+(* Tests for basalt.avalanche: Snowball consensus, the consensus network,
+   and the simulated live deployment. *)
+
+open Basalt_avalanche
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Snowball --- *)
+
+let sb_config_validation () =
+  let expect msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  expect "Snowball.config: sample_size <= 0" (fun () ->
+      ignore (Snowball.config ~sample_size:0 ()));
+  expect "Snowball.config: alpha out of (0, sample_size]" (fun () ->
+      ignore (Snowball.config ~sample_size:5 ~alpha:6 ()));
+  expect "Snowball.config: beta <= 0" (fun () ->
+      ignore (Snowball.config ~beta:0 ()))
+
+let sb_color_helpers () =
+  check_bool "equal" true (Snowball.color_equal Snowball.Red Snowball.Red);
+  check_bool "not equal" false (Snowball.color_equal Snowball.Red Snowball.Blue);
+  check_bool "opposite" true
+    (Snowball.color_equal (Snowball.opposite Snowball.Red) Snowball.Blue);
+  Alcotest.(check string) "pp" "red"
+    (Format.asprintf "%a" Snowball.pp_color Snowball.Red)
+
+let votes color n = List.init n (fun _ -> color)
+
+let sb_initial_state () =
+  let t = Snowball.create (Snowball.config ()) Snowball.Red in
+  check_bool "prefers initial" true
+    (Snowball.color_equal (Snowball.preference t) Snowball.Red);
+  check_bool "undecided" false (Snowball.decided t);
+  check_bool "no decision" true (Snowball.decision t = None);
+  check_int "no confidence" 0 (Snowball.confidence t Snowball.Red)
+
+let sb_quorum_updates () =
+  let cfg = Snowball.config ~sample_size:10 ~alpha:7 ~beta:3 () in
+  let t = Snowball.create cfg Snowball.Red in
+  Snowball.register_votes t (votes Snowball.Blue 7 @ votes Snowball.Red 3);
+  check_int "blue confidence" 1 (Snowball.confidence t Snowball.Blue);
+  check_bool "preference flipped" true
+    (Snowball.color_equal (Snowball.preference t) Snowball.Blue);
+  check_int "streak" 1 (Snowball.streak t)
+
+let sb_no_quorum_resets_streak () =
+  let cfg = Snowball.config ~sample_size:10 ~alpha:7 ~beta:3 () in
+  let t = Snowball.create cfg Snowball.Red in
+  Snowball.register_votes t (votes Snowball.Red 8);
+  check_int "streak 1" 1 (Snowball.streak t);
+  Snowball.register_votes t (votes Snowball.Red 5 @ votes Snowball.Blue 5);
+  check_int "streak reset on no quorum" 0 (Snowball.streak t);
+  check_bool "still undecided" false (Snowball.decided t)
+
+let sb_color_flip_restarts_streak () =
+  let cfg = Snowball.config ~sample_size:10 ~alpha:7 ~beta:3 () in
+  let t = Snowball.create cfg Snowball.Red in
+  Snowball.register_votes t (votes Snowball.Red 8);
+  Snowball.register_votes t (votes Snowball.Red 8);
+  check_int "streak 2" 2 (Snowball.streak t);
+  Snowball.register_votes t (votes Snowball.Blue 8);
+  check_int "streak restarted at 1" 1 (Snowball.streak t)
+
+let sb_decides_after_beta () =
+  let cfg = Snowball.config ~sample_size:10 ~alpha:7 ~beta:3 () in
+  let t = Snowball.create cfg Snowball.Blue in
+  for _ = 1 to 3 do
+    Snowball.register_votes t (votes Snowball.Red 8)
+  done;
+  check_bool "decided" true (Snowball.decided t);
+  check_bool "decided red" true (Snowball.decision t = Some Snowball.Red);
+  (* After decision the instance is frozen. *)
+  Snowball.register_votes t (votes Snowball.Blue 10);
+  check_bool "frozen" true (Snowball.decision t = Some Snowball.Red)
+
+let sb_confidence_governs_preference () =
+  let cfg = Snowball.config ~sample_size:10 ~alpha:7 ~beta:100 () in
+  let t = Snowball.create cfg Snowball.Red in
+  Snowball.register_votes t (votes Snowball.Red 8);
+  Snowball.register_votes t (votes Snowball.Red 8);
+  (* One blue quorum does not flip (confidence 1 < red's 2). *)
+  Snowball.register_votes t (votes Snowball.Blue 8);
+  check_bool "keeps red (snowball memory)" true
+    (Snowball.color_equal (Snowball.preference t) Snowball.Red);
+  (* Two more blue quorums overtake. *)
+  Snowball.register_votes t (votes Snowball.Blue 8);
+  Snowball.register_votes t (votes Snowball.Blue 8);
+  check_bool "flips to blue" true
+    (Snowball.color_equal (Snowball.preference t) Snowball.Blue)
+
+(* --- Tx_dag --- *)
+
+let tx id parents conflict = { Tx_dag.Tx.id; parents; conflict }
+
+let dag_genesis () =
+  let d = Tx_dag.create () in
+  check_bool "genesis known" true (Tx_dag.known d 0);
+  check_bool "genesis accepted" true (Tx_dag.accepted d 0);
+  check_bool "genesis preferred" true (Tx_dag.is_preferred d 0);
+  check_int "one tx" 1 (List.length (Tx_dag.transactions d))
+
+let dag_insert () =
+  let d = Tx_dag.create () in
+  check_bool "insert ok" true (Result.is_ok (Tx_dag.insert d (tx 1 [ 0 ] 7)));
+  check_bool "idempotent" true (Result.is_ok (Tx_dag.insert d (tx 1 [ 0 ] 7)));
+  check_bool "unknown parent rejected" true
+    (Result.is_error (Tx_dag.insert d (tx 9 [ 404 ] 7)));
+  check_bool "known" true (Tx_dag.known d 1);
+  Alcotest.(check (list int)) "order" [ 0; 1 ] (Tx_dag.transactions d)
+
+let dag_conflict_sets () =
+  let d = Tx_dag.create () in
+  ignore (Tx_dag.insert d (tx 1 [ 0 ] 7));
+  ignore (Tx_dag.insert d (tx 2 [ 0 ] 7));
+  ignore (Tx_dag.insert d (tx 3 [ 0 ] 8));
+  Alcotest.(check (list int)) "set of 7" [ 1; 2 ] (Tx_dag.conflict_set d (tx 1 [ 0 ] 7));
+  (* First inserted member is initially preferred. *)
+  check_bool "first preferred" true (Tx_dag.is_preferred d 1);
+  check_bool "second not" false (Tx_dag.is_preferred d 2);
+  check_bool "singleton preferred" true (Tx_dag.is_preferred d 3)
+
+let dag_strong_preference () =
+  let d = Tx_dag.create () in
+  ignore (Tx_dag.insert d (tx 1 [ 0 ] 7));
+  ignore (Tx_dag.insert d (tx 2 [ 0 ] 7));
+  ignore (Tx_dag.insert d (tx 3 [ 2 ] 8));
+  (* tx 3 sits on the *non-preferred* branch: not strongly preferred
+     even though its own set is singleton. *)
+  check_bool "own set ok" true (Tx_dag.is_preferred d 3);
+  check_bool "ancestor not preferred" false (Tx_dag.is_strongly_preferred d 3);
+  (* Flip the conflict by giving tx 2 chits. *)
+  Tx_dag.record_query_success d 2;
+  check_bool "preference flipped" true (Tx_dag.is_preferred d 2);
+  check_bool "now strongly preferred" true (Tx_dag.is_strongly_preferred d 3)
+
+let dag_confidence_progeny () =
+  let d = Tx_dag.create () in
+  ignore (Tx_dag.insert d (tx 1 [ 0 ] 7));
+  ignore (Tx_dag.insert d (tx 2 [ 1 ] 8));
+  ignore (Tx_dag.insert d (tx 3 [ 2 ] 9));
+  Tx_dag.record_query_success d 3;
+  (* One chit on the leaf counts toward every ancestor's confidence. *)
+  check_int "leaf" 1 (Tx_dag.confidence d 3);
+  check_int "middle" 1 (Tx_dag.confidence d 2);
+  check_int "root of chain" 1 (Tx_dag.confidence d 1);
+  Tx_dag.record_query_success d 2;
+  check_int "chits accumulate" 2 (Tx_dag.confidence d 1);
+  check_bool "chit recorded" true (Tx_dag.chit d 3);
+  check_bool "no chit" false (Tx_dag.chit d 1)
+
+let dag_acceptance_rules () =
+  let d = Tx_dag.create () in
+  ignore (Tx_dag.insert d (tx 1 [ 0 ] 7));
+  (* Build a chain of singleton-set descendants; each success counts for
+     tx 1's conflict set (consecutive successes of its preferred). *)
+  for i = 2 to 8 do
+    ignore (Tx_dag.insert d (tx i [ i - 1 ] (100 + i)));
+    Tx_dag.record_query_success d i
+  done;
+  (* After 7 descendant successes (plus none for itself), tx 1 has
+     count >= beta1 = 5 in a singleton set. *)
+  check_bool "safe early commitment" true (Tx_dag.accepted ~beta1:5 ~beta2:20 d 1);
+  check_bool "not under larger beta1" false
+    (Tx_dag.accepted ~beta1:10 ~beta2:20 d 1);
+  (* A failure resets the streak. *)
+  Tx_dag.record_query_failure d 8;
+  check_bool "reset by failure" false (Tx_dag.accepted ~beta1:5 ~beta2:20 d 1)
+
+let dag_acceptance_needs_ancestors () =
+  let d = Tx_dag.create () in
+  ignore (Tx_dag.insert d (tx 1 [ 0 ] 7));
+  ignore (Tx_dag.insert d (tx 2 [ 0 ] 7));
+  (* conflicted parent *)
+  ignore (Tx_dag.insert d (tx 3 [ 1 ] 8));
+  for _ = 1 to 6 do
+    Tx_dag.record_query_success d 3
+  done;
+  (* tx 3 has plenty of successes but its parent's set is conflicted and
+     lacks beta2 consecutive successes. *)
+  check_bool "parent gates acceptance" false (Tx_dag.accepted ~beta1:5 ~beta2:20 d 3)
+
+let dag_ancestor_closure () =
+  let d = Tx_dag.create () in
+  ignore (Tx_dag.insert d (tx 1 [ 0 ] 7));
+  ignore (Tx_dag.insert d (tx 2 [ 1 ] 8));
+  let closure = Tx_dag.ancestor_closure d 2 in
+  Alcotest.(check (list int))
+    "topological, parents first" [ 0; 1; 2 ]
+    (List.map (fun t -> t.Tx_dag.Tx.id) closure);
+  (* Replaying a closure into a fresh DAG must always succeed. *)
+  let d2 = Tx_dag.create () in
+  List.iter
+    (fun t -> check_bool "replay ok" true (Result.is_ok (Tx_dag.insert d2 t)))
+    closure
+
+let dag_frontier () =
+  let d = Tx_dag.create () in
+  check_bool "genesis is the frontier" true (Tx_dag.frontier d = [ 0 ]);
+  ignore (Tx_dag.insert d (tx 1 [ 0 ] 7));
+  ignore (Tx_dag.insert d (tx 2 [ 1 ] 8));
+  Alcotest.(check (list int)) "single leaf" [ 2 ] (Tx_dag.frontier d)
+
+(* Property: for any randomly grown DAG, every transaction's ancestor
+   closure replays cleanly into a fresh DAG (parents always precede
+   children). *)
+let prop_closure_replayable =
+  QCheck.Test.make ~name:"ancestor closures always replay" ~count:200
+    QCheck.(small_list (pair (int_bound 9) (int_bound 3)))
+    (fun spec ->
+      let d = Tx_dag.create () in
+      (* Grow a DAG: each entry attaches a new tx to an existing one. *)
+      let next_id = ref 1 in
+      List.iter
+        (fun (parent_hint, conflict) ->
+          let existing = Tx_dag.transactions d in
+          let parent =
+            List.nth existing (parent_hint mod List.length existing)
+          in
+          let tx =
+            { Tx_dag.Tx.id = !next_id; parents = [ parent ]; conflict }
+          in
+          incr next_id;
+          ignore (Tx_dag.insert d tx))
+        spec;
+      List.for_all
+        (fun id ->
+          let closure = Tx_dag.ancestor_closure d id in
+          let fresh = Tx_dag.create () in
+          List.for_all
+            (fun tx -> Result.is_ok (Tx_dag.insert fresh tx))
+            closure
+          && Tx_dag.known fresh id)
+        (Tx_dag.transactions d))
+
+(* --- Dag_network --- *)
+
+let dag_network_validation () =
+  Alcotest.check_raises "betas"
+    (Invalid_argument "Dag_network.config: need 0 < beta1 <= beta2") (fun () ->
+      ignore (Dag_network.config ~beta1:5 ~beta2:4 ()))
+
+let dag_network_safety_and_liveness () =
+  let r =
+    Dag_network.run
+      (Dag_network.config ~n:100 ~f:0.15 ~steps:150.0 ~warmup:20.0
+         ~sampling:
+           (Basalt_avalanche.Network.Service
+              (Basalt_sim.Scenario.Basalt (Basalt_core.Config.make ~v:24 ~k:6 ())))
+         ())
+  in
+  check_bool "safety" true r.Dag_network.safety;
+  check_bool "conflict resolved somewhere" true
+    (r.Dag_network.conflict_resolved_fraction > 0.2);
+  check_bool "virtuous progress" true
+    (r.Dag_network.virtuous_accepted_fraction > 0.2);
+  check_bool "committee pollution bounded" true (r.Dag_network.committee_byz < 0.3)
+
+(* --- Network --- *)
+
+let net_config_validation () =
+  let expect msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  expect "Network.config: f out of [0,1)" (fun () ->
+      ignore (Network.config ~f:1.5 ()));
+  expect "Network.config: steps <= warmup" (fun () ->
+      ignore (Network.config ~warmup:100.0 ~steps:50.0 ()))
+
+let net_honest_convergence () =
+  (* No Byzantine nodes, strong initial majority: everyone decides the
+     majority color and agrees. *)
+  let r =
+    Network.run
+      (Network.config ~n:60 ~f:0.0 ~initial_red:0.8 ~warmup:10.0 ~steps:120.0
+         ~snowball:(Snowball.config ~sample_size:8 ~alpha:6 ~beta:8 ())
+         ~sampling:(Network.Service (Basalt_sim.Scenario.Basalt (Basalt_core.Config.make ~v:16 ~k:4 ())))
+         ())
+  in
+  check_bool "most decide" true (r.Network.decided_fraction > 0.8);
+  check_bool "agreement" true r.Network.agreement;
+  check_bool "majority wins" true (r.Network.decided_red_fraction > 0.99)
+
+let net_full_knowledge () =
+  let r =
+    Network.run
+      (Network.config ~n:60 ~f:0.1 ~initial_red:0.8 ~warmup:5.0 ~steps:100.0
+         ~snowball:(Snowball.config ~sample_size:8 ~alpha:6 ~beta:8 ())
+         ~sampling:Network.Full_knowledge ())
+  in
+  check_bool "decides under mild attack" true (r.Network.decided_fraction > 0.5);
+  check_bool "agreement" true r.Network.agreement;
+  check_bool "committee pollution near f" true (r.Network.committee_byz < 0.3)
+
+let net_queries_counted () =
+  let r =
+    Network.run
+      (Network.config ~n:40 ~f:0.0 ~warmup:5.0 ~steps:50.0
+         ~sampling:Network.Full_knowledge ())
+  in
+  check_bool "queries sent" true (r.Network.queries_sent > 0)
+
+(* --- Deployment --- *)
+
+let deploy_config_validation () =
+  Alcotest.check_raises "adversarial >= n"
+    (Invalid_argument "Deployment.config: adversarial out of [0, n)") (fun () ->
+      ignore (Deployment.config ~n:10 ~adversarial:10 ()))
+
+let deploy_result_shape () =
+  let r =
+    Deployment.run (Deployment.config ~n:120 ~adversarial:24 ~v:30 ~steps:80.0 ())
+  in
+  check_bool "true proportion" true
+    (Float.abs (r.Deployment.true_proportion -. 0.2) < 1e-9);
+  check_bool "basalt prop in [0,1]" true
+    (r.Deployment.basalt_proportion >= 0.0 && r.Deployment.basalt_proportion <= 1.0);
+  check_bool "full-knowledge near truth" true
+    (Float.abs (r.Deployment.full_knowledge_proportion -. 0.2) < 0.1);
+  check_bool "witness emitted samples" true (r.Deployment.witness_samples > 0)
+
+let deploy_witness_survives () =
+  let r =
+    Deployment.run (Deployment.config ~n:120 ~adversarial:24 ~v:30 ~steps:80.0 ())
+  in
+  check_bool "eclipse resisted" false r.Deployment.witness_isolated;
+  (* The §5 headline: the Basalt-derived sampler's malicious proportion
+     stays close to the ground truth despite the concentrated attack. *)
+  check_bool "sampler near truth" true
+    (Float.abs (r.Deployment.basalt_proportion -. r.Deployment.true_proportion)
+    < 0.12)
+
+let () =
+  Alcotest.run "avalanche"
+    [
+      ( "snowball",
+        [
+          Alcotest.test_case "config validation" `Quick sb_config_validation;
+          Alcotest.test_case "color helpers" `Quick sb_color_helpers;
+          Alcotest.test_case "initial state" `Quick sb_initial_state;
+          Alcotest.test_case "quorum updates" `Quick sb_quorum_updates;
+          Alcotest.test_case "no quorum resets streak" `Quick
+            sb_no_quorum_resets_streak;
+          Alcotest.test_case "color flip restarts streak" `Quick
+            sb_color_flip_restarts_streak;
+          Alcotest.test_case "decides after beta" `Quick sb_decides_after_beta;
+          Alcotest.test_case "confidence governs preference" `Quick
+            sb_confidence_governs_preference;
+        ] );
+      ( "tx_dag",
+        [
+          Alcotest.test_case "genesis" `Quick dag_genesis;
+          Alcotest.test_case "insert" `Quick dag_insert;
+          Alcotest.test_case "conflict sets" `Quick dag_conflict_sets;
+          Alcotest.test_case "strong preference" `Quick dag_strong_preference;
+          Alcotest.test_case "confidence over progeny" `Quick
+            dag_confidence_progeny;
+          Alcotest.test_case "acceptance rules" `Quick dag_acceptance_rules;
+          Alcotest.test_case "acceptance needs ancestors" `Quick
+            dag_acceptance_needs_ancestors;
+          Alcotest.test_case "ancestor closure" `Quick dag_ancestor_closure;
+          Alcotest.test_case "frontier" `Quick dag_frontier;
+          QCheck_alcotest.to_alcotest prop_closure_replayable;
+        ] );
+      ( "dag_network",
+        [
+          Alcotest.test_case "config validation" `Quick dag_network_validation;
+          Alcotest.test_case "safety and liveness" `Slow
+            dag_network_safety_and_liveness;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "config validation" `Quick net_config_validation;
+          Alcotest.test_case "honest convergence" `Slow net_honest_convergence;
+          Alcotest.test_case "full knowledge" `Slow net_full_knowledge;
+          Alcotest.test_case "queries counted" `Quick net_queries_counted;
+        ] );
+      ( "deployment",
+        [
+          Alcotest.test_case "config validation" `Quick deploy_config_validation;
+          Alcotest.test_case "result shape" `Slow deploy_result_shape;
+          Alcotest.test_case "witness survives" `Slow deploy_witness_survives;
+        ] );
+    ]

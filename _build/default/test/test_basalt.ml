@@ -1,0 +1,550 @@
+(* Tests for basalt.core: config, slots, the Basalt algorithm, streams. *)
+
+open Basalt_core
+module Node_id = Basalt_proto.Node_id
+module Message = Basalt_proto.Message
+module Rank = Basalt_hashing.Rank
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let id = Node_id.of_int
+let rng () = Basalt_prng.Rng.create ~seed:1234
+
+(* --- Config --- *)
+
+let config_defaults () =
+  let c = Config.default in
+  check_int "v" 160 c.Config.v;
+  check_int "k = v/2" 80 c.Config.k;
+  Alcotest.(check (float 1e-9)) "tau" 1.0 c.Config.tau;
+  Alcotest.(check (float 1e-9)) "rho" 1.0 c.Config.rho;
+  check_bool "exclude_self" true c.Config.exclude_self
+
+let config_validation () =
+  let expect msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  expect "Config.make: v must be positive" (fun () ->
+      ignore (Config.make ~v:0 ()));
+  expect "Config.make: k must be in [1, v]" (fun () ->
+      ignore (Config.make ~v:10 ~k:11 ()));
+  expect "Config.make: k must be in [1, v]" (fun () ->
+      ignore (Config.make ~v:10 ~k:0 ()));
+  expect "Config.make: tau must be positive" (fun () ->
+      ignore (Config.make ~tau:0.0 ()));
+  expect "Config.make: rho must be positive" (fun () ->
+      ignore (Config.make ~rho:(-1.0) ()))
+
+let config_intervals () =
+  let c = Config.make ~v:100 ~k:50 ~rho:2.0 () in
+  Alcotest.(check (float 1e-9)) "refresh = k/rho" 25.0 (Config.refresh_interval c);
+  Alcotest.(check (float 1e-9)) "lifetime = v/rho" 50.0 (Config.slot_lifetime c)
+
+let config_equilibrium () =
+  let c = Config.make ~v:160 () in
+  check_bool "paper base has equilibrium" true
+    (Config.equilibrium_exists c ~n:10_000 ~f:0.1);
+  let tiny = Config.make ~v:10 () in
+  check_bool "tiny view has none" false
+    (Config.equilibrium_exists tiny ~n:10_000 ~f:0.1)
+
+(* --- Slot --- *)
+
+let slot_empty () =
+  let s = Slot.create Rank.Cheap (rng ()) in
+  check_bool "starts empty" true (Slot.peer s = None);
+  check_bool "no rank" true (Slot.best_rank s = None)
+
+let slot_offer_fills () =
+  let s = Slot.create Rank.Cheap (rng ()) in
+  check_bool "first offer accepted" true (Slot.offer s (id 3));
+  check_bool "filled" true (Slot.peer s = Some (id 3))
+
+let slot_keeps_minimum () =
+  let s = Slot.create Rank.Cheap (rng ()) in
+  (* Offer many candidates; the slot must end up holding the argmin of
+     the rank function over all offered ids. *)
+  for i = 0 to 99 do
+    ignore (Slot.offer s (id i))
+  done;
+  let seed = Slot.seed s in
+  let best = ref 0 in
+  for i = 1 to 99 do
+    if Rank.rank seed i < Rank.rank seed !best then best := i
+  done;
+  check_bool "holds global argmin" true (Slot.peer s = Some (id !best))
+
+let slot_rejects_worse () =
+  let s = Slot.create Rank.Cheap (rng ()) in
+  for i = 0 to 99 do
+    ignore (Slot.offer s (id i))
+  done;
+  let held = Slot.peer s in
+  (* Re-offering everything cannot change the held peer. *)
+  let changed = ref false in
+  for i = 0 to 99 do
+    if Slot.offer s (id i) then changed := true
+  done;
+  check_bool "idempotent" false !changed;
+  check_bool "same peer" true (Slot.peer s = held)
+
+let slot_reset () =
+  let r = rng () in
+  let s = Slot.create Rank.Cheap r in
+  ignore (Slot.offer s (id 1));
+  Slot.reset Rank.Cheap r s;
+  check_bool "cleared" true (Slot.peer s = None)
+
+let slot_offer_prepared_agrees () =
+  let r = rng () in
+  let s1 = Slot.create Rank.Cheap r in
+  for i = 0 to 49 do
+    let p = Rank.prepare Rank.Cheap i in
+    let direct = Slot.create Rank.Cheap r in
+    ignore direct;
+    ignore (Slot.offer_prepared s1 (id i) p)
+  done;
+  (* replay with plain offer on a slot with the same seed *)
+  let s2 = Slot.create Rank.Cheap r in
+  ignore s2;
+  (* Equivalent check: prepared ranks equal direct ranks for the held
+     peer. *)
+  match (Slot.peer s1, Slot.best_rank s1) with
+  | Some p, Some rank ->
+      check_int "cached rank is the true rank" rank
+        (Rank.rank (Slot.seed s1) (Node_id.to_int p))
+  | _ -> Alcotest.fail "slot should be filled"
+
+(* --- Basalt --- *)
+
+let capture_send () =
+  let sent = ref [] in
+  let send ~dst msg = sent := (dst, msg) :: !sent in
+  (sent, send)
+
+let make_basalt ?(v = 8) ?(k = 2) ?(bootstrap = Array.init 5 (fun i -> id (i + 1)))
+    () =
+  let _, send = capture_send () in
+  Basalt.create
+    ~config:(Config.make ~v ~k ())
+    ~id:(id 0) ~bootstrap ~rng:(rng ()) ~send ()
+
+let basalt_bootstrap_fills_view () =
+  let t = make_basalt () in
+  let view = Basalt.view t in
+  check_int "all slots filled" 8 (Array.length view);
+  Array.iter
+    (fun p ->
+      check_bool "view entry from bootstrap" true
+        (Node_id.to_int p >= 1 && Node_id.to_int p <= 5))
+    view
+
+let basalt_empty_bootstrap () =
+  let t = make_basalt ~bootstrap:[||] () in
+  check_int "empty view" 0 (Array.length (Basalt.view t));
+  check_bool "no peer" true (Basalt.select_peer t = None);
+  (* on_round with empty view must not crash or send *)
+  Basalt.on_round t
+
+let basalt_excludes_self () =
+  let t = make_basalt ~bootstrap:[| id 0; id 0; id 3 |] () in
+  Array.iter
+    (fun p -> check_bool "self never in view" false (Node_id.equal p (id 0)))
+    (Basalt.view t)
+
+let basalt_update_sample_converges () =
+  let t = make_basalt ~v:16 () in
+  Basalt.update_sample t (Array.init 200 id);
+  (* Every slot must now hold the argmin over all non-self ids. *)
+  Array.iteri
+    (fun _ slot_peer ->
+      match slot_peer with
+      | Some _ -> ()
+      | None -> Alcotest.fail "slot empty after mass update")
+    (Basalt.view_slots t);
+  (* Feeding again changes nothing (stubbornness). *)
+  let before = Basalt.view t in
+  Basalt.update_sample t (Array.init 200 id);
+  Alcotest.(check (array int))
+    "stubborn"
+    (Array.map Node_id.to_int before)
+    (Array.map Node_id.to_int (Basalt.view t))
+
+let basalt_select_peer_member () =
+  let t = make_basalt () in
+  match Basalt.select_peer t with
+  | Some p ->
+      check_bool "selected from view" true
+        (Basalt_proto.View_ops.contains (Basalt.view t) p)
+  | None -> Alcotest.fail "view non-empty"
+
+let basalt_on_round_sends () =
+  let sent, send = capture_send () in
+  let t =
+    Basalt.create
+      ~config:(Config.make ~v:8 ~k:2 ())
+      ~id:(id 0)
+      ~bootstrap:(Array.init 5 (fun i -> id (i + 1)))
+      ~rng:(rng ()) ~send ()
+  in
+  Basalt.on_round t;
+  check_int "two messages per round" 2 (List.length !sent);
+  let kinds = List.map (fun (_, m) -> Message.kind m) !sent in
+  check_bool "one push" true (List.mem "push" kinds);
+  check_bool "one pull" true (List.mem "pull" kinds);
+  check_int "rounds counted" 1 (Basalt.rounds_executed t)
+
+let basalt_pull_answered () =
+  let sent, send = capture_send () in
+  let t =
+    Basalt.create
+      ~config:(Config.make ~v:4 ())
+      ~id:(id 0)
+      ~bootstrap:[| id 1; id 2 |]
+      ~rng:(rng ()) ~send ()
+  in
+  Basalt.on_message t ~from:(id 9) Message.Pull_request;
+  match !sent with
+  | [ (dst, Message.Pull_reply view) ] ->
+      check_int "reply to requester" 9 (Node_id.to_int dst);
+      check_bool "reply carries view" true (Array.length view > 0)
+  | _ -> Alcotest.fail "expected exactly one pull reply"
+
+let basalt_push_includes_sender () =
+  let t = make_basalt ~v:64 ~bootstrap:[| id 1 |] () in
+  (* A push from node 7 carrying nothing new: sender itself must be
+     considered (Alg. 1 line 13). *)
+  Basalt.on_message t ~from:(id 7) (Message.Push [||]);
+  check_bool "sender entered some slot" true
+    (Basalt_proto.View_ops.contains (Basalt.view t) (id 7))
+
+let basalt_sample_tick_emits () =
+  let t = make_basalt ~v:8 ~k:3 () in
+  let samples = Basalt.sample_tick t in
+  check_int "k samples when slots filled" 3 (List.length samples);
+  check_int "counter" 3 (Basalt.samples_emitted t);
+  (* After the tick the view is still full: line 19 re-offered the
+     snapshot to the reset slots. *)
+  check_int "view refilled" 8 (Array.length (Basalt.view t))
+
+let basalt_sample_tick_round_robin () =
+  let t = make_basalt ~v:4 ~k:4 () in
+  (* k = v: every slot sampled exactly once per tick. *)
+  let s1 = Basalt.sample_tick t in
+  check_int "v samples" 4 (List.length s1);
+  let s2 = Basalt.sample_tick t in
+  check_int "again v samples" 4 (List.length s2)
+
+let basalt_sample_tick_empty_slots () =
+  let t = make_basalt ~v:4 ~k:2 ~bootstrap:[||] () in
+  check_bool "no samples from empty view" true (Basalt.sample_tick t = [])
+
+let basalt_sampler_interface () =
+  let maker = Basalt.sampler ~config:(Config.make ~v:8 ()) () in
+  let sent = ref 0 in
+  let s =
+    maker ~id:(id 0)
+      ~bootstrap:(Array.init 4 (fun i -> id (i + 1)))
+      ~rng:(rng ())
+      ~send:(fun ~dst:_ _ -> incr sent)
+  in
+  Alcotest.(check string) "protocol name" "basalt" s.Basalt_proto.Rps.protocol;
+  s.Basalt_proto.Rps.on_round ();
+  check_int "round sends" 2 !sent;
+  check_bool "view non-empty" true
+    (Array.length (s.Basalt_proto.Rps.current_view ()) > 0)
+
+(* Stubbornness against flooding: a slot can only be displaced by an id
+   that genuinely ranks lower, so repeated floods of the SAME malicious
+   ids cannot increase their representation (the paper's core claim). *)
+let basalt_flood_resistance () =
+  let t = make_basalt ~v:64 ~bootstrap:(Array.init 50 (fun i -> id (i + 1))) () in
+  let flood = Array.init 10 (fun i -> id (1000 + i)) in
+  Basalt.update_sample t flood;
+  let count_flood () =
+    Basalt_proto.View_ops.count
+      (fun p -> Node_id.to_int p >= 1000)
+      (Basalt.view t)
+  in
+  let after_once = count_flood () in
+  for _ = 1 to 100 do
+    Basalt.update_sample t flood
+  done;
+  check_int "flooding again gains nothing" after_once (count_flood ())
+
+let basalt_least_used_balances () =
+  let _, send = capture_send () in
+  let t =
+    Basalt.create
+      ~config:(Config.make ~v:8 ~k:2 ~select:Config.Least_used_slot ())
+      ~id:(id 0)
+      ~bootstrap:(Array.init 20 (fun i -> id (i + 1)))
+      ~rng:(rng ()) ~send ()
+  in
+  (* Selecting v times must visit v distinct slots (each selection
+     increments the chosen slot's counter, pushing it to the back). *)
+  let slots = Basalt.view_slots t in
+  let picks = List.init (Array.length slots) (fun _ -> Basalt.select_peer t) in
+  let ids =
+    List.filter_map (Option.map Basalt_proto.Node_id.to_int) picks
+  in
+  check_int "every selection succeeded" (Array.length slots) (List.length ids);
+  (* The multiset of picks equals the multiset of slot peers: each slot
+     used exactly once before any is reused. *)
+  let slot_ids =
+    Array.to_list slots
+    |> List.filter_map (Option.map Basalt_proto.Node_id.to_int)
+    |> List.sort Int.compare
+  in
+  Alcotest.(check (list int))
+    "round of selections covers all slots exactly once" slot_ids
+    (List.sort Int.compare ids)
+
+let basalt_least_used_empty () =
+  let _, send = capture_send () in
+  let t =
+    Basalt.create
+      ~config:(Config.make ~v:4 ~select:Config.Least_used_slot ())
+      ~id:(id 0) ~bootstrap:[||] ~rng:(rng ()) ~send ()
+  in
+  check_bool "no peer from empty view" true (Basalt.select_peer t = None)
+
+let basalt_push_payload_ablation () =
+  let sent, send = capture_send () in
+  let t =
+    Basalt.create
+      ~config:(Config.make ~v:8 ~k:2 ~push_own_id_only:true ())
+      ~id:(id 0)
+      ~bootstrap:(Array.init 5 (fun i -> id (i + 1)))
+      ~rng:(rng ()) ~send ()
+  in
+  Basalt.on_round t;
+  let kinds = List.map (fun (_, m) -> Message.kind m) !sent in
+  check_bool "push carries only the sender id" true (List.mem "push-id" kinds);
+  check_bool "no full-view push" false (List.mem "push" kinds);
+  (* the Push_id must carry the local id *)
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | Message.Push_id p -> check_int "own id" 0 (Node_id.to_int p)
+      | _ -> ())
+    !sent
+
+(* --- Dead-peer eviction --- *)
+
+let eviction_config = Config.make ~v:8 ~k:2 ~evict_after_rounds:2 ()
+
+let eviction_validation () =
+  Alcotest.check_raises "non-positive limit"
+    (Invalid_argument "Config.make: evict_after_rounds must be positive")
+    (fun () -> ignore (Config.make ~evict_after_rounds:0 ()))
+
+let eviction_sheds_silent_peers () =
+  let _, send = capture_send () in
+  let t =
+    Basalt.create ~config:eviction_config ~id:(id 0)
+      ~bootstrap:[| id 1; id 2; id 3 |]
+      ~rng:(rng ()) ~send ()
+  in
+  (* Nobody ever answers: after enough rounds every pulled peer gets
+     evicted and, since no new candidates arrive, the view drains. *)
+  for _ = 1 to 60 do
+    Basalt.on_round t
+  done;
+  check_bool "evictions happened" true (Basalt.evictions t > 0);
+  check_int "view fully drained" 0 (Array.length (Basalt.view t))
+
+let eviction_spares_responsive_peers () =
+  let t_ref = ref None in
+  (* Peers answer every pull instantly. *)
+  let send ~dst msg =
+    match (msg, !t_ref) with
+    | Basalt_proto.Message.Pull_request, Some t ->
+        Basalt.on_message t ~from:dst (Basalt_proto.Message.Push [| dst |])
+    | _ -> ()
+  in
+  let t =
+    Basalt.create ~config:eviction_config ~id:(id 0)
+      ~bootstrap:[| id 1; id 2; id 3 |]
+      ~rng:(rng ()) ~send ()
+  in
+  t_ref := Some t;
+  for _ = 1 to 60 do
+    Basalt.on_round t
+  done;
+  check_int "no evictions for live peers" 0 (Basalt.evictions t);
+  check_bool "view retained" true (Array.length (Basalt.view t) > 0)
+
+let eviction_disabled_by_default () =
+  let _, send = capture_send () in
+  let t =
+    Basalt.create
+      ~config:(Config.make ~v:8 ~k:2 ())
+      ~id:(id 0)
+      ~bootstrap:[| id 1 |]
+      ~rng:(rng ()) ~send ()
+  in
+  for _ = 1 to 60 do
+    Basalt.on_round t
+  done;
+  check_int "no evictions" 0 (Basalt.evictions t);
+  check_bool "silent peers kept (stubbornness)" true
+    (Array.length (Basalt.view t) > 0)
+
+(* --- Sample_stream --- *)
+
+let stream_basics () =
+  let s = Sample_stream.create ~capacity:3 in
+  check_int "empty" 0 (Sample_stream.retained s);
+  Sample_stream.push s (id 1);
+  Sample_stream.push s (id 2);
+  check_int "two retained" 2 (Sample_stream.retained s);
+  check_int "total" 2 (Sample_stream.total s)
+
+let stream_eviction () =
+  let s = Sample_stream.create ~capacity:3 in
+  List.iter (Sample_stream.push s) [ id 1; id 2; id 3; id 4 ];
+  check_int "capped" 3 (Sample_stream.retained s);
+  check_int "total keeps counting" 4 (Sample_stream.total s);
+  Alcotest.(check (list int))
+    "newest first, oldest evicted" [ 4; 3; 2 ]
+    (List.map Node_id.to_int (Sample_stream.recent s 5))
+
+let stream_proportion () =
+  let s = Sample_stream.create ~capacity:10 in
+  List.iter (Sample_stream.push s) [ id 1; id 2; id 3; id 4 ];
+  Alcotest.(check (float 1e-9)) "proportion" 0.5
+    (Sample_stream.proportion (fun x -> Node_id.to_int x mod 2 = 0) s);
+  Alcotest.(check (float 1e-9)) "empty stream" 0.0
+    (Sample_stream.proportion (fun _ -> true) (Sample_stream.create ~capacity:4))
+
+let stream_iter_order () =
+  let s = Sample_stream.create ~capacity:3 in
+  List.iter (Sample_stream.push s) [ id 1; id 2; id 3; id 4 ];
+  let seen = ref [] in
+  Sample_stream.iter (fun x -> seen := Node_id.to_int x :: !seen) s;
+  Alcotest.(check (list int)) "oldest first" [ 4; 3; 2 ] !seen
+
+let stream_draw () =
+  let s = Sample_stream.create ~capacity:8 in
+  check_int "draw from empty" 0
+    (Array.length (Sample_stream.draw s (rng ()) ~k:5));
+  List.iter (Sample_stream.push s) [ id 1; id 2; id 3 ];
+  let d = Sample_stream.draw s (rng ()) ~k:10 in
+  check_int "draws k with replacement" 10 (Array.length d);
+  Array.iter
+    (fun x ->
+      check_bool "drawn from retained" true
+        (List.mem (Node_id.to_int x) [ 1; 2; 3 ]))
+    d
+
+let stream_invalid () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Sample_stream.create: capacity <= 0") (fun () ->
+      ignore (Sample_stream.create ~capacity:0))
+
+(* Model-based test: the ring buffer must behave exactly like an
+   unbounded list truncated to the last [capacity] elements. *)
+let prop_stream_model =
+  QCheck.Test.make ~name:"sample stream matches list reference" ~count:300
+    QCheck.(pair (int_range 1 8) (list small_nat))
+    (fun (capacity, pushes) ->
+      let s = Sample_stream.create ~capacity in
+      let reference = ref [] in
+      List.iter
+        (fun x ->
+          Sample_stream.push s (Node_id.of_int x);
+          reference := x :: !reference)
+        pushes;
+      let expected_window =
+        List.filteri (fun i _ -> i < capacity) !reference
+      in
+      let got =
+        List.map Node_id.to_int (Sample_stream.recent s capacity)
+      in
+      got = expected_window
+      && Sample_stream.total s = List.length pushes
+      && Sample_stream.retained s = List.length expected_window)
+
+let prop_view_subset_of_fed =
+  QCheck.Test.make ~name:"view is a subset of fed identifiers" ~count:200
+    QCheck.(pair small_int (list_of_size (Gen.int_range 1 30) small_nat))
+    (fun (seed, ids) ->
+      let send ~dst:_ _ = () in
+      let t =
+        Basalt.create
+          ~config:(Config.make ~v:8 ())
+          ~id:(Node_id.of_int 0)
+          ~bootstrap:[||]
+          ~rng:(Basalt_prng.Rng.create ~seed)
+          ~send ()
+      in
+      let fed = Array.of_list (List.map (fun i -> Node_id.of_int (i + 1)) ids) in
+      Basalt.update_sample t fed;
+      Array.for_all (Basalt_proto.View_ops.contains fed) (Basalt.view t))
+
+let () =
+  Alcotest.run "basalt"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick config_defaults;
+          Alcotest.test_case "validation" `Quick config_validation;
+          Alcotest.test_case "intervals" `Quick config_intervals;
+          Alcotest.test_case "equilibrium" `Quick config_equilibrium;
+        ] );
+      ( "slot",
+        [
+          Alcotest.test_case "empty" `Quick slot_empty;
+          Alcotest.test_case "offer fills" `Quick slot_offer_fills;
+          Alcotest.test_case "keeps minimum" `Quick slot_keeps_minimum;
+          Alcotest.test_case "rejects worse" `Quick slot_rejects_worse;
+          Alcotest.test_case "reset" `Quick slot_reset;
+          Alcotest.test_case "prepared agrees" `Quick slot_offer_prepared_agrees;
+        ] );
+      ( "basalt",
+        [
+          Alcotest.test_case "bootstrap fills view" `Quick
+            basalt_bootstrap_fills_view;
+          Alcotest.test_case "empty bootstrap" `Quick basalt_empty_bootstrap;
+          Alcotest.test_case "excludes self" `Quick basalt_excludes_self;
+          Alcotest.test_case "update_sample converges" `Quick
+            basalt_update_sample_converges;
+          Alcotest.test_case "select_peer member" `Quick
+            basalt_select_peer_member;
+          Alcotest.test_case "on_round sends" `Quick basalt_on_round_sends;
+          Alcotest.test_case "pull answered" `Quick basalt_pull_answered;
+          Alcotest.test_case "push includes sender" `Quick
+            basalt_push_includes_sender;
+          Alcotest.test_case "sample_tick emits" `Quick basalt_sample_tick_emits;
+          Alcotest.test_case "sample_tick round robin" `Quick
+            basalt_sample_tick_round_robin;
+          Alcotest.test_case "sample_tick empty slots" `Quick
+            basalt_sample_tick_empty_slots;
+          Alcotest.test_case "sampler interface" `Quick basalt_sampler_interface;
+          Alcotest.test_case "flood resistance" `Quick basalt_flood_resistance;
+          Alcotest.test_case "least-used balances" `Quick
+            basalt_least_used_balances;
+          Alcotest.test_case "least-used empty view" `Quick
+            basalt_least_used_empty;
+          Alcotest.test_case "push payload ablation" `Quick
+            basalt_push_payload_ablation;
+          Alcotest.test_case "eviction validation" `Quick eviction_validation;
+          Alcotest.test_case "eviction sheds silent peers" `Quick
+            eviction_sheds_silent_peers;
+          Alcotest.test_case "eviction spares responsive peers" `Quick
+            eviction_spares_responsive_peers;
+          Alcotest.test_case "eviction disabled by default" `Quick
+            eviction_disabled_by_default;
+        ] );
+      ( "sample_stream",
+        [
+          Alcotest.test_case "basics" `Quick stream_basics;
+          Alcotest.test_case "eviction" `Quick stream_eviction;
+          Alcotest.test_case "proportion" `Quick stream_proportion;
+          Alcotest.test_case "iter order" `Quick stream_iter_order;
+          Alcotest.test_case "draw" `Quick stream_draw;
+          Alcotest.test_case "invalid" `Quick stream_invalid;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_view_subset_of_fed; prop_stream_model ] );
+    ]

@@ -1,0 +1,130 @@
+(* Tests for basalt.codec: the binary wire format. *)
+
+module Wire = Basalt_codec.Wire
+module Message = Basalt_proto.Message
+module Node_id = Basalt_proto.Node_id
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let id = Node_id.of_int
+
+let msg_equal a b =
+  match (a, b) with
+  | Message.Pull_request, Message.Pull_request -> true
+  | Message.Pull_reply x, Message.Pull_reply y | Message.Push x, Message.Push y
+    ->
+      Array.length x = Array.length y
+      && Array.for_all2 Node_id.equal x y
+  | Message.Push_id x, Message.Push_id y -> Node_id.equal x y
+  | _ -> false
+
+let round_trip msg =
+  match Wire.decode (Wire.encode msg) with
+  | Ok decoded -> check_bool "round trip" true (msg_equal msg decoded)
+  | Error e -> Alcotest.failf "decode error: %a" Wire.pp_error e
+
+let codec_round_trips () =
+  round_trip Message.Pull_request;
+  round_trip (Message.Pull_reply [||]);
+  round_trip (Message.Pull_reply [| id 1; id 2; id 3 |]);
+  round_trip (Message.Push (Array.init 200 id));
+  round_trip (Message.Push_id (id 0));
+  round_trip (Message.Push_id (id ((1 lsl 48) - 1)))
+
+let codec_size () =
+  check_int "pull is header only" 6
+    (Bytes.length (Wire.encode Message.Pull_request));
+  let m = Message.Push (Array.init 5 id) in
+  check_int "push size" (6 + 40) (Bytes.length (Wire.encode m));
+  check_int "encoded_size agrees" (Bytes.length (Wire.encode m))
+    (Wire.encoded_size m)
+
+let expect_error name buf expected =
+  match Wire.decode buf with
+  | Ok _ -> Alcotest.failf "%s: expected error" name
+  | Error e -> check_bool name true (e = expected)
+
+let codec_rejects_garbage () =
+  expect_error "empty" (Bytes.create 0) Wire.Truncated;
+  expect_error "short header" (Bytes.create 3) Wire.Truncated;
+  let good = Wire.encode (Message.Push [| id 1 |]) in
+  let bad_magic = Bytes.copy good in
+  Bytes.set_uint8 bad_magic 0 0x00;
+  expect_error "bad magic" bad_magic (Wire.Bad_magic 0);
+  let bad_version = Bytes.copy good in
+  Bytes.set_uint8 bad_version 1 9;
+  expect_error "bad version" bad_version (Wire.Bad_version 9);
+  let bad_tag = Bytes.copy good in
+  Bytes.set_uint8 bad_tag 2 7;
+  expect_error "bad tag" bad_tag (Wire.Bad_tag 7);
+  let truncated = Bytes.sub good 0 (Bytes.length good - 1) in
+  expect_error "truncated payload" truncated Wire.Truncated;
+  let trailing = Bytes.cat good (Bytes.make 2 'x') in
+  expect_error "trailing" trailing (Wire.Trailing_garbage 2)
+
+let codec_rejects_negative_id () =
+  let buf = Wire.encode (Message.Push_id (id 1)) in
+  Bytes.set_int64_be buf 6 (-1L);
+  expect_error "negative id" buf Wire.Id_out_of_range
+
+let codec_decode_sub () =
+  let msg = Message.Push [| id 42 |] in
+  let encoded = Wire.encode msg in
+  let padded = Bytes.cat (Bytes.make 3 'p') encoded in
+  (match Wire.decode_sub padded ~off:3 ~len:(Bytes.length encoded) with
+  | Ok decoded -> check_bool "offset decode" true (msg_equal msg decoded)
+  | Error e -> Alcotest.failf "decode error: %a" Wire.pp_error e);
+  Alcotest.check_raises "bad slice"
+    (Invalid_argument "Wire.decode_sub: slice out of bounds") (fun () ->
+      ignore (Wire.decode_sub padded ~off:3 ~len:(Bytes.length padded)))
+
+let codec_too_many_ids () =
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Wire.encode: too many identifiers") (fun () ->
+      ignore (Wire.encode (Message.Push (Array.make (Wire.max_ids + 1) (id 0)))))
+
+(* Fuzz: decoding arbitrary bytes must never raise. *)
+let prop_decode_total =
+  QCheck.Test.make ~name:"decode never raises" ~count:2000
+    QCheck.(string_of_size (Gen.int_range 0 64))
+    (fun s ->
+      match Wire.decode (Bytes.of_string s) with
+      | Ok _ | Error _ -> true)
+
+let prop_round_trip =
+  QCheck.Test.make ~name:"encode/decode round trip" ~count:500
+    QCheck.(list_of_size (Gen.int_range 0 50) (int_bound ((1 lsl 30) - 1)))
+    (fun ids ->
+      let msg = Message.Push (Array.of_list (List.map Node_id.of_int ids)) in
+      match Wire.decode (Wire.encode msg) with
+      | Ok decoded -> msg_equal msg decoded
+      | Error _ -> false)
+
+(* Flipping any single byte of a valid datagram must either fail to
+   decode or decode to a (possibly different) message — never raise. *)
+let prop_bitflip_safe =
+  QCheck.Test.make ~name:"bit flips never raise" ~count:500
+    QCheck.(pair (int_bound 1000) (int_bound 255))
+    (fun (pos, value) ->
+      let buf = Wire.encode (Message.Push (Array.init 20 Node_id.of_int)) in
+      let pos = pos mod Bytes.length buf in
+      Bytes.set_uint8 buf pos value;
+      match Wire.decode buf with Ok _ | Error _ -> true)
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "round trips" `Quick codec_round_trips;
+          Alcotest.test_case "sizes" `Quick codec_size;
+          Alcotest.test_case "rejects garbage" `Quick codec_rejects_garbage;
+          Alcotest.test_case "rejects negative id" `Quick
+            codec_rejects_negative_id;
+          Alcotest.test_case "decode_sub" `Quick codec_decode_sub;
+          Alcotest.test_case "too many ids" `Quick codec_too_many_ids;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_decode_total; prop_round_trip; prop_bitflip_safe ] );
+    ]

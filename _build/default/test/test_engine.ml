@@ -1,0 +1,316 @@
+(* Tests for basalt.engine: event queue, link models, DES engine. *)
+
+open Basalt_engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Event_queue --- *)
+
+let queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3.0 "c";
+  Event_queue.push q ~time:1.0 "a";
+  Event_queue.push q ~time:2.0 "b";
+  Alcotest.(check (option (pair (float 0.0) string)))
+    "first" (Some (1.0, "a")) (Event_queue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string)))
+    "second" (Some (2.0, "b")) (Event_queue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string)))
+    "third" (Some (3.0, "c")) (Event_queue.pop q);
+  check_bool "drained" true (Event_queue.pop q = None)
+
+let queue_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun s -> Event_queue.push q ~time:1.0 s) [ "x"; "y"; "z" ];
+  let order =
+    List.init 3 (fun _ ->
+        match Event_queue.pop q with Some (_, s) -> s | None -> "?")
+  in
+  Alcotest.(check (list string)) "insertion order on ties" [ "x"; "y"; "z" ] order
+
+let queue_size () =
+  let q = Event_queue.create () in
+  check_int "empty" 0 (Event_queue.size q);
+  check_bool "is_empty" true (Event_queue.is_empty q);
+  Event_queue.push q ~time:1.0 0;
+  Event_queue.push q ~time:2.0 1;
+  check_int "two" 2 (Event_queue.size q);
+  ignore (Event_queue.pop q);
+  check_int "one" 1 (Event_queue.size q)
+
+let queue_peek () =
+  let q = Event_queue.create () in
+  check_bool "peek empty" true (Event_queue.peek_time q = None);
+  Event_queue.push q ~time:5.0 ();
+  Event_queue.push q ~time:2.0 ();
+  Alcotest.(check (option (float 0.0))) "peek min" (Some 2.0)
+    (Event_queue.peek_time q);
+  check_int "peek does not remove" 2 (Event_queue.size q)
+
+let queue_interleaved () =
+  let q = Event_queue.create () in
+  for i = 0 to 99 do
+    Event_queue.push q ~time:(float_of_int (99 - i)) (99 - i)
+  done;
+  let prev = ref (-1.0) in
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (t, v) ->
+        check_bool "non-decreasing" true (t >= !prev);
+        check_int "payload matches time" v (int_of_float t);
+        prev := t;
+        drain ()
+  in
+  drain ()
+
+let prop_queue_sorted =
+  QCheck.Test.make ~name:"pops are sorted by time" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.0))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q ~time:t ()) times;
+      let rec drain prev =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, ()) -> t >= prev && drain t
+      in
+      drain neg_infinity)
+
+(* Model-based test: interleave pushes and pops, comparing against a
+   sorted-list reference implementation (stable on ties). *)
+let prop_queue_model =
+  QCheck.Test.make ~name:"queue matches sorted-list reference" ~count:300
+    QCheck.(list (pair bool (int_bound 100)))
+    (fun ops ->
+      let q = Event_queue.create () in
+      (* reference: list of (time, seq, value), kept sorted *)
+      let reference = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (is_push, t) ->
+          if is_push then begin
+            let time = float_of_int t in
+            Event_queue.push q ~time !seq;
+            reference :=
+              List.merge
+                (fun (t1, s1, _) (t2, s2, _) ->
+                  if t1 <> t2 then Float.compare t1 t2 else Int.compare s1 s2)
+                !reference
+                [ (time, !seq, !seq) ];
+            incr seq
+          end
+          else begin
+            match (Event_queue.pop q, !reference) with
+            | None, [] -> ()
+            | Some (t, v), (rt, _, rv) :: rest ->
+                if t <> rt || v <> rv then ok := false;
+                reference := rest
+            | Some _, [] | None, _ :: _ -> ok := false
+          end)
+        ops;
+      (* drain both *)
+      let rec drain () =
+        match (Event_queue.pop q, !reference) with
+        | None, [] -> ()
+        | Some (t, v), (rt, _, rv) :: rest ->
+            if t <> rt || v <> rv then ok := false;
+            reference := rest;
+            drain ()
+        | Some _, [] | None, _ :: _ -> ok := false
+      in
+      drain ();
+      !ok)
+
+(* --- Link models --- *)
+
+let latency_models () =
+  let rng = Basalt_prng.Rng.create ~seed:1 in
+  check_float "zero" 0.0 (Link.Latency.sample Link.Latency.Zero rng);
+  check_float "constant" 0.25 (Link.Latency.sample (Link.Latency.Constant 0.25) rng);
+  for _ = 1 to 100 do
+    let d = Link.Latency.sample (Link.Latency.Uniform { lo = 0.1; hi = 0.2 }) rng in
+    check_bool "uniform in range" true (d >= 0.1 && d <= 0.2)
+  done
+
+let loss_models () =
+  let rng = Basalt_prng.Rng.create ~seed:2 in
+  for _ = 1 to 50 do
+    check_bool "none never drops" false (Link.Loss.drops Link.Loss.None rng);
+    check_bool "p=1 always drops" true
+      (Link.Loss.drops (Link.Loss.Bernoulli 1.0) rng)
+  done
+
+(* --- Engine --- *)
+
+let fresh_engine ?latency ?loss n : string Engine.t =
+  let rng = Basalt_prng.Rng.create ~seed:7 in
+  Engine.create ?latency ?loss ~rng ~n ()
+
+let engine_delivery () =
+  let e = fresh_engine 2 in
+  let received = ref [] in
+  Engine.register e 1 (fun ~from msg -> received := (from, msg) :: !received);
+  Engine.send e ~src:0 ~dst:1 "hello";
+  Engine.run_until e 1.0;
+  Alcotest.(check (list (pair int string)))
+    "delivered" [ (0, "hello") ] !received
+
+let engine_unregistered_ok () =
+  let e = fresh_engine 2 in
+  Engine.send e ~src:0 ~dst:1 "void";
+  Engine.run_until e 1.0;
+  check_int "counted delivered" 1 (Engine.stats e).Engine.delivered
+
+let engine_out_of_range_register () =
+  let e = fresh_engine 2 in
+  Alcotest.check_raises "register out of range"
+    (Invalid_argument "Engine.register: node out of range") (fun () ->
+      Engine.register e 5 (fun ~from:_ _ -> ()))
+
+let engine_timer_order () =
+  let e = fresh_engine 1 in
+  let log = ref [] in
+  Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log);
+  Engine.run_until e 3.0;
+  Alcotest.(check (list string)) "timer order" [ "b"; "a" ] !log
+
+let engine_negative_delay () =
+  let e = fresh_engine 1 in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1.0) ignore)
+
+let engine_every_count () =
+  let e = fresh_engine 1 in
+  let count = ref 0 in
+  Engine.every e ~interval:1.0 (fun () -> incr count);
+  Engine.run_until e 10.5;
+  check_int "fires once per interval" 10 !count;
+  (* Events beyond the horizon stay queued: advancing further fires more. *)
+  Engine.run_until e 12.5;
+  check_int "resumes across horizons" 12 !count
+
+let engine_every_phase () =
+  let e = fresh_engine 1 in
+  let first = ref Float.nan in
+  Engine.every e ~phase:0.25 ~interval:1.0 (fun () ->
+      if Float.is_nan !first then first := Engine.now e);
+  Engine.run_until e 2.0;
+  check_float "first firing at phase" 0.25 !first
+
+let engine_every_invalid () =
+  let e = fresh_engine 1 in
+  Alcotest.check_raises "zero interval"
+    (Invalid_argument "Engine.every: interval must be > 0") (fun () ->
+      Engine.every e ~interval:0.0 ignore)
+
+let engine_clock_advances () =
+  let e = fresh_engine 1 in
+  check_float "starts at 0" 0.0 (Engine.now e);
+  Engine.run_until e 5.0;
+  check_float "reaches horizon" 5.0 (Engine.now e)
+
+let engine_message_before_next_round () =
+  (* A message sent during a round-t timer must be delivered before a
+     round t+1 timer (the zero-latency epsilon guarantee). *)
+  let e = fresh_engine 2 in
+  let log = ref [] in
+  Engine.register e 1 (fun ~from:_ _ -> log := "deliver" :: !log);
+  Engine.every e ~phase:1.0 ~interval:1.0 (fun () ->
+      log := "round" :: !log;
+      Engine.send e ~src:0 ~dst:1 "m");
+  Engine.run_until e 2.5;
+  Alcotest.(check (list string))
+    "delivery interleaves rounds"
+    [ "deliver"; "round"; "deliver"; "round" ]
+    !log
+
+let engine_step () =
+  let e = fresh_engine 1 in
+  check_bool "no events" false (Engine.step e);
+  Engine.schedule e ~delay:1.0 ignore;
+  check_bool "one event" true (Engine.step e);
+  check_bool "drained" false (Engine.step e)
+
+let engine_stats () =
+  let e = fresh_engine 2 in
+  Engine.register e 1 (fun ~from:_ _ -> ());
+  Engine.send e ~src:0 ~dst:1 "x";
+  Engine.send e ~src:0 ~dst:1 "y";
+  Engine.schedule e ~delay:0.5 ignore;
+  Engine.run_until e 1.0;
+  let s = Engine.stats e in
+  check_int "sent" 2 s.Engine.sent;
+  check_int "delivered" 2 s.Engine.delivered;
+  check_int "dropped" 0 s.Engine.dropped;
+  check_int "events = deliveries + timers" 3 s.Engine.events
+
+let engine_loss () =
+  let e = fresh_engine ~loss:(Link.Loss.Bernoulli 1.0) 2 in
+  Engine.register e 1 (fun ~from:_ _ -> Alcotest.fail "should be dropped");
+  for _ = 1 to 10 do
+    Engine.send e ~src:0 ~dst:1 "x"
+  done;
+  Engine.run_until e 1.0;
+  let s = Engine.stats e in
+  check_int "all dropped" 10 s.Engine.dropped;
+  check_int "none delivered" 0 s.Engine.delivered
+
+let engine_latency () =
+  let e = fresh_engine ~latency:(Link.Latency.Constant 2.0) 2 in
+  let arrival = ref Float.nan in
+  Engine.register e 1 (fun ~from:_ _ -> arrival := Engine.now e);
+  Engine.send e ~src:0 ~dst:1 "x";
+  Engine.run_until e 1.0;
+  check_bool "not yet delivered" true (Float.is_nan !arrival);
+  Engine.run_until e 3.0;
+  check_bool "delivered after latency" true (!arrival >= 2.0 && !arrival < 2.1)
+
+let engine_n () =
+  let e = fresh_engine 5 in
+  check_int "n" 5 (Engine.n e)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick queue_order;
+          Alcotest.test_case "fifo ties" `Quick queue_fifo_ties;
+          Alcotest.test_case "size" `Quick queue_size;
+          Alcotest.test_case "peek" `Quick queue_peek;
+          Alcotest.test_case "interleaved" `Quick queue_interleaved;
+          QCheck_alcotest.to_alcotest prop_queue_sorted;
+          QCheck_alcotest.to_alcotest prop_queue_model;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "latency models" `Quick latency_models;
+          Alcotest.test_case "loss models" `Quick loss_models;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "delivery" `Quick engine_delivery;
+          Alcotest.test_case "unregistered dst" `Quick engine_unregistered_ok;
+          Alcotest.test_case "register out of range" `Quick
+            engine_out_of_range_register;
+          Alcotest.test_case "timer order" `Quick engine_timer_order;
+          Alcotest.test_case "negative delay" `Quick engine_negative_delay;
+          Alcotest.test_case "every count" `Quick engine_every_count;
+          Alcotest.test_case "every phase" `Quick engine_every_phase;
+          Alcotest.test_case "every invalid" `Quick engine_every_invalid;
+          Alcotest.test_case "clock advances" `Quick engine_clock_advances;
+          Alcotest.test_case "message before next round" `Quick
+            engine_message_before_next_round;
+          Alcotest.test_case "step" `Quick engine_step;
+          Alcotest.test_case "stats" `Quick engine_stats;
+          Alcotest.test_case "loss" `Quick engine_loss;
+          Alcotest.test_case "latency" `Quick engine_latency;
+          Alcotest.test_case "n" `Quick engine_n;
+        ] );
+    ]

@@ -1,0 +1,322 @@
+(* Tests for basalt.graph: snapshots, metrics, isolation, components. *)
+
+open Basalt_graph
+module Node_id = Basalt_proto.Node_id
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let id = Node_id.of_int
+let rng () = Basalt_prng.Rng.create ~seed:21
+let no_malicious _ = false
+
+(* --- Digraph --- *)
+
+let digraph_dedup_selfloop () =
+  let g = Digraph.of_adjacency [| [| 1; 1; 0; 2 |]; [| 0 |]; [||] |] in
+  Alcotest.(check (list int))
+    "self-loop and dup removed" [ 1; 2 ]
+    (Array.to_list (Digraph.out_neighbors g 0));
+  check_int "n" 3 (Digraph.n g);
+  check_int "edges" 3 (Digraph.edge_count g)
+
+let digraph_out_of_range () =
+  Alcotest.check_raises "bad target"
+    (Invalid_argument "Digraph: vertex out of range") (fun () ->
+      ignore (Digraph.of_adjacency [| [| 5 |] |]))
+
+let digraph_in_degrees () =
+  let g = Digraph.of_adjacency [| [| 1; 2 |]; [| 2 |]; [||] |] in
+  Alcotest.(check (array int)) "in-degrees" [| 0; 1; 2 |] (Digraph.in_degrees g)
+
+let digraph_transpose () =
+  let g = Digraph.of_adjacency [| [| 1 |]; [| 2 |]; [||] |] in
+  let r = Digraph.transpose g in
+  check_bool "reversed edge" true (Digraph.has_edge r 1 0);
+  check_bool "reversed edge 2" true (Digraph.has_edge r 2 1);
+  check_int "edge count preserved" (Digraph.edge_count g) (Digraph.edge_count r)
+
+let digraph_has_edge () =
+  let g = Digraph.of_adjacency [| [| 1 |]; [||] |] in
+  check_bool "present" true (Digraph.has_edge g 0 1);
+  check_bool "absent" false (Digraph.has_edge g 1 0)
+
+let digraph_undirected_neighbors () =
+  let g = Digraph.of_adjacency [| [| 1 |]; [| 2 |]; [| 0 |] |] in
+  let u = Digraph.undirected_neighbors g 0 in
+  Alcotest.(check (list int)) "union of both directions" [ 1; 2 ]
+    (List.sort Int.compare (Array.to_list u))
+
+let digraph_of_views () =
+  let views = [| [| id 1; id 1 |]; [| id 0 |]; [||] |] in
+  let g = Digraph.of_views ~n:3 (fun u -> views.(u)) in
+  check_int "edges deduped" 2 (Digraph.edge_count g)
+
+(* --- Metrics --- *)
+
+let complete_graph n =
+  Digraph.of_adjacency
+    (Array.init n (fun u -> Array.init n (fun v -> v) |> Array.to_list
+                            |> List.filter (fun v -> v <> u) |> Array.of_list))
+
+let clustering_complete () =
+  let g = complete_graph 5 in
+  check_float "complete graph = 1" 1.0
+    (Metrics.clustering_coefficient ~rng:(rng ()) ~is_malicious:no_malicious g)
+
+let clustering_star () =
+  (* Star: center 0 connected to 1..4, no edges among leaves. *)
+  let g = Digraph.of_adjacency [| [| 1; 2; 3; 4 |]; [||]; [||]; [||]; [||] |] in
+  check_float "star = 0" 0.0
+    (Metrics.clustering_coefficient ~rng:(rng ()) ~is_malicious:no_malicious g)
+
+let clustering_malicious_convention () =
+  (* Star whose leaves are all malicious: the paper's convention assumes
+     malicious nodes form a clique, so the correct center sees a fully
+     connected neighborhood. *)
+  let g = Digraph.of_adjacency [| [| 1; 2; 3; 4 |]; [||]; [||]; [||]; [||] |] in
+  check_float "malicious clique assumed" 1.0
+    (Metrics.clustering_coefficient ~rng:(rng ())
+       ~is_malicious:(fun u -> u > 0)
+       g)
+
+let path_length_chain () =
+  (* 0 -> 1 -> 2 -> 3: from each source distances to all reachable.
+     Sum of distances: from 0: 1+2+3; from 1: 1+2; from 2: 1; total 10 over
+     6 pairs. *)
+  let g = Digraph.of_adjacency [| [| 1 |]; [| 2 |]; [| 3 |]; [||] |] in
+  let mpl =
+    Metrics.mean_path_length ~rng:(rng ()) ~is_malicious:no_malicious g
+  in
+  check_float "chain mpl" (10.0 /. 6.0) mpl
+
+let path_length_skips_malicious () =
+  (* 0 -> 1 -> 2 where 1 is malicious: 2 unreachable through correct
+     nodes, so only no finite correct-to-correct paths exist -> nan. *)
+  let g = Digraph.of_adjacency [| [| 1 |]; [| 2 |]; [||] |] in
+  let mpl =
+    Metrics.mean_path_length ~rng:(rng ()) ~is_malicious:(fun u -> u = 1) g
+  in
+  check_bool "no correct path" true (Float.is_nan mpl)
+
+let reachable_fraction_cases () =
+  let complete = complete_graph 4 in
+  check_float "complete reaches all" 1.0
+    (Metrics.reachable_fraction ~rng:(rng ()) ~is_malicious:no_malicious
+       complete);
+  let disconnected = Digraph.of_adjacency [| [||]; [||] |] in
+  check_float "no edges reaches none" 0.0
+    (Metrics.reachable_fraction ~rng:(rng ()) ~is_malicious:no_malicious
+       disconnected)
+
+let indegree_metrics () =
+  (* Ring: every in-degree is 1 -> spread 0. *)
+  let ring = Digraph.of_adjacency [| [| 1 |]; [| 2 |]; [| 3 |]; [| 0 |] |] in
+  check_float "regular ring spread" 0.0
+    (Metrics.indegree_decile_spread ~is_malicious:no_malicious ring);
+  let deg = Metrics.indegrees_correct ~is_malicious:no_malicious ring in
+  Alcotest.(check (array int)) "all ones" [| 1; 1; 1; 1 |] deg
+
+let indegree_ignores_malicious_edges () =
+  (* Edges from malicious node 0 must not count. *)
+  let g = Digraph.of_adjacency [| [| 1; 2 |]; [| 2 |]; [||] |] in
+  let deg = Metrics.indegrees_correct ~is_malicious:(fun u -> u = 0) g in
+  Alcotest.(check (array int)) "only correct-to-correct" [| 0; 1 |] deg
+
+(* --- Isolation --- *)
+
+let isolation_cases () =
+  let is_mal p = Node_id.to_int p >= 100 in
+  check_bool "empty view isolated" true (Isolation.is_isolated ~is_malicious:is_mal [||]);
+  check_bool "all malicious isolated" true
+    (Isolation.is_isolated ~is_malicious:is_mal [| id 100; id 101 |]);
+  check_bool "one correct saves" false
+    (Isolation.is_isolated ~is_malicious:is_mal [| id 100; id 3 |])
+
+let isolation_count_fraction () =
+  let is_mal p = Node_id.to_int p >= 100 in
+  let views = function
+    | 0 -> [| id 100 |] (* isolated *)
+    | 1 -> [| id 2 |] (* fine *)
+    | _ -> [||] (* isolated *)
+  in
+  check_int "count" 2 (Isolation.count ~is_malicious:is_mal ~views ~correct:[ 0; 1; 2 ]);
+  check_float "fraction" (2.0 /. 3.0)
+    (Isolation.fraction ~is_malicious:is_mal ~views ~correct:[ 0; 1; 2 ]);
+  check_float "empty correct" 0.0
+    (Isolation.fraction ~is_malicious:is_mal ~views ~correct:[])
+
+(* --- Components --- *)
+
+let weak_components () =
+  (* Two weakly connected islands: {0,1} and {2}. *)
+  let g = Digraph.of_adjacency [| [| 1 |]; [||]; [||] |] in
+  let labels = Components.weakly_connected g in
+  check_int "two components" 2 (Components.count_components labels);
+  check_bool "0 and 1 together" true (labels.(0) = labels.(1));
+  check_bool "2 apart" true (labels.(2) <> labels.(0))
+
+let weak_restrict () =
+  (* Restricting away the bridge vertex splits the component. *)
+  let g = Digraph.of_adjacency [| [| 1 |]; [| 2 |]; [||] |] in
+  let labels = Components.weakly_connected ~restrict:(fun u -> u <> 1) g in
+  check_int "bridge removed" 2 (Components.count_components labels);
+  check_int "excluded labelled -1" (-1) labels.(1)
+
+let largest_fraction () =
+  let g = Digraph.of_adjacency [| [| 1 |]; [||]; [||]; [||] |] in
+  check_float "2 of 4" 0.5 (Components.largest_component_fraction g)
+
+let scc_cycle () =
+  let g = Digraph.of_adjacency [| [| 1 |]; [| 2 |]; [| 0 |] |] in
+  let labels = Components.strongly_connected g in
+  check_int "one scc" 1 (Components.count_components labels)
+
+let scc_dag () =
+  let g = Digraph.of_adjacency [| [| 1 |]; [| 2 |]; [||] |] in
+  let labels = Components.strongly_connected g in
+  check_int "three sccs" 3 (Components.count_components labels)
+
+let scc_mixed () =
+  (* A 2-cycle {0,1} plus a tail 2 -> 0. *)
+  let g = Digraph.of_adjacency [| [| 1 |]; [| 0 |]; [| 0 |] |] in
+  let labels = Components.strongly_connected g in
+  check_int "two sccs" 2 (Components.count_components labels);
+  check_bool "cycle grouped" true (labels.(0) = labels.(1));
+  check_bool "tail separate" true (labels.(2) <> labels.(0))
+
+(* --- Generators --- *)
+
+let gen_rng () = Basalt_prng.Rng.create ~seed:33
+
+let generators_erdos_renyi () =
+  let g = Generators.erdos_renyi (gen_rng ()) ~n:200 ~p:0.1 in
+  check_int "n" 200 (Digraph.n g);
+  (* Expected edges: n(n-1)p = 3980; allow 10%. *)
+  let e = Digraph.edge_count g in
+  check_bool (Printf.sprintf "edge count (%d)" e) true
+    (abs (e - 3980) < 400);
+  (* The clustering metric works on the undirected closure, where a pair
+     is adjacent with probability 1 - (1-p)^2 = 2p - p^2. *)
+  let cc =
+    Metrics.clustering_coefficient ~rng:(gen_rng ()) ~is_malicious:no_malicious g
+  in
+  let expected = (2.0 *. 0.1) -. (0.1 *. 0.1) in
+  check_bool
+    (Printf.sprintf "clustering ~ 2p - p^2 (%.3f)" cc)
+    true
+    (Float.abs (cc -. expected) < 0.03);
+  Alcotest.check_raises "p range"
+    (Invalid_argument "Generators.erdos_renyi: p out of [0,1]") (fun () ->
+      ignore (Generators.erdos_renyi (gen_rng ()) ~n:5 ~p:1.5))
+
+let generators_k_out () =
+  let g = Generators.k_out (gen_rng ()) ~n:100 ~k:8 in
+  for u = 0 to 99 do
+    check_int "out-degree k" 8 (Digraph.out_degree g u)
+  done;
+  (* k-out graphs are (overwhelmingly likely) weakly connected. *)
+  Alcotest.(check (float 1e-9)) "connected" 1.0
+    (Components.largest_component_fraction g);
+  check_int "k clamps at n-1" 4 (Digraph.out_degree (Generators.k_out (gen_rng ()) ~n:5 ~k:10) 0)
+
+let generators_ring () =
+  let g = Generators.ring (gen_rng ()) ~n:10 in
+  check_int "edges" 10 (Digraph.edge_count g);
+  check_bool "is a cycle" true (Digraph.has_edge g 9 0);
+  let mpl = Metrics.mean_path_length ~rng:(gen_rng ()) ~is_malicious:no_malicious g in
+  (* Directed ring of n: mean distance = n/2 = 5. *)
+  check_bool (Printf.sprintf "long paths (%.2f)" mpl) true (Float.abs (mpl -. 5.0) < 0.01);
+  let g2 = Generators.ring ~shortcuts:30 (gen_rng ()) ~n:100 in
+  let mpl_ring =
+    Metrics.mean_path_length ~rng:(gen_rng ()) ~is_malicious:no_malicious
+      (Generators.ring (gen_rng ()) ~n:100)
+  in
+  let mpl_sw = Metrics.mean_path_length ~rng:(gen_rng ()) ~is_malicious:no_malicious g2 in
+  check_bool "shortcuts shrink paths" true (mpl_sw < mpl_ring)
+
+let generators_preferential () =
+  let g = Generators.preferential_attachment (gen_rng ()) ~n:300 ~out_degree:3 in
+  check_int "n" 300 (Digraph.n g);
+  (* Preferential attachment concentrates in-degree far more than k-out:
+     compare the max in-degree. *)
+  let max_in a = Array.fold_left max 0 a in
+  let pa_max = max_in (Digraph.in_degrees g) in
+  let ko_max =
+    max_in (Digraph.in_degrees (Generators.k_out (gen_rng ()) ~n:300 ~k:3))
+  in
+  check_bool
+    (Printf.sprintf "heavy tail (pa=%d vs kout=%d)" pa_max ko_max)
+    true (pa_max > 2 * ko_max)
+
+let prop_scc_refines_weak =
+  QCheck.Test.make ~name:"SCCs refine weak components" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 30) (pair (int_bound 9) (int_bound 9)))
+    (fun edges ->
+      let adj = Array.make 10 [] in
+      List.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) edges;
+      let g = Digraph.of_adjacency (Array.map Array.of_list adj) in
+      let weak = Components.weakly_connected g in
+      let scc = Components.strongly_connected g in
+      (* Same SCC implies same weak component. *)
+      let ok = ref true in
+      for u = 0 to 9 do
+        for v = 0 to 9 do
+          if scc.(u) = scc.(v) && weak.(u) <> weak.(v) then ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "dedup/self-loop" `Quick digraph_dedup_selfloop;
+          Alcotest.test_case "out of range" `Quick digraph_out_of_range;
+          Alcotest.test_case "in-degrees" `Quick digraph_in_degrees;
+          Alcotest.test_case "transpose" `Quick digraph_transpose;
+          Alcotest.test_case "has_edge" `Quick digraph_has_edge;
+          Alcotest.test_case "undirected neighbors" `Quick
+            digraph_undirected_neighbors;
+          Alcotest.test_case "of_views" `Quick digraph_of_views;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "clustering complete" `Quick clustering_complete;
+          Alcotest.test_case "clustering star" `Quick clustering_star;
+          Alcotest.test_case "clustering malicious convention" `Quick
+            clustering_malicious_convention;
+          Alcotest.test_case "path length chain" `Quick path_length_chain;
+          Alcotest.test_case "paths skip malicious" `Quick
+            path_length_skips_malicious;
+          Alcotest.test_case "reachable fraction" `Quick
+            reachable_fraction_cases;
+          Alcotest.test_case "indegree metrics" `Quick indegree_metrics;
+          Alcotest.test_case "indegree ignores malicious" `Quick
+            indegree_ignores_malicious_edges;
+        ] );
+      ( "isolation",
+        [
+          Alcotest.test_case "cases" `Quick isolation_cases;
+          Alcotest.test_case "count/fraction" `Quick isolation_count_fraction;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "weak components" `Quick weak_components;
+          Alcotest.test_case "weak restrict" `Quick weak_restrict;
+          Alcotest.test_case "largest fraction" `Quick largest_fraction;
+          Alcotest.test_case "scc cycle" `Quick scc_cycle;
+          Alcotest.test_case "scc dag" `Quick scc_dag;
+          Alcotest.test_case "scc mixed" `Quick scc_mixed;
+          QCheck_alcotest.to_alcotest prop_scc_refines_weak;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "erdos-renyi" `Quick generators_erdos_renyi;
+          Alcotest.test_case "k-out" `Quick generators_k_out;
+          Alcotest.test_case "ring" `Quick generators_ring;
+          Alcotest.test_case "preferential attachment" `Quick
+            generators_preferential;
+        ] );
+    ]

@@ -1,0 +1,310 @@
+(* Tests for basalt.hashing: SipHash, mixers, rank functions. *)
+
+open Basalt_hashing
+
+let check_i64 = Alcotest.(check int64)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* The reference-implementation test key: k = 000102...0f (little
+   endian words). *)
+let ref_key = Siphash.key_of_ints 0x0706050403020100L 0x0F0E0D0C0B0A0908L
+
+(* Expected SipHash-2-4 outputs for inputs 00, 00 01, 00 01 02, ... taken
+   from the reference implementation's vectors_sip64 table (converted from
+   output bytes to little-endian u64). *)
+let siphash24_vector len =
+  match len with
+  | 0 -> 0x726FDB47DD0E0E31L
+  | 1 -> 0x74F839C593DC67FDL
+  | 2 -> 0x0D6C8009D9A94F5AL
+  | 3 -> 0x85676696D7FB7E2DL
+  | 4 -> 0xCF2794E0277187B7L
+  | 5 -> 0x18765564CD99A68DL
+  | 6 -> 0xCBC9466E58FEE3CEL
+  | 7 -> 0xAB0200F58B01D137L
+  | 8 -> 0x93F5F5799A932462L
+  | 15 -> 0xA129CA6149BE45E5L
+  | _ -> invalid_arg "no vector"
+
+let input_bytes len = Bytes.init len Char.chr
+
+let siphash_reference_vectors () =
+  List.iter
+    (fun len ->
+      check_i64
+        (Printf.sprintf "vector len=%d" len)
+        (siphash24_vector len)
+        (Siphash.hash_bytes ref_key (input_bytes len)))
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 15 ]
+
+let siphash_int64_consistency () =
+  (* hash_int64 must agree with hash_bytes on the 8-byte LE encoding. *)
+  List.iter
+    (fun x ->
+      let b = Bytes.create 8 in
+      Bytes.set_int64_le b 0 x;
+      check_i64
+        (Printf.sprintf "int64 %Ld" x)
+        (Siphash.hash_bytes ref_key b)
+        (Siphash.hash_int64 ref_key x))
+    [ 0L; 1L; -1L; 0x0706050403020100L; Int64.max_int; Int64.min_int ]
+
+let siphash_pair_consistency () =
+  List.iter
+    (fun (a, b) ->
+      let buf = Bytes.create 16 in
+      Bytes.set_int64_le buf 0 a;
+      Bytes.set_int64_le buf 8 b;
+      check_i64 "pair = bytes"
+        (Siphash.hash_bytes ref_key buf)
+        (Siphash.hash_int64_pair ref_key a b))
+    [ (0L, 0L); (1L, 2L); (-5L, 77L); (Int64.max_int, Int64.min_int) ]
+
+let siphash_string () =
+  check_i64 "string = bytes"
+    (Siphash.hash_bytes ref_key (Bytes.of_string "hello"))
+    (Siphash.hash_string ref_key "hello")
+
+let siphash_key_sensitivity () =
+  let k2 = Siphash.key_of_ints 1L 2L in
+  check_bool "different keys differ" true
+    (Siphash.hash_int ref_key 42 <> Siphash.hash_int k2 42)
+
+let siphash13_differs () =
+  check_bool "1-3 differs from 2-4" true
+    (Siphash.hash_int ~c:1 ~d:3 ref_key 42 <> Siphash.hash_int ref_key 42)
+
+let siphash_key_of_rng () =
+  let rng = Basalt_prng.Rng.create ~seed:3 in
+  let k1 = Siphash.key_of_rng rng in
+  let k2 = Siphash.key_of_rng rng in
+  check_bool "fresh keys differ" true
+    (Siphash.hash_int k1 1 <> Siphash.hash_int k2 1)
+
+(* --- Mixers --- *)
+
+let mix64_matches_splitmix () =
+  List.iter
+    (fun x ->
+      check_i64 "mix64 = splitmix finalizer" (Basalt_prng.Splitmix64.mix x)
+        (Mix.mix64 x))
+    [ 0L; 1L; -1L; 123456789L ]
+
+let fmix64_known () =
+  (* fmix64 0 = 0 is a well-known fixed point of the murmur finalizer. *)
+  check_i64 "fmix64 0" 0L (Mix.fmix64 0L);
+  check_bool "fmix64 1" true (Mix.fmix64 1L <> 1L)
+
+let mix63_non_negative () =
+  List.iter
+    (fun x -> check_bool "non-negative" true (Mix.mix63 x >= 0))
+    [ 0; 1; -1; max_int; min_int; 42 ]
+
+let mix63_no_easy_collisions () =
+  let seen = Hashtbl.create 10_000 in
+  for i = 0 to 9_999 do
+    let h = Mix.mix63 i in
+    check_bool "no collision among consecutive" false (Hashtbl.mem seen h);
+    Hashtbl.add seen h ()
+  done
+
+let combine63_depends_on_both () =
+  check_bool "seed matters" true (Mix.combine63 1 42 <> Mix.combine63 2 42);
+  check_bool "value matters" true (Mix.combine63 1 42 <> Mix.combine63 1 43)
+
+let fnv1a_vectors () =
+  check_i64 "empty" 0xCBF29CE484222325L (Mix.fnv1a64 "");
+  check_i64 "a" 0xAF63DC4C8601EC8CL (Mix.fnv1a64 "a");
+  check_i64 "foobar" 0x85944171F73967E8L (Mix.fnv1a64 "foobar")
+
+(* --- Rank --- *)
+
+let rank_deterministic () =
+  let rng = Basalt_prng.Rng.create ~seed:11 in
+  let seed = Rank.fresh Rank.Cheap rng in
+  check_int "same input same rank" (Rank.rank seed 7) (Rank.rank seed 7)
+
+let rank_non_negative () =
+  let rng = Basalt_prng.Rng.create ~seed:12 in
+  List.iter
+    (fun backend ->
+      let seed = Rank.fresh backend rng in
+      for id = 0 to 100 do
+        check_bool "rank >= 0" true (Rank.rank seed id >= 0)
+      done)
+    [ Rank.Cheap; Rank.Siphash ref_key ]
+
+let rank_prepared_agrees () =
+  let rng = Basalt_prng.Rng.create ~seed:13 in
+  List.iter
+    (fun backend ->
+      let seed = Rank.fresh backend rng in
+      for id = 0 to 50 do
+        let p = Rank.prepare backend id in
+        check_int "prepared = direct" (Rank.rank seed id)
+          (Rank.rank_prepared seed p)
+      done)
+    [ Rank.Cheap; Rank.Siphash ref_key ]
+
+let rank_of_int_deterministic () =
+  let s1 = Rank.of_int Rank.Cheap 99 and s2 = Rank.of_int Rank.Cheap 99 in
+  check_int "same seed value" (Rank.rank s1 5) (Rank.rank s2 5);
+  check_int "seed_value round trip" 99 (Rank.seed_value s1)
+
+let rank_seed_changes_order () =
+  (* Two fresh seeds should order a candidate set differently (with
+     overwhelming probability over 64-bit seeds). *)
+  let rng = Basalt_prng.Rng.create ~seed:14 in
+  let s1 = Rank.fresh Rank.Cheap rng and s2 = Rank.fresh Rank.Cheap rng in
+  let argmin s =
+    let best = ref 0 in
+    for id = 1 to 999 do
+      if Rank.rank s id < Rank.rank s !best then best := id
+    done;
+    !best
+  in
+  check_bool "different winners (overwhelmingly likely)" true
+    (argmin s1 <> argmin s2)
+
+(* Min-wise independence: with fresh random seeds, each of n candidates
+   wins the argmin with probability ~1/n.  This is the property Basalt's
+   uniform sampling rests on; test both backends. *)
+let rank_minwise_uniformity backend () =
+  let rng = Basalt_prng.Rng.create ~seed:15 in
+  let n = 20 in
+  let trials = 20_000 in
+  let wins = Array.make n 0 in
+  for _ = 1 to trials do
+    let seed = Rank.fresh backend rng in
+    let best = ref 0 in
+    for id = 1 to n - 1 do
+      if Rank.rank seed id < Rank.rank seed !best then best := id
+    done;
+    wins.(!best) <- wins.(!best) + 1
+  done;
+  let expected = trials / n in
+  Array.iteri
+    (fun i w ->
+      check_bool
+        (Printf.sprintf "candidate %d wins ~uniformly (%d)" i w)
+        true
+        (abs (w - expected) < expected / 4))
+    wins
+
+(* --- Prefix-diverse ranking (the §6 crafted rank function) --- *)
+
+let prefix_backend = Rank.Prefix_diverse { prefix_of = (fun id -> id / 100) }
+
+let prefix_rank_deterministic () =
+  let s = Rank.of_int prefix_backend 5 in
+  check_int "deterministic" (Rank.rank s 42) (Rank.rank s 42);
+  check_bool "non-negative" true (Rank.rank s 42 >= 0)
+
+let prefix_rank_prefix_dominates () =
+  (* All identifiers of the best-ranked prefix must rank below every
+     identifier of any other prefix, for any seed. *)
+  let rng = Basalt_prng.Rng.create ~seed:77 in
+  for _ = 1 to 50 do
+    let s = Rank.fresh prefix_backend rng in
+    (* prefixes 0 and 1 hold ids 0..99 and 100..199 *)
+    let best_prefix =
+      let r0 = Rank.rank s 0 and r100 = Rank.rank s 100 in
+      if r0 < r100 then 0 else 1
+    in
+    let lo = best_prefix * 100 and hi = (1 - best_prefix) * 100 in
+    for i = 0 to 99 do
+      check_bool "prefix order dominates id order" true
+        (Rank.rank s (lo + i) < Rank.rank s (hi + (99 - i)))
+    done
+  done
+
+let prefix_rank_uniform_within_prefix () =
+  (* Within one prefix the winner is uniform across its members. *)
+  let rng = Basalt_prng.Rng.create ~seed:78 in
+  let trials = 8000 in
+  let members = 10 in
+  let wins = Array.make members 0 in
+  for _ = 1 to trials do
+    let s = Rank.fresh prefix_backend rng in
+    let best = ref 0 in
+    for i = 1 to members - 1 do
+      if Rank.rank s i < Rank.rank s !best then best := i
+    done;
+    wins.(!best) <- wins.(!best) + 1
+  done;
+  let expected = trials / members in
+  Array.iteri
+    (fun i w ->
+      check_bool
+        (Printf.sprintf "member %d wins uniformly (%d)" i w)
+        true
+        (abs (w - expected) < expected / 3))
+    wins
+
+let prefix_rank_prepared_agrees () =
+  let rng = Basalt_prng.Rng.create ~seed:79 in
+  let s = Rank.fresh prefix_backend rng in
+  for id = 0 to 300 do
+    check_int "prepared = direct" (Rank.rank s id)
+      (Rank.rank_prepared s (Rank.prepare prefix_backend id))
+  done
+
+let prop_rank_prepared_equal =
+  QCheck.Test.make ~name:"rank_prepared = rank (cheap)" ~count:1000
+    QCheck.(pair small_int small_nat)
+    (fun (sv, id) ->
+      let seed = Rank.of_int Rank.Cheap sv in
+      Rank.rank seed id = Rank.rank_prepared seed (Rank.prepare Rank.Cheap id))
+
+let prop_mix63_nonneg =
+  QCheck.Test.make ~name:"mix63 non-negative" ~count:1000 QCheck.int (fun x ->
+      Mix.mix63 x >= 0)
+
+let () =
+  Alcotest.run "hashing"
+    [
+      ( "siphash",
+        [
+          Alcotest.test_case "reference vectors" `Quick
+            siphash_reference_vectors;
+          Alcotest.test_case "int64 fast path" `Quick siphash_int64_consistency;
+          Alcotest.test_case "pair fast path" `Quick siphash_pair_consistency;
+          Alcotest.test_case "string wrapper" `Quick siphash_string;
+          Alcotest.test_case "key sensitivity" `Quick siphash_key_sensitivity;
+          Alcotest.test_case "siphash-1-3 variant" `Quick siphash13_differs;
+          Alcotest.test_case "key_of_rng" `Quick siphash_key_of_rng;
+        ] );
+      ( "mix",
+        [
+          Alcotest.test_case "mix64 = splitmix" `Quick mix64_matches_splitmix;
+          Alcotest.test_case "fmix64 known" `Quick fmix64_known;
+          Alcotest.test_case "mix63 non-negative" `Quick mix63_non_negative;
+          Alcotest.test_case "mix63 collisions" `Quick mix63_no_easy_collisions;
+          Alcotest.test_case "combine63" `Quick combine63_depends_on_both;
+          Alcotest.test_case "fnv1a vectors" `Quick fnv1a_vectors;
+        ] );
+      ( "rank",
+        [
+          Alcotest.test_case "deterministic" `Quick rank_deterministic;
+          Alcotest.test_case "non-negative" `Quick rank_non_negative;
+          Alcotest.test_case "prepared agrees" `Quick rank_prepared_agrees;
+          Alcotest.test_case "of_int" `Quick rank_of_int_deterministic;
+          Alcotest.test_case "seed changes order" `Quick rank_seed_changes_order;
+          Alcotest.test_case "min-wise uniformity (cheap)" `Slow
+            (rank_minwise_uniformity Rank.Cheap);
+          Alcotest.test_case "min-wise uniformity (siphash)" `Slow
+            (rank_minwise_uniformity (Rank.Siphash ref_key));
+          Alcotest.test_case "prefix-diverse deterministic" `Quick
+            prefix_rank_deterministic;
+          Alcotest.test_case "prefix-diverse prefix dominates" `Quick
+            prefix_rank_prefix_dominates;
+          Alcotest.test_case "prefix-diverse uniform within prefix" `Slow
+            prefix_rank_uniform_within_prefix;
+          Alcotest.test_case "prefix-diverse prepared agrees" `Quick
+            prefix_rank_prepared_agrees;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_rank_prepared_equal; prop_mix63_nonneg ] );
+    ]

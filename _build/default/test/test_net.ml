@@ -1,0 +1,346 @@
+(* Tests for basalt.net: endpoints, the real-time event loop, and an
+   end-to-end UDP overlay on the loopback interface. *)
+
+module Endpoint = Basalt_net.Endpoint
+module Event_loop = Basalt_net.Event_loop
+module Udp_node = Basalt_net.Udp_node
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Endpoint --- *)
+
+let endpoint_parse () =
+  (match Endpoint.of_string "127.0.0.1:4001" with
+  | Ok e ->
+      Alcotest.(check string) "round trip" "127.0.0.1:4001"
+        (Endpoint.to_string e)
+  | Error msg -> Alcotest.fail msg);
+  check_bool "missing port" true
+    (Result.is_error (Endpoint.of_string "127.0.0.1"));
+  check_bool "bad port" true
+    (Result.is_error (Endpoint.of_string "127.0.0.1:zzz"));
+  check_bool "port range" true
+    (Result.is_error (Endpoint.of_string "127.0.0.1:70000"))
+
+let endpoint_node_id_round_trip () =
+  List.iter
+    (fun s ->
+      match Endpoint.of_string s with
+      | Ok e ->
+          let e' = Endpoint.of_node_id (Endpoint.to_node_id e) in
+          check_bool ("round trip " ^ s) true (Endpoint.equal e e')
+      | Error msg -> Alcotest.fail msg)
+    [ "127.0.0.1:4001"; "10.255.0.42:65535"; "192.168.1.1:1"; "0.0.0.0:0" ]
+
+let endpoint_ids_distinct () =
+  let nid s =
+    match Endpoint.of_string s with
+    | Ok e -> Basalt_proto.Node_id.to_int (Endpoint.to_node_id e)
+    | Error m -> Alcotest.fail m
+  in
+  check_bool "ports distinguish" true
+    (nid "127.0.0.1:4001" <> nid "127.0.0.1:4002");
+  check_bool "hosts distinguish" true
+    (nid "127.0.0.1:4001" <> nid "127.0.0.2:4001")
+
+let endpoint_sockaddr () =
+  let e = Endpoint.make "127.0.0.1" 9999 in
+  match Endpoint.of_sockaddr (Endpoint.to_sockaddr e) with
+  | Ok e' -> check_bool "sockaddr round trip" true (Endpoint.equal e e')
+  | Error m -> Alcotest.fail m
+
+(* --- Event_loop --- *)
+
+let loop_timers_fire () =
+  let loop = Event_loop.create () in
+  let fired = ref [] in
+  Event_loop.schedule loop ~delay:0.02 (fun () -> fired := "b" :: !fired);
+  Event_loop.schedule loop ~delay:0.005 (fun () -> fired := "a" :: !fired);
+  Event_loop.run_for loop 0.08;
+  Alcotest.(check (list string)) "order" [ "b"; "a" ] !fired
+
+let loop_every_fires_repeatedly () =
+  let loop = Event_loop.create () in
+  let count = ref 0 in
+  Event_loop.every loop ~interval:0.01 (fun () -> incr count);
+  Event_loop.run_for loop 0.12;
+  check_bool (Printf.sprintf "fired repeatedly (%d)" !count) true (!count >= 5)
+
+let loop_stop () =
+  let loop = Event_loop.create () in
+  let count = ref 0 in
+  Event_loop.every loop ~interval:0.005 (fun () ->
+      incr count;
+      if !count = 3 then Event_loop.stop loop);
+  let t0 = Unix.gettimeofday () in
+  Event_loop.run_for loop 5.0;
+  check_bool "stopped early" true (Unix.gettimeofday () -. t0 < 1.0);
+  check_int "stopped at 3" 3 !count
+
+let loop_fd_callback () =
+  let loop = Event_loop.create () in
+  let r, w = Unix.pipe () in
+  Unix.set_nonblock r;
+  let got = Buffer.create 8 in
+  Event_loop.on_readable loop r (fun () ->
+      let buf = Bytes.create 16 in
+      match Unix.read r buf 0 16 with
+      | len -> Buffer.add_subbytes got buf 0 len
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ());
+  Event_loop.schedule loop ~delay:0.01 (fun () ->
+      ignore (Unix.write_substring w "ping" 0 4));
+  Event_loop.run_for loop 0.08;
+  Event_loop.remove_fd loop r;
+  Unix.close r;
+  Unix.close w;
+  Alcotest.(check string) "data received via loop" "ping" (Buffer.contents got)
+
+(* --- Frame codec --- *)
+
+module Frame = Basalt_net.Frame
+module Message = Basalt_proto.Message
+module Node_id = Basalt_proto.Node_id
+
+let frame_round_trip () =
+  let sender = Node_id.of_int 12345 in
+  let msg = Message.Push (Array.init 5 Node_id.of_int) in
+  let frame = Frame.encode ~sender msg in
+  let d = Frame.Decoder.create () in
+  match Frame.Decoder.feed d frame ~off:0 ~len:(Bytes.length frame) with
+  | [ Frame.Decoder.Frame (s, Message.Push ids) ] ->
+      check_int "sender" 12345 (Node_id.to_int s);
+      check_int "payload" 5 (Array.length ids);
+      check_int "buffer drained" 0 (Frame.Decoder.buffered d)
+  | _ -> Alcotest.fail "expected one push frame"
+
+let frame_byte_by_byte () =
+  let sender = Node_id.of_int 7 in
+  let msgs =
+    [ Message.Pull_request; Message.Push_id (Node_id.of_int 9);
+      Message.Pull_reply (Array.init 3 Node_id.of_int) ]
+  in
+  let stream =
+    Bytes.concat Bytes.empty (List.map (Frame.encode ~sender) msgs)
+  in
+  let d = Frame.Decoder.create () in
+  let received = ref [] in
+  Bytes.iter
+    (fun c ->
+      let one = Bytes.make 1 c in
+      List.iter
+        (function
+          | Frame.Decoder.Frame (_, m) -> received := m :: !received
+          | Frame.Decoder.Corrupt e -> Alcotest.fail e)
+        (Frame.Decoder.feed d one ~off:0 ~len:1))
+    stream;
+  check_int "all frames recovered" 3 (List.length !received);
+  Alcotest.(check (list string))
+    "kinds in order"
+    (List.map Message.kind msgs)
+    (List.map Message.kind (List.rev !received))
+
+let frame_rejects_oversize () =
+  let d = Frame.Decoder.create () in
+  let evil = Bytes.create 4 in
+  Bytes.set_int32_be evil 0 (Int32.of_int (Frame.max_frame + 1));
+  (match Frame.Decoder.feed d evil ~off:0 ~len:4 with
+  | [ Frame.Decoder.Corrupt _ ] -> ()
+  | _ -> Alcotest.fail "expected corrupt");
+  (* decoder stays poisoned *)
+  match Frame.Decoder.feed d (Bytes.create 1) ~off:0 ~len:1 with
+  | [ Frame.Decoder.Corrupt _ ] -> ()
+  | _ -> Alcotest.fail "decoder should stay corrupt"
+
+let frame_rejects_bad_payload () =
+  let good = Frame.encode ~sender:(Node_id.of_int 1) Message.Pull_request in
+  Bytes.set_uint8 good 12 0x00 (* clobber the wire magic *);
+  let d = Frame.Decoder.create () in
+  match Frame.Decoder.feed d good ~off:0 ~len:(Bytes.length good) with
+  | [ Frame.Decoder.Corrupt _ ] -> ()
+  | _ -> Alcotest.fail "expected corrupt payload"
+
+(* --- End-to-end TCP overlay --- *)
+
+module Tcp_node = Basalt_net.Tcp_node
+
+let tcp_overlay_converges () =
+  let loop = Event_loop.create () in
+  let n = 6 in
+  let config =
+    Basalt_core.Config.make ~v:8 ~k:2 ~tau:0.04 ~rho:(2.0 /. 0.04) ()
+  in
+  let probes =
+    Array.init n (fun i ->
+        Tcp_node.create ~config ~loop
+          ~listen:(Endpoint.make "127.0.0.1" 0)
+          ~bootstrap:[] ~seed:(3000 + i) ())
+  in
+  let endpoints = Array.map Tcp_node.endpoint probes in
+  Array.iter Tcp_node.close probes;
+  let nodes =
+    Array.init n (fun i ->
+        Tcp_node.create ~config ~loop ~listen:endpoints.(i)
+          ~bootstrap:[ endpoints.((i + 1) mod n) ]
+          ~seed:(4000 + i) ())
+  in
+  Event_loop.run_for loop 1.2;
+  Array.iteri
+    (fun i node ->
+      let stats = Tcp_node.stats node in
+      check_bool
+        (Printf.sprintf "node %d exchanged frames (%d in / %d out)" i
+           stats.Tcp_node.frames_in stats.Tcp_node.frames_out)
+        true
+        (stats.Tcp_node.frames_in > 0 && stats.Tcp_node.frames_out > 0);
+      let distinct =
+        List.sort_uniq compare (List.map Endpoint.to_string (Tcp_node.view node))
+      in
+      check_bool
+        (Printf.sprintf "node %d discovered peers beyond bootstrap (%d)" i
+           (List.length distinct))
+        true
+        (List.length distinct > 1))
+    nodes;
+  Array.iter Tcp_node.close nodes
+
+(* --- End-to-end UDP overlay --- *)
+
+let localhost port = Endpoint.make "127.0.0.1" port
+
+(* A hostile datagram must be counted and ignored, not crash the node. *)
+let udp_garbage_counted () =
+  let loop = Event_loop.create () in
+  let node =
+    Udp_node.create
+      ~config:(Basalt_core.Config.make ~v:4 ~k:1 ~tau:0.05 ())
+      ~loop ~listen:(localhost 0) ~bootstrap:[] ~seed:1 ()
+  in
+  let target = Endpoint.to_sockaddr (Udp_node.endpoint node) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  let garbage = Bytes.of_string "definitely not a basalt datagram" in
+  ignore (Unix.sendto sock garbage 0 (Bytes.length garbage) [] target);
+  (* A truncated-but-magic-correct datagram too. *)
+  let half = Bytes.sub (Basalt_codec.Wire.encode (Message.Push [| Node_id.of_int 1 |])) 0 7 in
+  ignore (Unix.sendto sock half 0 (Bytes.length half) [] target);
+  Event_loop.run_for loop 0.2;
+  Unix.close sock;
+  let stats = Udp_node.stats node in
+  check_int "both datagrams arrived" 2 stats.Udp_node.datagrams_in;
+  check_int "both rejected by the codec" 2 stats.Udp_node.decode_errors;
+  check_int "view untouched" 0 (List.length (Udp_node.view node));
+  Udp_node.close node
+
+(* Spin up [n] real UDP nodes in one process, bootstrap them in a ring of
+   overlapping neighbor lists, run the protocol for a little while of
+   wall-clock time, and check that views converge to a rich set of
+   overlay-wide peers. *)
+let udp_overlay_converges () =
+  let loop = Event_loop.create () in
+  let n = 8 in
+  (* Bind with port 0 first so the OS assigns free ports. *)
+  let config =
+    Basalt_core.Config.make ~v:8 ~k:2 ~tau:0.03 ~rho:(2.0 /. 0.03) ()
+  in
+  (* rho above gives refresh interval k/rho ~ 0.03s: fast sampling for a
+     fast test. *)
+  let nodes =
+    Array.init n (fun i ->
+        Udp_node.create ~config ~loop ~listen:(localhost 0) ~bootstrap:[]
+          ~seed:(1000 + i) ())
+  in
+  (* Every node learns two neighbors' real endpoints as bootstrap via a
+     direct state injection: simplest is to create fresh nodes knowing
+     the already-bound endpoints. *)
+  let endpoints = Array.to_list (Array.map Udp_node.endpoint nodes) in
+  Array.iter Udp_node.close nodes;
+  let nodes =
+    Array.init n (fun i ->
+        let bootstrap =
+          [
+            List.nth endpoints ((i + 1) mod n);
+            List.nth endpoints ((i + 2) mod n);
+          ]
+        in
+        Udp_node.create ~config ~loop ~listen:(List.nth endpoints i) ~bootstrap
+          ~seed:(2000 + i) ())
+  in
+  Event_loop.run_for loop 1.2;
+  (* Each node must have discovered peers beyond its bootstrap pair and
+     exchanged real datagrams. *)
+  Array.iteri
+    (fun i node ->
+      let stats = Udp_node.stats node in
+      check_bool
+        (Printf.sprintf "node %d sent datagrams (%d)" i stats.Udp_node.datagrams_out)
+        true
+        (stats.Udp_node.datagrams_out > 0);
+      check_bool
+        (Printf.sprintf "node %d received datagrams (%d)" i stats.Udp_node.datagrams_in)
+        true
+        (stats.Udp_node.datagrams_in > 0);
+      check_int "no decode errors" 0 stats.Udp_node.decode_errors;
+      let distinct_peers =
+        List.sort_uniq compare (List.map Endpoint.to_string (Udp_node.view node))
+      in
+      check_bool
+        (Printf.sprintf "node %d discovered > 2 peers (%d)" i
+           (List.length distinct_peers))
+        true
+        (List.length distinct_peers > 2))
+    nodes;
+  (* The sampling service produced samples that are live overlay members. *)
+  let all = List.map Endpoint.to_string endpoints in
+  Array.iter
+    (fun node ->
+      let stream = Udp_node.samples node in
+      check_bool "samples emitted" true
+        (Basalt_core.Sample_stream.total stream > 0);
+      Basalt_core.Sample_stream.iter
+        (fun id ->
+          let e = Endpoint.to_string (Endpoint.of_node_id id) in
+          check_bool ("sample is a real endpoint: " ^ e) true (List.mem e all))
+        stream)
+    nodes;
+  Array.iter Udp_node.close nodes
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "endpoint",
+        [
+          Alcotest.test_case "parse" `Quick endpoint_parse;
+          Alcotest.test_case "node id round trip" `Quick
+            endpoint_node_id_round_trip;
+          Alcotest.test_case "ids distinct" `Quick endpoint_ids_distinct;
+          Alcotest.test_case "sockaddr" `Quick endpoint_sockaddr;
+        ] );
+      ( "event_loop",
+        [
+          Alcotest.test_case "timers fire in order" `Quick loop_timers_fire;
+          Alcotest.test_case "every repeats" `Quick loop_every_fires_repeatedly;
+          Alcotest.test_case "stop" `Quick loop_stop;
+          Alcotest.test_case "fd callback" `Quick loop_fd_callback;
+        ] );
+      ( "frame",
+        [
+          Alcotest.test_case "round trip" `Quick frame_round_trip;
+          Alcotest.test_case "byte-by-byte reassembly" `Quick
+            frame_byte_by_byte;
+          Alcotest.test_case "rejects oversize" `Quick frame_rejects_oversize;
+          Alcotest.test_case "rejects bad payload" `Quick
+            frame_rejects_bad_payload;
+        ] );
+      ( "udp",
+        [
+          Alcotest.test_case "garbage datagrams counted" `Quick
+            udp_garbage_counted;
+          Alcotest.test_case "overlay converges end-to-end" `Slow
+            udp_overlay_converges;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "overlay converges end-to-end" `Slow
+            tcp_overlay_converges;
+        ] );
+    ]

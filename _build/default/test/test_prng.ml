@@ -1,0 +1,393 @@
+(* Tests for basalt.prng: SplitMix64, Xoshiro256++, Rng, Zipf. *)
+
+open Basalt_prng
+
+let check_i64 = Alcotest.(check int64)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- SplitMix64 --- *)
+
+(* Published test vectors (JDK SplittableRandom / reference C, seed 0). *)
+let splitmix_vectors () =
+  let sm = Splitmix64.create 0L in
+  check_i64 "first" 0xE220A8397B1DCDAFL (Splitmix64.next sm);
+  check_i64 "second" 0x6E789E6AA1B965F4L (Splitmix64.next sm);
+  check_i64 "third" 0x06C45D188009454FL (Splitmix64.next sm)
+
+let splitmix_determinism () =
+  let a = Splitmix64.create 12345L and b = Splitmix64.create 12345L in
+  for _ = 1 to 100 do
+    check_i64 "same stream" (Splitmix64.next a) (Splitmix64.next b)
+  done
+
+let splitmix_copy () =
+  let a = Splitmix64.create 7L in
+  ignore (Splitmix64.next a);
+  let b = Splitmix64.copy a in
+  check_i64 "copy continues identically" (Splitmix64.next a) (Splitmix64.next b)
+
+let splitmix_mix_stateless () =
+  check_i64 "mix deterministic" (Splitmix64.mix 42L) (Splitmix64.mix 42L);
+  Alcotest.(check bool)
+    "mix changes value" true
+    (Splitmix64.mix 42L <> 42L)
+
+(* --- Xoshiro256++ --- *)
+
+let xoshiro_determinism () =
+  let a = Xoshiro256.create 99L and b = Xoshiro256.create 99L in
+  for _ = 1 to 100 do
+    check_i64 "same stream" (Xoshiro256.next a) (Xoshiro256.next b)
+  done
+
+let xoshiro_seed_sensitivity () =
+  let a = Xoshiro256.create 1L and b = Xoshiro256.create 2L in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Xoshiro256.next a <> Xoshiro256.next b then differs := true
+  done;
+  check_bool "different seeds, different streams" true !differs
+
+let xoshiro_zero_state_rejected () =
+  Alcotest.check_raises "all-zero state"
+    (Invalid_argument "Xoshiro256.of_state: all-zero state") (fun () ->
+      ignore (Xoshiro256.of_state 0L 0L 0L 0L))
+
+let xoshiro_copy_independent () =
+  let a = Xoshiro256.create 5L in
+  let b = Xoshiro256.copy a in
+  check_i64 "copies aligned" (Xoshiro256.next a) (Xoshiro256.next b);
+  ignore (Xoshiro256.next a);
+  (* advancing [a] must not affect [b]'s next output *)
+  let a' = Xoshiro256.next a and b' = Xoshiro256.next b in
+  check_bool "desynchronised after extra draw" true (a' <> b')
+
+(* --- Rng --- *)
+
+let rng () = Rng.create ~seed:424242
+
+let rng_int_bounds () =
+  let t = rng () in
+  for bound = 1 to 50 do
+    for _ = 1 to 100 do
+      let x = Rng.int t bound in
+      check_bool "0 <= x" true (x >= 0);
+      check_bool "x < bound" true (x < bound)
+    done
+  done
+
+let rng_int_invalid () =
+  let t = rng () in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int t 0))
+
+let rng_int_covers_values () =
+  let t = rng () in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int t 10) <- true
+  done;
+  Array.iteri (fun i s -> check_bool (Printf.sprintf "value %d seen" i) true s) seen
+
+let rng_int_roughly_uniform () =
+  let t = rng () in
+  let buckets = Array.make 8 0 in
+  let draws = 80_000 in
+  for _ = 1 to draws do
+    let i = Rng.int t 8 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  let expected = draws / 8 in
+  Array.iteri
+    (fun i c ->
+      check_bool
+        (Printf.sprintf "bucket %d within 5%% (%d)" i c)
+        true
+        (abs (c - expected) < expected / 20))
+    buckets
+
+let rng_int_in_range () =
+  let t = rng () in
+  let lo_seen = ref false and hi_seen = ref false in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in_range t ~lo:(-3) ~hi:3 in
+    check_bool "in range" true (x >= -3 && x <= 3);
+    if x = -3 then lo_seen := true;
+    if x = 3 then hi_seen := true
+  done;
+  check_bool "lo endpoint reachable" true !lo_seen;
+  check_bool "hi endpoint reachable" true !hi_seen
+
+let rng_float_range () =
+  let t = rng () in
+  for _ = 1 to 1000 do
+    let x = Rng.float t 2.5 in
+    check_bool "0 <= x < 2.5" true (x >= 0.0 && x < 2.5)
+  done
+
+let rng_float_mean () =
+  let t = rng () in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float t 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean ~ 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let rng_bool_fair () =
+  let t = rng () in
+  let trues = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bool t then incr trues
+  done;
+  check_bool "roughly fair" true (abs (!trues - (n / 2)) < n / 20)
+
+let rng_bernoulli_extremes () =
+  let t = rng () in
+  for _ = 1 to 100 do
+    check_bool "p=0 never" false (Rng.bernoulli t ~p:0.0);
+    check_bool "p=1 always" true (Rng.bernoulli t ~p:1.0)
+  done
+
+let rng_pick () =
+  let t = rng () in
+  check_int "singleton" 7 (Rng.pick t [| 7 |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick t [||]))
+
+let rng_pick_list () =
+  let t = rng () in
+  check_int "singleton" 9 (Rng.pick_list t [ 9 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick_list: empty list")
+    (fun () -> ignore (Rng.pick_list t []))
+
+let rng_shuffle_preserves_multiset () =
+  let t = rng () in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle_in_place t a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 100 Fun.id) sorted
+
+let rng_shuffle_moves_things () =
+  let t = rng () in
+  let a = Array.init 100 (fun i -> i) in
+  Rng.shuffle_in_place t a;
+  check_bool "not identity (overwhelmingly likely)" true
+    (a <> Array.init 100 Fun.id)
+
+let distinct_ints a =
+  let seen = Hashtbl.create (Array.length a) in
+  Array.for_all
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    a
+
+let rng_sample_indices_dense () =
+  let t = rng () in
+  (* k close to n exercises the Fisher-Yates path *)
+  let s = Rng.sample_indices t ~k:80 ~n:100 in
+  check_int "size" 80 (Array.length s);
+  check_bool "distinct" true (distinct_ints s);
+  Array.iter (fun x -> check_bool "in range" true (x >= 0 && x < 100)) s
+
+let rng_sample_indices_sparse () =
+  let t = rng () in
+  (* k << n exercises the hash-rejection path *)
+  let s = Rng.sample_indices t ~k:10 ~n:100_000 in
+  check_int "size" 10 (Array.length s);
+  check_bool "distinct" true (distinct_ints s)
+
+let rng_sample_indices_clamps () =
+  let t = rng () in
+  check_int "k > n clamps" 5 (Array.length (Rng.sample_indices t ~k:50 ~n:5));
+  check_int "k = 0 empty" 0 (Array.length (Rng.sample_indices t ~k:0 ~n:5));
+  check_int "n = 0 empty" 0 (Array.length (Rng.sample_indices t ~k:3 ~n:0))
+
+let rng_sample_without_replacement () =
+  let t = rng () in
+  let a = [| "a"; "b"; "c"; "d"; "e" |] in
+  let s = Rng.sample_without_replacement t ~k:3 a in
+  check_int "size" 3 (Array.length s);
+  Array.iter
+    (fun x -> check_bool "member" true (Array.exists (String.equal x) a))
+    s
+
+let rng_exponential () =
+  let t = rng () in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.exponential t ~rate:2.0 in
+    check_bool "positive" true (x >= 0.0);
+    sum := !sum +. x
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean ~ 1/rate" true (Float.abs (mean -. 0.5) < 0.02)
+
+let rng_geometric () =
+  let t = rng () in
+  check_int "p=1 is 0" 0 (Rng.geometric t ~p:1.0);
+  let n = 50_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    let x = Rng.geometric t ~p:0.25 in
+    check_bool "non-negative" true (x >= 0);
+    sum := !sum + x
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  (* E = (1-p)/p = 3 *)
+  check_bool "mean ~ 3" true (Float.abs (mean -. 3.0) < 0.1)
+
+let rng_split_decorrelates () =
+  let parent = rng () in
+  let child = Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.int64 parent = Rng.int64 child then incr same
+  done;
+  check_int "streams disjoint" 0 !same
+
+let rng_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 50 do
+    check_i64 "same seed same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+(* --- Zipf --- *)
+
+let zipf_validation () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create: n must be positive")
+    (fun () -> ignore (Zipf.create ~n:0 ~s:1.0));
+  Alcotest.check_raises "s<0"
+    (Invalid_argument "Zipf.create: s must be non-negative") (fun () ->
+      ignore (Zipf.create ~n:5 ~s:(-1.0)))
+
+let zipf_probabilities_sum () =
+  let z = Zipf.create ~n:50 ~s:1.2 in
+  let total = ref 0.0 in
+  for i = 0 to 49 do
+    total := !total +. Zipf.probability z i
+  done;
+  check_bool "sums to 1" true (Float.abs (!total -. 1.0) < 1e-9)
+
+let zipf_monotone () =
+  let z = Zipf.create ~n:20 ~s:1.0 in
+  for i = 0 to 18 do
+    check_bool "decreasing" true
+      (Zipf.probability z i >= Zipf.probability z (i + 1))
+  done
+
+let zipf_uniform_when_s0 () =
+  let z = Zipf.create ~n:10 ~s:0.0 in
+  for i = 0 to 9 do
+    check_bool "uniform" true (Float.abs (Zipf.probability z i -. 0.1) < 1e-9)
+  done
+
+let zipf_sample_range_and_skew () =
+  let t = rng () in
+  let z = Zipf.create ~n:100 ~s:1.5 in
+  let first = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let x = Zipf.sample z t in
+    check_bool "in range" true (x >= 0 && x < 100);
+    if x = 0 then incr first
+  done;
+  let freq = float_of_int !first /. float_of_int n in
+  let p0 = Zipf.probability z 0 in
+  check_bool "rank-0 frequency matches" true (Float.abs (freq -. p0) < 0.02)
+
+(* --- QCheck properties --- *)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int always within bounds" ~count:1000
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let t = Rng.create ~seed in
+      let x = Rng.int t bound in
+      x >= 0 && x < bound)
+
+let prop_sample_indices_distinct =
+  QCheck.Test.make ~name:"sample_indices always distinct" ~count:300
+    QCheck.(triple small_int (int_range 0 200) (int_range 0 200))
+    (fun (seed, k, n) ->
+      let t = Rng.create ~seed in
+      let s = Rng.sample_indices t ~k ~n in
+      distinct_ints s && Array.length s = min k n)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:300
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let t = Rng.create ~seed in
+      let a = Array.of_list l in
+      let before = List.sort Int.compare l in
+      Rng.shuffle_in_place t a;
+      List.sort Int.compare (Array.to_list a) = before)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "splitmix64",
+        [
+          Alcotest.test_case "reference vectors" `Quick splitmix_vectors;
+          Alcotest.test_case "determinism" `Quick splitmix_determinism;
+          Alcotest.test_case "copy" `Quick splitmix_copy;
+          Alcotest.test_case "mix stateless" `Quick splitmix_mix_stateless;
+        ] );
+      ( "xoshiro256",
+        [
+          Alcotest.test_case "determinism" `Quick xoshiro_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick xoshiro_seed_sensitivity;
+          Alcotest.test_case "zero state rejected" `Quick
+            xoshiro_zero_state_rejected;
+          Alcotest.test_case "copy independence" `Quick xoshiro_copy_independent;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "int bounds" `Quick rng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick rng_int_invalid;
+          Alcotest.test_case "int covers values" `Quick rng_int_covers_values;
+          Alcotest.test_case "int uniformity" `Slow rng_int_roughly_uniform;
+          Alcotest.test_case "int_in_range" `Quick rng_int_in_range;
+          Alcotest.test_case "float range" `Quick rng_float_range;
+          Alcotest.test_case "float mean" `Slow rng_float_mean;
+          Alcotest.test_case "bool fair" `Slow rng_bool_fair;
+          Alcotest.test_case "bernoulli extremes" `Quick rng_bernoulli_extremes;
+          Alcotest.test_case "pick" `Quick rng_pick;
+          Alcotest.test_case "pick_list" `Quick rng_pick_list;
+          Alcotest.test_case "shuffle multiset" `Quick
+            rng_shuffle_preserves_multiset;
+          Alcotest.test_case "shuffle moves" `Quick rng_shuffle_moves_things;
+          Alcotest.test_case "sample dense" `Quick rng_sample_indices_dense;
+          Alcotest.test_case "sample sparse" `Quick rng_sample_indices_sparse;
+          Alcotest.test_case "sample clamps" `Quick rng_sample_indices_clamps;
+          Alcotest.test_case "sample w/o replacement" `Quick
+            rng_sample_without_replacement;
+          Alcotest.test_case "exponential" `Slow rng_exponential;
+          Alcotest.test_case "geometric" `Slow rng_geometric;
+          Alcotest.test_case "split decorrelates" `Quick rng_split_decorrelates;
+          Alcotest.test_case "determinism" `Quick rng_determinism;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "validation" `Quick zipf_validation;
+          Alcotest.test_case "probabilities sum" `Quick zipf_probabilities_sum;
+          Alcotest.test_case "monotone" `Quick zipf_monotone;
+          Alcotest.test_case "uniform when s=0" `Quick zipf_uniform_when_s0;
+          Alcotest.test_case "sample range and skew" `Slow
+            zipf_sample_range_and_skew;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_int_in_bounds; prop_sample_indices_distinct; prop_shuffle_permutation ] );
+    ]
