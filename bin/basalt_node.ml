@@ -62,7 +62,7 @@ let main listen peers v tau rho duration seed report_every =
     else seed
   in
   let config = Basalt_core.Config.make ~v ~tau ~rho () in
-  let loop = Event_loop.create () in
+  let loop = Event_loop.create ~clock:Unix.gettimeofday () in
   let node =
     Udp_node.create ~config ~loop ~listen ~bootstrap:peers ~seed ()
   in

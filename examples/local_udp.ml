@@ -15,7 +15,7 @@ let n = 12
 let tau = 0.05 (* 20 exchange rounds per second: a fast demo *)
 
 let () =
-  let loop = Event_loop.create () in
+  let loop = Event_loop.create ~clock:Unix.gettimeofday () in
   let config =
     Basalt_core.Config.make ~v:10 ~k:2 ~tau ~rho:(1.0 /. tau) ()
   in

@@ -63,3 +63,4 @@ val pushes_sent : t -> int
 (** [pushes_sent t] is the total number of forged pushes so far. *)
 
 val strategy : t -> strategy
+(** [strategy t] is the configured attack strategy. *)

@@ -34,9 +34,21 @@ module Online : sig
   type t
 
   val create : unit -> t
+  (** [create ()] is an accumulator with no observations. *)
+
   val add : t -> float -> unit
+  (** [add t x] folds one observation into the running moments. *)
+
   val count : t -> int
+  (** [count t] is the number of observations so far. *)
+
   val mean : t -> float
+  (** [mean t] is the running mean ([nan] when empty). *)
+
   val variance : t -> float
+  (** [variance t] is the population variance ([nan] when empty). *)
+
   val stddev : t -> float
+  (** [stddev t] is [sqrt (variance t)]. *)
+
 end

@@ -62,3 +62,5 @@ type result = {
 }
 
 val run : config -> result
+(** [run config] simulates the configured DAG deployment and returns the
+    aggregated {!result}. *)

@@ -11,8 +11,13 @@
 type color = Red | Blue
 
 val color_equal : color -> color -> bool
+(** [color_equal a b] is equality on colors. *)
+
 val opposite : color -> color
+(** [opposite c] flips {!Red} and {!Blue}. *)
+
 val pp_color : Format.formatter -> color -> unit
+(** Formatter for colors. *)
 
 type config = private {
   sample_size : int;  (** Committee size k. *)

@@ -35,6 +35,8 @@ module Tx : sig
   (** The root transaction every DAG starts with (id 0, conflict -1). *)
 
   val pp : Format.formatter -> t -> unit
+  (** Formatter for transactions. *)
+
 end
 
 type t
@@ -49,6 +51,7 @@ val insert : t -> Tx.t -> (unit, string) result
     first). *)
 
 val known : t -> Tx.id -> bool
+(** [known t id] is [true] if [id] is present in the DAG. *)
 
 val tx : t -> Tx.id -> Tx.t
 (** [tx t id] returns the stored transaction.

@@ -107,7 +107,9 @@ let select_peer t =
         (fun slot ->
           match (Slot.peer slot, !best) with
           | None, _ -> ()
-          | Some _, Some chosen when Slot.uses slot >= Slot.uses chosen -> ()
+          | Some _, Some chosen
+            when Int.compare (Slot.uses slot) (Slot.uses chosen) >= 0 ->
+              ()
           | Some _, _ -> best := Some slot)
         t.slots;
       Option.map

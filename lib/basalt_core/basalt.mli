@@ -29,7 +29,10 @@ val create :
     lines 3–6). *)
 
 val config : t -> Config.t
+(** [config t] is the node's configuration. *)
+
 val id : t -> Basalt_proto.Node_id.t
+(** [id t] is the node's own identifier. *)
 
 val update_sample : t -> Basalt_proto.Node_id.t array -> unit
 (** [update_sample t ids] offers every identifier of [ids] to every slot

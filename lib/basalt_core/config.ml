@@ -17,7 +17,8 @@ let make ?(v = 160) ?(tau = 1.0) ?(rho = 1.0) ?k
     ?(exclude_self = true) ?evict_after_rounds ?(push_own_id_only = false) () =
   let k = Option.value k ~default:(max 1 (v / 2)) in
   if v <= 0 then invalid_arg "Config.make: v must be positive";
-  if k < 1 || k > v then invalid_arg "Config.make: k must be in [1, v]";
+  if k < 1 || Int.compare k v > 0 then
+    invalid_arg "Config.make: k must be in [1, v]";
   if tau <= 0.0 then invalid_arg "Config.make: tau must be positive";
   if rho <= 0.0 then invalid_arg "Config.make: rho must be positive";
   (match evict_after_rounds with

@@ -81,3 +81,4 @@ val equilibrium_exists : t -> n:int -> f:float -> bool
     [f]. *)
 
 val pp : Format.formatter -> t -> unit
+(** Formatter for configurations. *)

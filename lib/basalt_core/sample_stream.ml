@@ -21,7 +21,7 @@ let create ~capacity =
 let push t id =
   t.buf.(t.next) <- id;
   t.next <- (t.next + 1) mod t.capacity;
-  if t.filled < t.capacity then t.filled <- t.filled + 1;
+  t.filled <- Int.min (t.filled + 1) t.capacity;
   t.total <- t.total + 1
 
 let push_list t ids = List.iter (push t) ids
@@ -29,7 +29,7 @@ let total t = t.total
 let retained t = t.filled
 
 let recent t n =
-  let n = min n t.filled in
+  let n = Int.min n t.filled in
   (* Iterate oldest-to-newest, prepending, so the result is newest first. *)
   let out = ref [] in
   for i = n - 1 downto 0 do

@@ -86,7 +86,7 @@ let rebuild_view t =
   let l = float_of_int cfg.Brahms_config.l in
   let over_limit =
     match cfg.Brahms_config.push_limit with
-    | Some limit -> t.pending_push_count > limit
+    | Some limit -> Int.compare t.pending_push_count limit > 0
     | None -> false
   in
   if over_limit then begin

@@ -25,7 +25,8 @@ let make ?(l = 160) ?(alpha = third) ?(beta = third) ?(gamma = third)
     invalid_arg "Brahms_config.make: negative weight";
   if Float.abs (alpha +. beta +. gamma -. 1.0) > 1e-9 then
     invalid_arg "Brahms_config.make: weights must sum to 1";
-  if k < 1 || k > l then invalid_arg "Brahms_config.make: k must be in [1, l]";
+  if k < 1 || Int.compare k l > 0 then
+    invalid_arg "Brahms_config.make: k must be in [1, l]";
   if tau <= 0.0 then invalid_arg "Brahms_config.make: tau must be positive";
   if rho <= 0.0 then invalid_arg "Brahms_config.make: rho must be positive";
   if pushes_per_round < 0 || pulls_per_round < 0 then

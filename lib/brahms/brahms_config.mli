@@ -61,3 +61,4 @@ val refresh_interval : t -> float
 (** [refresh_interval c] is [k / rho]. *)
 
 val pp : Format.formatter -> t -> unit
+(** Formatter for configurations. *)

@@ -31,6 +31,7 @@ type error =
   | Id_out_of_range  (** An identifier exceeding the native-int range. *)
 
 val pp_error : Format.formatter -> error -> unit
+(** Formatter for decode errors. *)
 
 val encode : Basalt_proto.Message.t -> bytes
 (** [encode msg] serialises a message. *)

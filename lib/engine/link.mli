@@ -18,6 +18,8 @@ module Latency : sig
   (** [sample t rng] draws a one-way delay. *)
 
   val pp : Format.formatter -> t -> unit
+  (** Formatter for latency models. *)
+
 end
 
 module Loss : sig
@@ -30,4 +32,6 @@ module Loss : sig
   (** [drops t rng] is [true] if the message should be discarded. *)
 
   val pp : Format.formatter -> t -> unit
+  (** Formatter for loss models. *)
+
 end

@@ -18,5 +18,12 @@ type row = {
 }
 
 val run : ?scale:Scale.t -> unit -> row list
+(** [run ()] measures the communication-cost table at the given scale. *)
+
 val columns : row list -> int * Basalt_sim.Report.column list
+(** [columns rows] lays out the report table (key-column count and column
+    specs). *)
+
 val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
+(** [print ()] runs the experiment and prints the table; [csv] also writes a
+    CSV file. *)

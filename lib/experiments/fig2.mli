@@ -17,7 +17,10 @@
 type panel = F_byzantine | Force | Rho | View_size
 
 val panel_name : panel -> string
+(** [panel_name p] is the panel's display name (e.g. ["fig2a (vs f)"]). *)
+
 val all_panels : panel list
+(** All four panels, in figure order. *)
 
 type row = {
   x : float;  (** The varied parameter's value. *)

@@ -19,4 +19,9 @@ val run : ?scale:Scale.t -> ?within:float -> unit -> row list
     ([None] when the majority of seeds never converge). *)
 
 val columns : row list -> int * Basalt_sim.Report.column list
+(** [columns rows] lays out the report table (key-column count and column
+    specs). *)
+
 val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
+(** [print ()] runs the experiment and prints the table; [csv] also writes a
+    CSV file. *)

@@ -26,3 +26,5 @@ val columns : series list -> int * Basalt_sim.Report.column list
     protocol. *)
 
 val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
+(** [print ()] runs the experiment, prints the per-series table and the
+    fitted decay rates; [csv] also writes a CSV file. *)

@@ -5,3 +5,5 @@
     stability condition across the paper's envelope. *)
 
 val print : ?scale:Scale.t -> unit -> unit
+(** [print ()] prints the Table 1 parameter sweep and the Eq. 16 stability
+    check for the chosen scale. *)

@@ -27,4 +27,9 @@ val run_latency : ?scale:Scale.t -> unit -> latency_row list
 (** Latency-jitter sweep (Basalt only). *)
 
 val columns : row list -> int * Basalt_sim.Report.column list
+(** [columns rows] lays out the report table (key-column count and column
+    specs). *)
+
 val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
+(** [print ()] runs both robustness sweeps and prints their tables; [csv]
+    also writes a CSV file. *)

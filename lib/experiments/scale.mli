@@ -17,7 +17,10 @@
 type t = Quick | Standard | Full
 
 val of_string : string -> (t, string) Stdlib.result
+(** [of_string s] parses ["quick"], ["standard"], or ["full"]. *)
+
 val to_string : t -> string
+(** Inverse of {!of_string}. *)
 
 val n : t -> int
 (** Base network size. *)

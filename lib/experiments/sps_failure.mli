@@ -22,4 +22,9 @@ val run : ?scale:Scale.t -> ?force:float -> unit -> row list
     adversary only answers pulls). *)
 
 val columns : row list -> int * Basalt_sim.Report.column list
+(** [columns rows] lays out the report table (key-column count and column
+    specs). *)
+
 val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
+(** [print ()] runs the experiment and prints the table; [csv] also writes a
+    CSV file. *)

@@ -31,5 +31,12 @@ val prefix_layout :
     cycle over [attacker_prefixes] prefixes of their own. *)
 
 val run : ?scale:Scale.t -> unit -> row list
+(** [run ()] executes the sybil-prefix experiment at the given scale. *)
+
 val columns : row list -> int * Basalt_sim.Report.column list
+(** [columns rows] lays out the report table (key-column count and column
+    specs). *)
+
 val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
+(** [print ()] runs the experiment and prints the table; [csv] also writes a
+    CSV file. *)

@@ -30,6 +30,8 @@ type equilibrium_row = {
 }
 
 val equilibria : ?scale:Scale.t -> ?f:float -> unit -> equilibrium_row list
+(** [equilibria ()] tabulates the fixed points of Eq. 16 across the force
+    grid for Byzantine fraction [f]. *)
 
 type validation_row = {
   view : int;
@@ -42,3 +44,5 @@ val validate : ?scale:Scale.t -> unit -> validation_row list
     worst-case-style flooding attack and compares against [B1]. *)
 
 val print : ?scale:Scale.t -> unit -> unit
+(** [print ()] prints the worked examples, the equilibrium table, and the
+    model-vs-simulation validation. *)

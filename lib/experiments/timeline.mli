@@ -34,4 +34,9 @@ val spec :
     from {!run}). *)
 
 val run : spec -> Basalt_sim.Runner.result
+(** [run spec] executes the timeline scenario and returns the runner's
+    result. *)
+
 val print : ?csv:string -> spec -> unit
+(** [print spec] runs the scenario and prints the per-phase timeline; [csv]
+    also writes a CSV file. *)

@@ -27,5 +27,12 @@ val of_histogram : sampler:string -> correct:int -> int array -> row
     the first [correct] entries of [hist]. *)
 
 val run : ?scale:Scale.t -> unit -> row list
+(** [run ()] executes the uniformity experiment at the given scale. *)
+
 val columns : row list -> int * Basalt_sim.Report.column list
+(** [columns rows] lays out the report table (key-column count and column
+    specs). *)
+
 val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
+(** [print ()] runs the experiment and prints the table; [csv] also writes a
+    CSV file. *)

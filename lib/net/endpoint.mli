@@ -20,7 +20,10 @@ val of_string : string -> (t, string) result
 (** [of_string "a.b.c.d:port"] parses an endpoint. *)
 
 val to_string : t -> string
+(** [to_string e] is ["a.b.c.d:port"] (inverse of {!of_string}). *)
+
 val pp : Format.formatter -> t -> unit
+(** Formatter for endpoints. *)
 
 val to_node_id : t -> Basalt_proto.Node_id.t
 (** [to_node_id e] packs the endpoint into an identifier.
@@ -30,5 +33,11 @@ val of_node_id : Basalt_proto.Node_id.t -> t
 (** [of_node_id id] unpacks an identifier produced by {!to_node_id}. *)
 
 val to_sockaddr : t -> Unix.sockaddr
+(** [to_sockaddr e] is the corresponding [Unix.ADDR_INET] address. *)
+
 val of_sockaddr : Unix.sockaddr -> (t, string) result
+(** [of_sockaddr sa] converts an [ADDR_INET] socket address back; [Error _]
+    on any other address family. *)
+
 val equal : t -> t -> bool
+(** Equality on endpoints. *)

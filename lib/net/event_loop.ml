@@ -1,16 +1,23 @@
 module Event_queue = Basalt_engine.Event_queue
 
 type t = {
+  clock : unit -> float;
   timers : (unit -> unit) Event_queue.t;
   mutable fds : (Unix.file_descr * (unit -> unit)) list;
   mutable write_fds : (Unix.file_descr * (unit -> unit)) list;
   mutable stopped : bool;
 }
 
-let create () =
-  { timers = Event_queue.create (); fds = []; write_fds = []; stopped = false }
+let create ~clock () =
+  {
+    clock;
+    timers = Event_queue.create ();
+    fds = [];
+    write_fds = [];
+    stopped = false;
+  }
 
-let now _ = Unix.gettimeofday ()
+let now t = t.clock ()
 
 let on_readable t fd f = t.fds <- (fd, f) :: List.remove_assoc fd t.fds
 

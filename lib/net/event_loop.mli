@@ -3,16 +3,23 @@
     A minimal reactor: readable-fd callbacks plus monotonic-deadline
     timers, multiplexed with [Unix.select].  One loop can host many
     sockets — the integration tests run a whole overlay of UDP nodes
-    inside one process. *)
+    inside one process.
+
+    The loop never reads the wall clock itself: the time source is
+    injected at {!create} (lint rule D2), so tests can drive timers with
+    a virtual clock via {!run_due_timers} while the daemon passes
+    [Unix.gettimeofday] at the process boundary. *)
 
 type t
 (** A loop instance. *)
 
-val create : unit -> t
+val create : clock:(unit -> float) -> unit -> t
+(** [create ~clock ()] builds an empty loop reading time from [clock]
+    (seconds; only differences are used).  Real deployments pass
+    [Unix.gettimeofday]; tests may pass a virtual clock. *)
 
 val now : t -> float
-(** [now t] is the current monotonic-ish time in seconds (wall clock from
-    [Unix.gettimeofday]; only differences are used). *)
+(** [now t] is the current time as reported by the injected clock. *)
 
 val on_readable : t -> Unix.file_descr -> (unit -> unit) -> unit
 (** [on_readable t fd f] invokes [f] whenever [fd] is readable.  One
@@ -37,8 +44,13 @@ val every : t -> ?phase:float -> interval:float -> (unit -> unit) -> unit
     [interval]). @raise Invalid_argument if [interval <= 0]. *)
 
 val stop : t -> unit
-(** [stop t] makes the current {!run} return after the ongoing
+(** [stop t] makes the current {!run_for} return after the ongoing
     iteration. *)
+
+val run_due_timers : t -> unit
+(** [run_due_timers t] fires every timer whose deadline is [<= now t],
+    without touching file descriptors.  With a virtual clock this is the
+    single-step driver: advance the clock, then call this. *)
 
 val run_for : t -> float -> unit
 (** [run_for t seconds] processes events for (at least) the given wall

@@ -31,6 +31,7 @@ module Decoder : sig
         (** Unparseable input; the connection should be dropped. *)
 
   val create : unit -> t
+  (** [create ()] is a decoder with an empty buffer. *)
 
   val feed : t -> bytes -> off:int -> len:int -> event list
   (** [feed t buf ~off ~len] appends received bytes and returns every

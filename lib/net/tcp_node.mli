@@ -33,10 +33,20 @@ val create :
     @raise Unix.Unix_error if the socket cannot be bound. *)
 
 val endpoint : t -> Endpoint.t
+(** [endpoint t] is the actually-bound listen endpoint. *)
+
 val id : t -> Basalt_proto.Node_id.t
+(** [id t] is the node's identifier ({!Endpoint.to_node_id} of its
+    endpoint). *)
+
 val view : t -> Endpoint.t list
+(** [view t] is the current view as endpoints. *)
+
 val samples : t -> Basalt_core.Sample_stream.t
+(** [samples t] is the service's output stream. *)
+
 val stats : t -> stats
+(** [stats t] returns the transport counters so far. *)
 
 val close : t -> unit
 (** Closes the listener and every open connection. *)

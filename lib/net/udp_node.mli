@@ -45,6 +45,7 @@ val samples : t -> Basalt_core.Sample_stream.t
 (** [samples t] is the service's output stream. *)
 
 val stats : t -> stats
+(** [stats t] returns the transport counters so far. *)
 
 val close : t -> unit
 (** [close t] unregisters from the loop and closes the socket. *)

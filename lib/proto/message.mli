@@ -27,3 +27,4 @@ val bytes_on_wire : ?id_size:int -> t -> int
     ([id_size] defaults to 4 bytes per identifier plus a 4-byte header). *)
 
 val pp : Format.formatter -> t -> unit
+(** Formatter for messages. *)

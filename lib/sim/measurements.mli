@@ -19,12 +19,19 @@ type t
 (** A mutable series. *)
 
 val create : unit -> t
+(** [create ()] is an empty series. *)
+
 val add : t -> point -> unit
+(** [add t p] appends one point. *)
+
 val points : t -> point list
 (** Oldest first. *)
 
 val length : t -> int
+(** [length t] is the number of points recorded. *)
+
 val last : t -> point option
+(** [last t] is the newest point, if any. *)
 
 val convergence_time :
   ?metric:[ `Samples | `Views ] -> optimal:float -> within:float -> t -> float option

@@ -80,4 +80,8 @@ val maker : t -> Basalt_proto.Rps.maker
 (** [maker s] instantiates the scenario's protocol. *)
 
 val protocol_name : t -> string
+(** [protocol_name s] is the short name used in reports (["basalt"],
+    ["brahms"], ["sps"], …). *)
+
 val pp : Format.formatter -> t -> unit
+(** Formatter for scenarios. *)

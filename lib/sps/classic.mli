@@ -39,7 +39,11 @@ val on_round : t -> unit
     [PUSH view] and one [PULL]. *)
 
 val on_message : t -> from:Basalt_proto.Node_id.t -> Basalt_proto.Message.t -> unit
+(** [on_message t ~from msg] records the round's receipts (pushes and pull
+    replies) and answers pulls. *)
+
 val view : t -> Basalt_proto.Node_id.t array
+(** [view t] is the current view (at most [l] identifiers). *)
 
 val sample : t -> int -> Basalt_proto.Node_id.t list
 (** [sample t k] returns [k] uniform members of the current view (the
@@ -49,6 +53,7 @@ val evict : t -> (Basalt_proto.Node_id.t -> bool) -> unit
 (** [evict t p] removes from the view all identifiers satisfying [p]. *)
 
 val id : t -> Basalt_proto.Node_id.t
+(** [id t] is the node's own identifier. *)
 
 val sampler : ?config:config -> unit -> Basalt_proto.Rps.maker
 (** Packaged for the simulation runner; [sample_tick] emits one view

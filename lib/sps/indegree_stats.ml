@@ -34,7 +34,7 @@ let tick t =
   Hashtbl.iter
     (fun key count ->
       let decayed = count *. t.decay in
-      if decayed < prune_threshold then stale := key :: !stale
+      if Float.compare decayed prune_threshold < 0 then stale := key :: !stale
       else Hashtbl.replace t.counts key decayed)
     t.counts;
   List.iter (Hashtbl.remove t.counts) !stale;
@@ -79,5 +79,5 @@ let min_population = 10
 
 let is_outlier t ~z id =
   refresh t;
-  observed t >= min_population
+  Int.compare (observed t) min_population >= 0
   && count t id > t.cached_mean +. (z *. t.cached_std)

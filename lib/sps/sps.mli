@@ -50,10 +50,20 @@ val create :
   send:Basalt_proto.Rps.send ->
   unit ->
   t
+(** [create ~id ~bootstrap ~rng ~send ()] wraps a {!Classic} instance with
+    indegree tracking and outlier blacklisting. *)
 
 val on_round : t -> unit
+(** [on_round t] advances the round counter, decays the indegree statistics,
+    and runs the base protocol's round. *)
+
 val on_message : t -> from:Basalt_proto.Node_id.t -> Basalt_proto.Message.t -> unit
+(** [on_message t ~from msg] screens the carried identifiers through the
+    outlier test (blacklisting offenders), then hands the message to the
+    base protocol. *)
+
 val view : t -> Basalt_proto.Node_id.t array
+(** [view t] is the base protocol's current view. *)
 
 val blacklisted : t -> Basalt_proto.Node_id.t -> bool
 (** [blacklisted t id] is [true] while [id] is currently suspected. *)
@@ -65,3 +75,5 @@ val sample : t -> int -> Basalt_proto.Node_id.t list
 (** [sample t k] draws [k] view members uniformly (the service output). *)
 
 val sampler : ?config:config -> unit -> Basalt_proto.Rps.maker
+(** Packaged for the simulation runner, like {!Classic.sampler} but with the
+    SPS defenses enabled. *)

@@ -1,0 +1,295 @@
+(* Tests for the basalt-lint determinism & interface linter (tool/lint).
+
+   Three layers:
+   - inline fixture snippets per rule D1–D6, asserting the exact
+     [file:line:rule] diagnostics (and that clean variants stay clean);
+   - suppression mechanics: `lint: allow` pragmas and the allowlist;
+   - a whole-repo run over the real sources (materialised into the build
+     sandbox via the dune [deps] of this test) asserting zero findings,
+     plus a CLI run over the checked-in fixture files. *)
+
+module Lint = Basalt_lint.Lint
+
+let check = Alcotest.check
+let check_int = Alcotest.(check int)
+
+(* [file:line:rule] triples of the findings for [source] linted as
+   [rel_path], in order. *)
+let lint ?(allow = Lint.empty_allowlist) ~rel_path source =
+  List.map
+    (fun (f : Lint.finding) -> (f.file, f.line, Lint.rule_name f.rule))
+    (Lint.lint_source ~rel_path ~allow source)
+
+let triples = Alcotest.(list (triple string int string))
+
+(* --- D1: Random --- *)
+
+let d1_flags_random () =
+  check triples "Random.int flagged"
+    [ ("lib/proto/bad.ml", 2, "D1") ]
+    (lint ~rel_path:"lib/proto/bad.ml" "let f () =\n  Random.int 6\n");
+  check triples "open Random flagged"
+    [ ("bin/bad.ml", 1, "D1") ]
+    (lint ~rel_path:"bin/bad.ml" "open Random\n");
+  check triples "module alias flagged"
+    [ ("lib/sim/bad.ml", 1, "D1") ]
+    (lint ~rel_path:"lib/sim/bad.ml" "module R = Random\n");
+  check triples "Stdlib.Random flagged"
+    [ ("test/bad.ml", 1, "D1") ]
+    (lint ~rel_path:"test/bad.ml" "let s = Stdlib.Random.bits ()\n")
+
+let d1_exempts_prng () =
+  check triples "lib/prng may reference Random"
+    []
+    (lint ~rel_path:"lib/prng/compat.ml" "let s = Random.bits ()\n")
+
+(* --- D2: wall clocks --- *)
+
+let d2_flags_wall_clocks () =
+  check triples "all three clock reads flagged"
+    [
+      ("lib/engine/bad.ml", 1, "D2");
+      ("lib/engine/bad.ml", 2, "D2");
+      ("lib/engine/bad.ml", 3, "D2");
+    ]
+    (lint ~rel_path:"lib/engine/bad.ml"
+       "let a = Unix.gettimeofday ()\nlet b = Unix.time ()\nlet c = Sys.time ()\n")
+
+let d2_respects_allowlist () =
+  let allow = Lint.allowlist_of_lines [ "D2 bin/clocky.ml" ] in
+  check triples "allowlisted file is clean" []
+    (lint ~allow ~rel_path:"bin/clocky.ml" "let a = Unix.gettimeofday ()\n");
+  check triples "other files still flagged"
+    [ ("bin/other.ml", 1, "D2") ]
+    (lint ~allow ~rel_path:"bin/other.ml" "let a = Unix.gettimeofday ()\n")
+
+(* --- D3: polymorphic hash --- *)
+
+let d3_flags_hashtbl_hash () =
+  check triples "Hashtbl.hash flagged everywhere, even tests"
+    [ ("test/bad.ml", 1, "D3") ]
+    (lint ~rel_path:"test/bad.ml" "let h x = Hashtbl.hash x\n");
+  check triples "seeded variant too"
+    [ ("lib/graph/bad.ml", 1, "D3") ]
+    (lint ~rel_path:"lib/graph/bad.ml" "let h x = Hashtbl.seeded_hash 7 x\n");
+  check triples "other Hashtbl functions fine" []
+    (lint ~rel_path:"lib/graph/ok.ml" "let t = Hashtbl.create 16\n")
+
+(* --- D4: polymorphic compare in protocol libraries --- *)
+
+let d4_flags_poly_compare () =
+  check triples "= on two unknowns flagged"
+    [ ("lib/basalt_core/bad.ml", 1, "D4") ]
+    (lint ~rel_path:"lib/basalt_core/bad.ml" "let f a b = a = b\n");
+  check triples "compare as function value flagged"
+    [ ("lib/brahms/bad.ml", 1, "D4") ]
+    (lint ~rel_path:"lib/brahms/bad.ml" "let f xs = List.sort compare xs\n");
+  check triples "List.mem flagged"
+    [ ("lib/sps/bad.ml", 1, "D4") ]
+    (lint ~rel_path:"lib/sps/bad.ml" "let f x xs = List.mem x xs\n")
+
+let d4_allows_primitive_operands () =
+  check triples "literal operand is fine" []
+    (lint ~rel_path:"lib/basalt_core/ok.ml" "let f n = n = 0\n");
+  check triples "constant constructor is fine" []
+    (lint ~rel_path:"lib/basalt_core/ok.ml" "let f o = o <> None\n");
+  check triples "arithmetic operand is fine" []
+    (lint ~rel_path:"lib/proto/ok.ml" "let f a b c = a - b > c\n");
+  check triples "M.length / M.compare operands are fine" []
+    (lint ~rel_path:"lib/sps/ok.ml"
+       "let f a xs = Array.length xs > a\nlet g a b = Int.compare a b < 0\n")
+
+let d4_out_of_scope_dirs () =
+  check triples "lib/graph may use polymorphic compare" []
+    (lint ~rel_path:"lib/graph/ok.ml" "let f a b = a = b\n");
+  check triples "tests may use polymorphic compare" []
+    (lint ~rel_path:"test/ok.ml" "let f a b = compare a b\n")
+
+(* --- D5: interface documentation --- *)
+
+let d5_flags_missing_doc () =
+  check triples "undocumented val flagged"
+    [ ("lib/codec/bad.mli", 4, "D5") ]
+    (lint ~rel_path:"lib/codec/bad.mli"
+       "val documented : int\n(** Fine. *)\n\nval undocumented : int\n");
+  check triples "doc before the val also counts" []
+    (lint ~rel_path:"lib/codec/ok.mli" "(** Fine. *)\nval documented : int\n")
+
+let d5_scope_is_lib_mli () =
+  check triples "bin interfaces exempt" []
+    (lint ~rel_path:"bin/ok.mli" "val undocumented : int\n");
+  check triples "ml files exempt from the doc rule" []
+    (lint ~rel_path:"lib/codec/ok.ml" "let x = 1\n")
+
+(* --- D6: console output --- *)
+
+let d6_flags_printf () =
+  check triples "print_endline and Printf.printf flagged"
+    [ ("lib/proto/bad.ml", 1, "D6"); ("lib/proto/bad.ml", 2, "D6") ]
+    (lint ~rel_path:"lib/proto/bad.ml"
+       "let f msg = print_endline msg\nlet g () = Printf.printf \"x\"\n");
+  check triples "sprintf is fine" []
+    (lint ~rel_path:"lib/proto/ok.ml" "let f x = Printf.sprintf \"%d\" x\n")
+
+let d6_scope_excludes_experiments () =
+  check triples "lib/experiments may print" []
+    (lint ~rel_path:"lib/experiments/ok.ml" "let f () = print_endline \"t\"\n");
+  check triples "bin may print" []
+    (lint ~rel_path:"bin/ok.ml" "let f () = print_endline \"t\"\n")
+
+(* --- suppression pragmas --- *)
+
+let pragma_suppresses () =
+  check triples "pragma on the same line" []
+    (lint ~rel_path:"lib/basalt_core/ok.ml"
+       "let f a b = a = b (* lint: allow D4 — both are ints *)\n");
+  check triples "pragma on the previous line" []
+    (lint ~rel_path:"lib/basalt_core/ok.ml"
+       "(* lint: allow D4 — both are ints *)\nlet f a b = a = b\n");
+  check triples "pragma names a different rule: still flagged"
+    [ ("lib/basalt_core/bad.ml", 1, "D4") ]
+    (lint ~rel_path:"lib/basalt_core/bad.ml"
+       "let f a b = a = b (* lint: allow D1 *)\n");
+  check triples "pragma two lines up does not apply"
+    [ ("lib/basalt_core/bad.ml", 3, "D4") ]
+    (lint ~rel_path:"lib/basalt_core/bad.ml"
+       "(* lint: allow D4 *)\n\nlet f a b = a = b\n")
+
+let allowlist_parsing () =
+  let allow =
+    Lint.allowlist_of_lines
+      [ "# comment"; ""; "D2 bin/a.ml"; "D6 lib/sim/ # trailing comment" ]
+  in
+  check triples "directory prefix covers subtree" []
+    (lint ~allow ~rel_path:"lib/sim/deep.ml" "let f () = print_endline \"x\"\n");
+  check triples "prefix does not leak to siblings"
+    [ ("lib/engine/e.ml", 1, "D6") ]
+    (lint ~allow ~rel_path:"lib/engine/e.ml"
+       "let f () = print_endline \"x\"\n");
+  Alcotest.check_raises "malformed line rejected"
+    (Failure "allowlist: unknown rule: D9")
+    (fun () -> ignore (Lint.allowlist_of_lines [ "D9 foo.ml" ]))
+
+let parse_error_reported () =
+  match
+    Lint.lint_source ~rel_path:"lib/proto/broken.ml"
+      ~allow:Lint.empty_allowlist "let f =\nlet\n"
+  with
+  | _ -> Alcotest.fail "expected Parse_error"
+  | exception Lint.Parse_error (file, _, _) ->
+      check Alcotest.string "reported file" "lib/proto/broken.ml" file
+
+(* --- the real repository is clean --- *)
+
+(* The dune deps of this test materialise the repo sources in the build
+   sandbox; the test runs in <sandbox>/test, so the repo root is [..]. *)
+let repo_root = Filename.concat (Filename.dirname Sys.executable_name) ".."
+
+let whole_repo_is_clean () =
+  let allow =
+    Lint.load_allowlist
+      (Filename.concat repo_root "tool/lint/allowlist.txt")
+  in
+  let findings = Lint.lint_tree ~root:repo_root ~allow in
+  List.iter
+    (fun f -> Format.eprintf "unexpected: %a@." Lint.pp_finding f)
+    findings;
+  check_int "no findings in the repository" 0 (List.length findings)
+
+(* --- the CLI over the checked-in fixture files --- *)
+
+let run_cli args =
+  let exe = Filename.concat repo_root "tool/lint/main.exe" in
+  let out = Filename.temp_file "basalt_lint" ".out" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote exe) args
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove out;
+  (code, s)
+
+let fixture name =
+  Filename.quote (Filename.concat repo_root ("tool/lint/fixtures/" ^ name))
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let cli_flags_fixtures () =
+  let expect args substrings =
+    let code, output = run_cli args in
+    check_int ("exit code for " ^ args) 1 code;
+    List.iter
+      (fun sub ->
+        if not (contains ~sub output) then
+          Alcotest.failf "output of %s misses %S:\n%s" args sub output)
+      substrings
+  in
+  expect
+    (fixture "d1_random.ml")
+    [ "d1_random.ml:2:D1:" ];
+  expect
+    (fixture "d2_wallclock.ml")
+    [ "d2_wallclock.ml:2:D2:"; "d2_wallclock.ml:3:D2:" ];
+  expect
+    (fixture "d3_hashtbl_hash.ml")
+    [ "d3_hashtbl_hash.ml:2:D3:" ];
+  expect
+    ("--as lib/basalt_core/d4_poly_compare.ml " ^ fixture "d4_poly_compare.ml")
+    [
+      "d4_poly_compare.ml:3:D4:";
+      "d4_poly_compare.ml:4:D4:";
+      "d4_poly_compare.ml:5:D4:";
+    ];
+  expect
+    ("--as lib/basalt_core/d5_missing_doc.mli " ^ fixture "d5_missing_doc.mli")
+    [ "d5_missing_doc.mli:7:D5:" ];
+  expect
+    ("--as lib/proto/d6_printf.ml " ^ fixture "d6_printf.ml")
+    [ "d6_printf.ml:3:D6:"; "d6_printf.ml:4:D6:" ]
+
+let cli_clean_repo_exits_zero () =
+  let code, output = run_cli ("--root " ^ Filename.quote repo_root) in
+  if code <> 0 then Alcotest.failf "expected exit 0, got %d:\n%s" code output
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "D1 flags Random" `Quick d1_flags_random;
+          Alcotest.test_case "D1 exempts lib/prng" `Quick d1_exempts_prng;
+          Alcotest.test_case "D2 flags wall clocks" `Quick d2_flags_wall_clocks;
+          Alcotest.test_case "D2 respects allowlist" `Quick d2_respects_allowlist;
+          Alcotest.test_case "D3 flags Hashtbl.hash" `Quick d3_flags_hashtbl_hash;
+          Alcotest.test_case "D4 flags poly compare" `Quick d4_flags_poly_compare;
+          Alcotest.test_case "D4 allows primitive operands" `Quick
+            d4_allows_primitive_operands;
+          Alcotest.test_case "D4 scoped to protocol libs" `Quick
+            d4_out_of_scope_dirs;
+          Alcotest.test_case "D5 flags missing docs" `Quick d5_flags_missing_doc;
+          Alcotest.test_case "D5 scoped to lib mli" `Quick d5_scope_is_lib_mli;
+          Alcotest.test_case "D6 flags console output" `Quick d6_flags_printf;
+          Alcotest.test_case "D6 scoped outside experiments" `Quick
+            d6_scope_excludes_experiments;
+        ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "pragmas" `Quick pragma_suppresses;
+          Alcotest.test_case "allowlist parsing" `Quick allowlist_parsing;
+          Alcotest.test_case "parse errors" `Quick parse_error_reported;
+        ] );
+      ( "repository",
+        [
+          Alcotest.test_case "whole repo clean" `Quick whole_repo_is_clean;
+          Alcotest.test_case "CLI flags fixtures" `Quick cli_flags_fixtures;
+          Alcotest.test_case "CLI clean repo exits 0" `Quick
+            cli_clean_repo_exits_zero;
+        ] );
+    ]

@@ -53,7 +53,7 @@ let endpoint_sockaddr () =
 (* --- Event_loop --- *)
 
 let loop_timers_fire () =
-  let loop = Event_loop.create () in
+  let loop = Event_loop.create ~clock:Unix.gettimeofday () in
   let fired = ref [] in
   Event_loop.schedule loop ~delay:0.02 (fun () -> fired := "b" :: !fired);
   Event_loop.schedule loop ~delay:0.005 (fun () -> fired := "a" :: !fired);
@@ -61,14 +61,14 @@ let loop_timers_fire () =
   Alcotest.(check (list string)) "order" [ "b"; "a" ] !fired
 
 let loop_every_fires_repeatedly () =
-  let loop = Event_loop.create () in
+  let loop = Event_loop.create ~clock:Unix.gettimeofday () in
   let count = ref 0 in
   Event_loop.every loop ~interval:0.01 (fun () -> incr count);
   Event_loop.run_for loop 0.12;
   check_bool (Printf.sprintf "fired repeatedly (%d)" !count) true (!count >= 5)
 
 let loop_stop () =
-  let loop = Event_loop.create () in
+  let loop = Event_loop.create ~clock:Unix.gettimeofday () in
   let count = ref 0 in
   Event_loop.every loop ~interval:0.005 (fun () ->
       incr count;
@@ -79,7 +79,7 @@ let loop_stop () =
   check_int "stopped at 3" 3 !count
 
 let loop_fd_callback () =
-  let loop = Event_loop.create () in
+  let loop = Event_loop.create ~clock:Unix.gettimeofday () in
   let r, w = Unix.pipe () in
   Unix.set_nonblock r;
   let got = Buffer.create 8 in
@@ -95,6 +95,28 @@ let loop_fd_callback () =
   Unix.close r;
   Unix.close w;
   Alcotest.(check string) "data received via loop" "ping" (Buffer.contents got)
+
+(* The loop's clock is injected, so timers can be driven deterministically
+   by a virtual clock: advance time by hand, then run the due timers. *)
+let loop_virtual_clock () =
+  let vtime = ref 0.0 in
+  let loop = Event_loop.create ~clock:(fun () -> !vtime) () in
+  let fired = ref [] in
+  Event_loop.schedule loop ~delay:1.0 (fun () -> fired := "once" :: !fired);
+  Event_loop.every loop ~interval:2.0 (fun () -> fired := "tick" :: !fired);
+  Event_loop.run_due_timers loop;
+  Alcotest.(check (list string)) "nothing due at t=0" [] !fired;
+  vtime := 1.0;
+  Event_loop.run_due_timers loop;
+  Alcotest.(check (list string)) "one-shot at t=1" [ "once" ] !fired;
+  vtime := 2.0;
+  Event_loop.run_due_timers loop;
+  Alcotest.(check (list string))
+    "periodic at t=2" [ "tick"; "once" ] !fired;
+  vtime := 6.0;
+  Event_loop.run_due_timers loop;
+  Alcotest.(check (list string))
+    "periodic catches up one tick per run" [ "tick"; "tick"; "once" ] !fired
 
 (* --- Frame codec --- *)
 
@@ -165,7 +187,7 @@ let frame_rejects_bad_payload () =
 module Tcp_node = Basalt_net.Tcp_node
 
 let tcp_overlay_converges () =
-  let loop = Event_loop.create () in
+  let loop = Event_loop.create ~clock:Unix.gettimeofday () in
   let n = 6 in
   let config =
     Basalt_core.Config.make ~v:8 ~k:2 ~tau:0.04 ~rho:(2.0 /. 0.04) ()
@@ -210,7 +232,7 @@ let localhost port = Endpoint.make "127.0.0.1" port
 
 (* A hostile datagram must be counted and ignored, not crash the node. *)
 let udp_garbage_counted () =
-  let loop = Event_loop.create () in
+  let loop = Event_loop.create ~clock:Unix.gettimeofday () in
   let node =
     Udp_node.create
       ~config:(Basalt_core.Config.make ~v:4 ~k:1 ~tau:0.05 ())
@@ -236,7 +258,7 @@ let udp_garbage_counted () =
    wall-clock time, and check that views converge to a rich set of
    overlay-wide peers. *)
 let udp_overlay_converges () =
-  let loop = Event_loop.create () in
+  let loop = Event_loop.create ~clock:Unix.gettimeofday () in
   let n = 8 in
   (* Bind with port 0 first so the OS assigns free ports. *)
   let config =
@@ -321,6 +343,7 @@ let () =
           Alcotest.test_case "every repeats" `Quick loop_every_fires_repeatedly;
           Alcotest.test_case "stop" `Quick loop_stop;
           Alcotest.test_case "fd callback" `Quick loop_fd_callback;
+          Alcotest.test_case "virtual clock" `Quick loop_virtual_clock;
         ] );
       ( "frame",
         [

@@ -1,0 +1,2 @@
+(* D1 fixture: protocol code must not reach for [Random]. *)
+let roll () = Random.int 6

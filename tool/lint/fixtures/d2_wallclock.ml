@@ -1,0 +1,3 @@
+(* D2 fixture: wall-clock reads belong to allowlisted boundaries only. *)
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

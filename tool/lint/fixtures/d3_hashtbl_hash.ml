@@ -1,0 +1,2 @@
+(* D3 fixture: the polymorphic hash is not a protocol primitive. *)
+let bucket x = Hashtbl.hash x mod 16

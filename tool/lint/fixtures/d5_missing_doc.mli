@@ -1,0 +1,7 @@
+(* D5 fixture: exported vals must carry doc comments.
+   Lint with:  main.exe --as lib/basalt_core/d5_missing_doc.mli <this file> *)
+
+val documented : int
+(** This one is fine. *)
+
+val undocumented : int

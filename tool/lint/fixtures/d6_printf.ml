@@ -1,0 +1,4 @@
+(* D6 fixture: protocol libraries must not write to the console.
+   Lint with:  main.exe --as lib/proto/d6_printf.ml <this file> *)
+let log msg = print_endline msg
+let debug () = Printf.printf "round done\n"

@@ -1,0 +1,443 @@
+type rule = D1 | D2 | D3 | D4 | D5 | D6
+
+let rule_name = function
+  | D1 -> "D1"
+  | D2 -> "D2"
+  | D3 -> "D3"
+  | D4 -> "D4"
+  | D5 -> "D5"
+  | D6 -> "D6"
+
+let rule_of_string = function
+  | "D1" -> Some D1
+  | "D2" -> Some D2
+  | "D3" -> Some D3
+  | "D4" -> Some D4
+  | "D5" -> Some D5
+  | "D6" -> Some D6
+  | _ -> None
+
+type finding = { file : string; line : int; rule : rule; message : string }
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d:%s: %s" f.file f.line (rule_name f.rule) f.message
+
+type allowlist = (rule * string) list
+
+let empty_allowlist = []
+
+let allowlist_of_lines lines =
+  List.concat_map
+    (fun line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let line = String.trim line in
+      if line = "" then []
+      else
+        match String.index_opt line ' ' with
+        | None -> failwith ("allowlist: malformed line: " ^ line)
+        | Some i ->
+            let r = String.sub line 0 i in
+            let path =
+              String.trim (String.sub line i (String.length line - i))
+            in
+            let rule =
+              match rule_of_string r with
+              | Some rule -> rule
+              | None -> failwith ("allowlist: unknown rule: " ^ r)
+            in
+            [ (rule, path) ])
+    lines
+
+let load_allowlist path =
+  if not (Sys.file_exists path) then empty_allowlist
+  else
+    let ic = open_in path in
+    let rec read acc =
+      match input_line ic with
+      | line -> read (line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let lines = read [] in
+    close_in ic;
+    allowlist_of_lines lines
+
+let allowlisted allow rule path =
+  List.exists
+    (fun (r, prefix) ->
+      r = rule
+      &&
+      if String.length prefix > 0 && prefix.[String.length prefix - 1] = '/'
+      then String.starts_with ~prefix path
+      else String.equal prefix path)
+    allow
+
+exception Parse_error of string * int * string
+
+(* ------------------------------------------------------------------ *)
+(* Path scoping                                                        *)
+
+let in_dir dir path = String.starts_with ~prefix:(dir ^ "/") path
+let d1_exempt path = in_dir "lib/prng" path
+
+let d4_scope path =
+  List.exists
+    (fun d -> in_dir d path)
+    [ "lib/proto"; "lib/basalt_core"; "lib/brahms"; "lib/sps" ]
+
+let d5_scope path = in_dir "lib" path
+let d6_scope path = in_dir "lib" path && not (in_dir "lib/experiments" path)
+
+(* ------------------------------------------------------------------ *)
+(* Identifier classification                                           *)
+
+(* Flattened [Longident.t] with any leading [Stdlib.] stripped, so that
+   [Stdlib.compare] and [compare] classify identically. *)
+let path_of_lid lid =
+  match Longident.flatten lid with "Stdlib" :: rest -> rest | p -> p
+
+let path_string p = String.concat "." p
+
+let wall_clock_paths =
+  [ [ "Unix"; "gettimeofday" ]; [ "Unix"; "time" ]; [ "Sys"; "time" ] ]
+
+(* [Hashtbl.hash] and friends, however the module is reached. *)
+let is_poly_hash = function
+  | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") ] -> true
+  | _ -> false
+
+let poly_operators =
+  [ "="; "<>"; "=="; "!="; "<"; ">"; "<="; ">="; "compare"; "min"; "max" ]
+
+(* Container helpers whose semantics embed polymorphic equality. *)
+let poly_eq_helpers =
+  [
+    [ "List"; "mem" ];
+    [ "List"; "memq" ];
+    [ "List"; "assoc" ];
+    [ "List"; "assoc_opt" ];
+    [ "List"; "mem_assoc" ];
+    [ "List"; "remove_assoc" ];
+    [ "Array"; "mem" ];
+    [ "Array"; "memq" ];
+  ]
+
+let console_output_paths =
+  [
+    [ "print_endline" ];
+    [ "print_string" ];
+    [ "print_newline" ];
+    [ "print_int" ];
+    [ "print_float" ];
+    [ "print_char" ];
+    [ "print_bytes" ];
+    [ "prerr_endline" ];
+    [ "prerr_string" ];
+    [ "prerr_newline" ];
+    [ "Printf"; "printf" ];
+    [ "Printf"; "eprintf" ];
+    [ "Format"; "printf" ];
+    [ "Format"; "eprintf" ];
+    [ "Format"; "print_string" ];
+    [ "Format"; "print_newline" ];
+  ]
+
+let arith_operators =
+  [
+    "+"; "-"; "*"; "/"; "mod"; "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr";
+    "+."; "-."; "*."; "/."; "**"; "~-"; "~-."; "abs"; "abs_float";
+    "float_of_int"; "int_of_float"; "succ"; "pred"; "not"; "!";
+  ]
+
+(* An operand whose type is manifestly a primitive (int/float/bool/…),
+   making a polymorphic comparison monomorphic and deterministic:
+   literals, constant constructors, arithmetic expressions, and
+   [M.length]/[M.compare]/[M.to_int]-shaped calls.  [!] is included
+   because in this codebase refs under comparison are round/size
+   counters; a ref holding an abstract value still trips the rule via
+   the other operand. *)
+let rec manifestly_primitive (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constant _ -> true
+  | Pexp_construct (_, None) -> true
+  | Pexp_variant (_, None) -> true
+  | Pexp_constraint (e, _) -> manifestly_primitive e
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match path_of_lid txt with
+      | [ op ] -> List.mem op arith_operators
+      | p -> (
+          match List.rev p with
+          | ("length" | "compare" | "to_int") :: _ -> true
+          | _ -> false))
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Per-file lint state                                                 *)
+
+type state = {
+  rel_path : string;
+  lines : string array;  (** 1-based via [line_text]. *)
+  allow : allowlist;
+  mutable findings : finding list;
+  (* Operator idents already judged as part of an enclosing application
+     (keyed by position), so the bare-ident check does not re-flag them. *)
+  handled_ops : (int * int, unit) Hashtbl.t;
+}
+
+let line_text st n =
+  if n >= 1 && n <= Array.length st.lines then st.lines.(n - 1) else ""
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let pragma_allows st rule line =
+  let tag = "lint: allow " ^ rule_name rule in
+  contains ~sub:tag (line_text st line)
+  || contains ~sub:tag (line_text st (line - 1))
+
+let report st rule line message =
+  if
+    (not (allowlisted st.allow rule st.rel_path))
+    && not (pragma_allows st rule line)
+  then
+    st.findings <- { file = st.rel_path; line; rule; message } :: st.findings
+
+(* ------------------------------------------------------------------ *)
+(* Identifier checks (shared by expressions, module refs, opens)       *)
+
+let check_path st (loc : Location.t) p =
+  let line = loc.loc_start.pos_lnum in
+  (match p with
+  | "Random" :: _ when not (d1_exempt st.rel_path) ->
+      report st D1 line
+        (Printf.sprintf
+           "reference to %s; all randomness must come from seeded \
+            Basalt_prng.Rng streams (lib/prng is the only exemption)"
+           (path_string p))
+  | _ -> ());
+  if List.mem p wall_clock_paths then
+    report st D2 line
+      (Printf.sprintf
+         "wall-clock read %s; inject a clock function or allowlist this \
+          process boundary in tool/lint/allowlist.txt"
+         (path_string p));
+  if is_poly_hash p then
+    report st D3 line
+      (Printf.sprintf
+         "%s is the polymorphic hash and is banned; use Basalt_hashing or a \
+          dedicated hash function"
+         (path_string p));
+  if d4_scope st.rel_path && List.mem p poly_eq_helpers then
+    report st D4 line
+      (Printf.sprintf
+         "%s uses polymorphic equality; use an explicit equal function \
+          (e.g. Node_id.equal)"
+         (path_string p));
+  if d6_scope st.rel_path && List.mem p console_output_paths then
+    report st D6 line
+      (Printf.sprintf
+         "direct console output %s in a protocol library; route output \
+          through the experiment/report layer"
+         (path_string p))
+
+let pos_key (loc : Location.t) =
+  (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum)
+
+(* D4: polymorphic comparison operators in protocol libraries. *)
+let check_poly_operator st (e : Parsetree.expression) =
+  if d4_scope st.rel_path then
+    match e.pexp_desc with
+    | Pexp_apply
+        (({ pexp_desc = Pexp_ident { txt; loc }; _ } as fn), args)
+      when (match path_of_lid txt with
+           | [ op ] -> List.mem op poly_operators
+           | _ -> false) ->
+        let op = match path_of_lid txt with [ op ] -> op | _ -> "" in
+        let plain =
+          List.filter_map
+            (fun (lbl, a) ->
+              match lbl with Asttypes.Nolabel -> Some a | _ -> None)
+            args
+        in
+        Hashtbl.replace st.handled_ops (pos_key fn.pexp_loc) ();
+        (match plain with
+        | a :: b :: _ ->
+            if not (manifestly_primitive a || manifestly_primitive b) then
+              report st D4 loc.loc_start.pos_lnum
+                (Printf.sprintf
+                   "polymorphic %s on non-primitive operands; use a \
+                    dedicated comparison (Node_id.equal/compare, \
+                    Int.compare, …)"
+                   op)
+        | _ ->
+            report st D4 loc.loc_start.pos_lnum
+              (Printf.sprintf
+                 "polymorphic %s partially applied; pass a dedicated \
+                  comparison instead"
+                 op))
+    | Pexp_ident { txt; loc }
+      when (match path_of_lid txt with
+           | [ op ] -> List.mem op poly_operators
+           | _ -> false)
+           && not (Hashtbl.mem st.handled_ops (pos_key e.pexp_loc)) ->
+        let op = match path_of_lid txt with [ op ] -> op | _ -> "" in
+        report st D4 loc.loc_start.pos_lnum
+          (Printf.sprintf
+             "polymorphic %s used as a function value; pass a dedicated \
+              comparison (Node_id.compare, Int.compare, …)"
+             op)
+    | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* AST traversal                                                       *)
+
+let make_iterator st =
+  let default = Ast_iterator.default_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_path st loc (path_of_lid txt)
+    | _ -> ());
+    check_poly_operator st e;
+    default.expr it e
+  in
+  let module_expr it (m : Parsetree.module_expr) =
+    (match m.pmod_desc with
+    | Pmod_ident { txt; loc } -> check_path st loc (path_of_lid txt)
+    | _ -> ());
+    default.module_expr it m
+  in
+  let open_description it (o : Parsetree.open_description) =
+    check_path st o.popen_expr.loc (path_of_lid o.popen_expr.txt);
+    default.open_description it o
+  in
+  let doc_attr (a : Parsetree.attribute) =
+    a.attr_name.txt = "ocaml.doc" || a.attr_name.txt = "doc"
+  in
+  let signature_item it (s : Parsetree.signature_item) =
+    (match s.psig_desc with
+    | Psig_value vd
+      when d5_scope st.rel_path
+           && Filename.check_suffix st.rel_path ".mli"
+           && not (List.exists doc_attr vd.pval_attributes) ->
+        report st D5 vd.pval_name.loc.loc_start.pos_lnum
+          (Printf.sprintf "val %s has no doc comment" vd.pval_name.txt)
+    | _ -> ());
+    default.signature_item it s
+  in
+  { default with expr; module_expr; open_description; signature_item }
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let sort_findings fs =
+  List.sort
+    (fun a b ->
+      match String.compare a.file b.file with
+      | 0 -> (
+          match Int.compare a.line b.line with
+          | 0 -> String.compare (rule_name a.rule) (rule_name b.rule)
+          | c -> c)
+      | c -> c)
+    fs
+
+let lint_source ~rel_path ~allow source =
+  let st =
+    {
+      rel_path;
+      lines = Array.of_list (String.split_on_char '\n' source);
+      allow;
+      findings = [];
+      handled_ops = Hashtbl.create 16;
+    }
+  in
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf rel_path;
+  Location.input_name := rel_path;
+  let it = make_iterator st in
+  (try
+     if Filename.check_suffix rel_path ".mli" then
+       it.signature it (Parse.interface lexbuf)
+     else it.structure it (Parse.implementation lexbuf)
+   with e ->
+     let line =
+       match e with
+       | Syntaxerr.Error err ->
+           (Syntaxerr.location_of_error err).loc_start.pos_lnum
+       | _ -> 0
+     in
+     raise (Parse_error (rel_path, line, Printexc.to_string e)));
+  sort_findings st.findings
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let lint_file ~root ~rel_path ~allow =
+  let path =
+    if Filename.is_relative rel_path then Filename.concat root rel_path
+    else rel_path
+  in
+  lint_source ~rel_path ~allow (read_file path)
+
+let scanned_dirs = [ "lib"; "bin"; "bench"; "test" ]
+
+let rec walk root rel acc =
+  let full = Filename.concat root rel in
+  if Sys.is_directory full then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "_build" || String.starts_with ~prefix:"." entry then acc
+        else walk root (rel ^ "/" ^ entry) acc)
+      acc
+      (let entries = Sys.readdir full in
+       Array.sort String.compare entries;
+       entries)
+  else if
+    Filename.check_suffix rel ".ml" || Filename.check_suffix rel ".mli"
+  then rel :: acc
+  else acc
+
+let missing_mli_findings ~allow files =
+  let files_set = Hashtbl.create 256 in
+  List.iter (fun f -> Hashtbl.replace files_set f ()) files;
+  List.filter_map
+    (fun f ->
+      if
+        in_dir "lib" f
+        && Filename.check_suffix f ".ml"
+        && (not (Hashtbl.mem files_set (f ^ "i")))
+        && not (allowlisted allow D5 f)
+      then
+        Some
+          {
+            file = f;
+            line = 1;
+            rule = D5;
+            message =
+              Printf.sprintf
+                "lib module %s has no .mli interface"
+                (Filename.remove_extension (Filename.basename f));
+          }
+      else None)
+    files
+
+let lint_tree ~root ~allow =
+  let files =
+    List.fold_left
+      (fun acc dir ->
+        if Sys.file_exists (Filename.concat root dir) then walk root dir acc
+        else acc)
+      [] scanned_dirs
+  in
+  let findings =
+    List.concat_map (fun rel -> lint_file ~root ~rel_path:rel ~allow) files
+  in
+  sort_findings (missing_mli_findings ~allow files @ findings)

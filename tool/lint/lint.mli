@@ -1,0 +1,83 @@
+(** [basalt-lint]: a determinism & interface linter over the repo's
+    OCaml sources, built on [compiler-libs] (parsetree only — no type
+    information, so every rule is syntactic and scoped by path).
+
+    Rules (see DESIGN.md, "Determinism policy & lint rules"):
+
+    - {b D1} — no [Random] module references outside [lib/prng]: all
+      randomness must flow from seeded [Basalt_prng.Rng] streams.
+    - {b D2} — no wall-clock reads ([Unix.gettimeofday], [Unix.time],
+      [Sys.time]) outside the checked-in allowlist.
+    - {b D3} — no [Hashtbl.hash] / [Hashtbl.seeded_hash] anywhere: the
+      polymorphic hash is not a stable protocol primitive.
+    - {b D4} — no polymorphic compare/equality ([=], [<>], [compare],
+      [min], [max], orderings, [List.mem]/[List.assoc]-style helpers)
+      in [lib/proto], [lib/basalt_core], [lib/brahms], [lib/sps],
+      unless one operand is manifestly primitive (a literal constant,
+      a constant constructor, or an arithmetic/length/[M.compare]
+      expression).  Use [Node_id.equal]/[Node_id.compare] or
+      [Int.compare] instead.
+    - {b D5} — every [lib/] module has an [.mli], and every exported
+      [val] carries a doc comment.
+    - {b D6} — no direct console output ([Printf.printf],
+      [print_endline], [Format.printf], …) in protocol libraries
+      ([lib/] minus [lib/experiments]); reporting flows through the
+      experiment layer.
+
+    Suppression: a source line (or the line just above it) containing
+    [lint: allow D<k>] inside a comment silences rule [D<k>] for that
+    line; [tool/lint/allowlist.txt] lists [<rule> <path-or-dir/>]
+    pairs for whole-file or whole-subtree exemptions. *)
+
+type rule = D1 | D2 | D3 | D4 | D5 | D6
+
+val rule_name : rule -> string
+(** [rule_name r] is ["D1"] … ["D6"]. *)
+
+val rule_of_string : string -> rule option
+(** [rule_of_string s] parses ["D1"] … ["D6"] (case-sensitive). *)
+
+type finding = {
+  file : string;  (** Repo-relative path using [/] separators. *)
+  line : int;  (** 1-based line of the offending node. *)
+  rule : rule;  (** The rule violated. *)
+  message : string;  (** Human-readable explanation. *)
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [pp_finding ppf f] prints [file:line:rule: message] (the format
+    asserted by the fixture tests and consumed by CI). *)
+
+type allowlist
+(** A set of [(rule, path-prefix)] exemptions. *)
+
+val empty_allowlist : allowlist
+
+val allowlist_of_lines : string list -> allowlist
+(** [allowlist_of_lines lines] parses allowlist syntax: blank lines and
+    [#] comments are skipped; every other line is [<rule> <path>] where
+    a [<path>] ending in [/] exempts the whole subtree.
+    @raise Failure on a malformed line. *)
+
+val load_allowlist : string -> allowlist
+(** [load_allowlist path] reads and parses the file at [path]; a
+    missing file yields {!empty_allowlist}. *)
+
+exception Parse_error of string * int * string
+(** [Parse_error (file, line, msg)]: the source could not be parsed. *)
+
+val lint_source : rel_path:string -> allow:allowlist -> string -> finding list
+(** [lint_source ~rel_path ~allow source] lints one compilation unit
+    given as a string.  [rel_path] determines both the [.ml]/[.mli]
+    syntax and the path-scoped rules that apply; findings come back
+    sorted by line.  @raise Parse_error on a syntax error. *)
+
+val lint_file : root:string -> rel_path:string -> allow:allowlist -> finding list
+(** [lint_file ~root ~rel_path ~allow] reads [root/rel_path] and lints
+    it as {!lint_source} does.  @raise Parse_error on a syntax error. *)
+
+val lint_tree : root:string -> allow:allowlist -> finding list
+(** [lint_tree ~root ~allow] lints every [.ml]/[.mli] under
+    [lib/], [bin/], [bench/], and [test/] below [root], plus the
+    D5 missing-[.mli] check for [lib/] modules.  Findings are sorted
+    by file then line.  @raise Parse_error on the first syntax error. *)

@@ -1,0 +1,72 @@
+(* basalt-lint CLI: scans the repo (or explicit files) and prints
+   [file:line:rule: message] diagnostics.  Exit codes: 0 = clean,
+   1 = findings, 2 = usage or parse error. *)
+
+module Lint = Basalt_lint.Lint
+
+let usage =
+  "basalt-lint: determinism & interface linter (rules D1-D6, see DESIGN.md)\n\
+   usage: main.exe [--root DIR] [--allowlist FILE] [--as PATH] [FILE...]\n\
+   With no FILE arguments, scans lib/ bin/ bench/ test/ under --root."
+
+let () =
+  let root = ref "." in
+  let vpath = ref "" in
+  let allowfile = ref "" in
+  let files = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR repo root to scan (default: .)");
+      ( "--as",
+        Arg.Set_string vpath,
+        "PATH treat the single FILE argument as repo-relative PATH for \
+         rule scoping (fixture testing)" );
+      ( "--allowlist",
+        Arg.Set_string allowfile,
+        "FILE allowlist (default: ROOT/tool/lint/allowlist.txt)" );
+    ]
+  in
+  Arg.parse spec (fun f -> files := f :: !files) usage;
+  let allow =
+    try
+      Lint.load_allowlist
+        (if !allowfile <> "" then !allowfile
+         else Filename.concat !root "tool/lint/allowlist.txt")
+    with Failure msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  let findings =
+    try
+      match List.rev !files with
+      | [] ->
+          if not (Sys.file_exists !root && Sys.is_directory !root) then begin
+            prerr_endline ("basalt-lint: not a directory: " ^ !root);
+            exit 2
+          end;
+          Lint.lint_tree ~root:!root ~allow
+      | [ f ] when !vpath <> "" ->
+          let source =
+            let ic = open_in_bin f in
+            let s = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            s
+          in
+          Lint.lint_source ~rel_path:!vpath ~allow source
+      | _ :: _ :: _ when !vpath <> "" ->
+          prerr_endline "basalt-lint: --as requires exactly one FILE";
+          exit 2
+      | fs ->
+          List.concat_map
+            (fun f -> Lint.lint_file ~root:!root ~rel_path:f ~allow)
+            fs
+    with
+    | Lint.Parse_error (file, line, msg) ->
+        Printf.eprintf "%s:%d: parse error: %s\n" file line msg;
+        exit 2
+    | Sys_error msg ->
+        prerr_endline ("basalt-lint: " ^ msg);
+        exit 2
+  in
+  List.iter (fun f -> Format.printf "%a@." Lint.pp_finding f) findings;
+  if findings <> [] then exit 1
