@@ -18,6 +18,8 @@ module Scenario = Basalt_sim.Scenario
 module Runner = Basalt_sim.Runner
 module Rank = Basalt_hashing.Rank
 module Rng = Basalt_prng.Rng
+module Pool = Basalt_parallel.Pool
+module Sweep = Basalt_sim.Sweep
 
 let scale = Scale.Quick
 
@@ -228,6 +230,24 @@ let codec_ops () =
                   ~len:(Bytes.length frame))));
     ]
 
+(* Multi-seed fan-out through the domain pool (DESIGN.md §7).  The
+   benchmarked unit is an 8-seed batch of the micro scenario — the same
+   shape `Sweep` hands the pool under `repro -j N`.  On a single-core
+   host j=4 is expected to match j=1 (the pool adds little overhead but
+   no parallelism); the speedup target lives on multi-core CI. *)
+let sweep_throughput () =
+  let scenario = micro_scenario () in
+  let seeds = List.init 8 (fun i -> i + 1) in
+  let pool = Pool.create ~domains:4 () in
+  run_group ~name:"sweep throughput (8-seed batch)"
+    [
+      Test.make ~name:"j=1"
+        (Staged.stage (fun () -> ignore (Sweep.run_seeds scenario ~seeds)));
+      Test.make ~name:"j=4"
+        (Staged.stage (fun () -> ignore (Sweep.run_seeds ~pool scenario ~seeds)));
+    ];
+  Pool.shutdown pool
+
 (* Ablations called out in DESIGN.md §4. *)
 let ablations () =
   run_group ~name:"ablation: replacement count k"
@@ -292,5 +312,6 @@ let () =
   core_ops ();
   graph_ops ();
   codec_ops ();
+  sweep_throughput ();
   ablations ();
   print_endline "bench: done"

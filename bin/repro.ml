@@ -4,6 +4,7 @@
 
 open Cmdliner
 open Basalt_experiments
+module Pool = Basalt_parallel.Pool
 
 let scale_arg =
   let parse s = Result.map_error (fun e -> `Msg e) (Scale.of_string s) in
@@ -22,6 +23,14 @@ let csv_arg =
   in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Fan Monte-Carlo runs out over $(docv) domains (1 = sequential, today's \
+     default; 0 = one domain per core).  Results are bit-identical at any \
+     setting (DESIGN.md \xc2\xa77)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let csv_path csv_dir name =
   Option.map
     (fun dir ->
@@ -29,67 +38,88 @@ let csv_path csv_dir name =
       Filename.concat dir (name ^ ".csv"))
     csv_dir
 
-let timed cmd_name f scale csv_dir =
+(* jobs = 1 avoids the pool entirely (no domains are ever spawned), so
+   the default matches the pre-parallelism driver exactly. *)
+let with_jobs jobs f =
+  match jobs with
+  | 1 -> f None
+  | 0 -> Pool.with_pool (fun pool -> f (Some pool))
+  | j when j > 1 -> Pool.with_pool ~domains:j (fun pool -> f (Some pool))
+  | _ ->
+      prerr_endline "repro: -j must be >= 0";
+      exit 1
+
+let timed cmd_name f scale csv_dir jobs =
   let t0 = Unix.gettimeofday () in
-  f ~scale ~csv_dir ();
+  with_jobs jobs (fun pool -> f ~scale ~csv_dir ~pool ());
   Printf.printf "[%s done in %.1fs]\n\n%!" cmd_name (Unix.gettimeofday () -. t0)
 
 let cmd cmd_name ~doc f =
   Cmd.v (Cmd.info cmd_name ~doc)
-    Term.(const (timed cmd_name f) $ scale_arg $ csv_arg)
+    Term.(const (timed cmd_name f) $ scale_arg $ csv_arg $ jobs_arg)
 
-let fig2_panel tag panel ~scale ~csv_dir () =
-  Fig2.print ~scale ?csv:(csv_path csv_dir tag) panel
+let fig2_panel tag panel ~scale ~csv_dir ~pool () =
+  Fig2.print ~scale ?csv:(csv_path csv_dir tag) ?pool panel
 
-let fig2_all ~scale ~csv_dir () =
+let fig2_all ~scale ~csv_dir ~pool () =
   List.iter2
-    (fun tag panel -> fig2_panel tag panel ~scale ~csv_dir ())
+    (fun tag panel -> fig2_panel tag panel ~scale ~csv_dir ~pool ())
     [ "fig2a"; "fig2b"; "fig2c"; "fig2d" ]
     Fig2.all_panels
 
-let fig3 ~scale ~csv_dir () = Fig3.print ~scale ?csv:(csv_path csv_dir "fig3") ()
-let fig4 ~scale ~csv_dir () = Fig4.print ~scale ?csv:(csv_path csv_dir "fig4") ()
-let fig5 ~scale ~csv_dir () = Fig5.print ~scale ?csv:(csv_path csv_dir "fig5") ()
+let fig3 ~scale ~csv_dir ~pool () =
+  Fig3.print ~scale ?csv:(csv_path csv_dir "fig3") ?pool ()
 
-let sps_failure ~scale ~csv_dir () =
-  Sps_failure.print ~scale ?csv:(csv_path csv_dir "sps_failure") ()
+let fig4 ~scale ~csv_dir ~pool () =
+  Fig4.print ~scale ?csv:(csv_path csv_dir "fig4") ?pool ()
 
-let live ~scale ~csv_dir () = Live.print ~scale ?csv:(csv_path csv_dir "live") ()
-let theory ~scale ~csv_dir:_ () = Theory.print ~scale ()
-let params ~scale ~csv_dir:_ () = Params.print ~scale ()
-let cost ~scale ~csv_dir () = Cost.print ~scale ?csv:(csv_path csv_dir "cost") ()
+let fig5 ~scale ~csv_dir ~pool () =
+  Fig5.print ~scale ?csv:(csv_path csv_dir "fig5") ?pool ()
 
-let churn ~scale ~csv_dir () =
-  Churn_exp.print ~scale ?csv:(csv_path csv_dir "churn") ()
+let sps_failure ~scale ~csv_dir ~pool () =
+  Sps_failure.print ~scale ?csv:(csv_path csv_dir "sps_failure") ?pool ()
 
-let sybil ~scale ~csv_dir () =
-  Sybil.print ~scale ?csv:(csv_path csv_dir "sybil") ()
+let live ~scale ~csv_dir ~pool:_ () =
+  Live.print ~scale ?csv:(csv_path csv_dir "live") ()
 
-let robustness ~scale ~csv_dir () =
-  Robustness.print ~scale ?csv:(csv_path csv_dir "robustness") ()
+let theory ~scale ~csv_dir:_ ~pool () = Theory.print ~scale ?pool ()
+let params ~scale ~csv_dir:_ ~pool:_ () = Params.print ~scale ()
 
-let uniformity ~scale ~csv_dir () =
-  Uniformity.print ~scale ?csv:(csv_path csv_dir "uniformity") ()
+let cost ~scale ~csv_dir ~pool:_ () =
+  Cost.print ~scale ?csv:(csv_path csv_dir "cost") ()
 
-let dag ~scale ~csv_dir () = Dag_exp.print ~scale ?csv:(csv_path csv_dir "dag") ()
+let churn ~scale ~csv_dir ~pool () =
+  Churn_exp.print ~scale ?csv:(csv_path csv_dir "churn") ?pool ()
 
-let all ~scale ~csv_dir () =
-  params ~scale ~csv_dir ();
-  theory ~scale ~csv_dir ();
-  fig2_all ~scale ~csv_dir ();
-  fig3 ~scale ~csv_dir ();
-  fig4 ~scale ~csv_dir ();
-  fig5 ~scale ~csv_dir ();
-  sps_failure ~scale ~csv_dir ();
-  live ~scale ~csv_dir ();
-  cost ~scale ~csv_dir ()
+let sybil ~scale ~csv_dir ~pool () =
+  Sybil.print ~scale ?csv:(csv_path csv_dir "sybil") ?pool ()
 
-let extensions ~scale ~csv_dir () =
-  churn ~scale ~csv_dir ();
-  sybil ~scale ~csv_dir ();
-  robustness ~scale ~csv_dir ();
-  uniformity ~scale ~csv_dir ();
-  dag ~scale ~csv_dir ()
+let robustness ~scale ~csv_dir ~pool () =
+  Robustness.print ~scale ?csv:(csv_path csv_dir "robustness") ?pool ()
+
+let uniformity ~scale ~csv_dir ~pool () =
+  Uniformity.print ~scale ?csv:(csv_path csv_dir "uniformity") ?pool ()
+
+let dag ~scale ~csv_dir ~pool:_ () =
+  Dag_exp.print ~scale ?csv:(csv_path csv_dir "dag") ()
+
+let all ~scale ~csv_dir ~pool () =
+  params ~scale ~csv_dir ~pool ();
+  theory ~scale ~csv_dir ~pool ();
+  fig2_all ~scale ~csv_dir ~pool ();
+  fig3 ~scale ~csv_dir ~pool ();
+  fig4 ~scale ~csv_dir ~pool ();
+  fig5 ~scale ~csv_dir ~pool ();
+  sps_failure ~scale ~csv_dir ~pool ();
+  live ~scale ~csv_dir ~pool ();
+  cost ~scale ~csv_dir ~pool ()
+
+let extensions ~scale ~csv_dir ~pool () =
+  churn ~scale ~csv_dir ~pool ();
+  sybil ~scale ~csv_dir ~pool ();
+  robustness ~scale ~csv_dir ~pool ();
+  uniformity ~scale ~csv_dir ~pool ();
+  dag ~scale ~csv_dir ~pool ()
 
 let cmds =
   [

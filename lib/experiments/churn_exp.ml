@@ -13,41 +13,51 @@ type row = {
 
 let rates = [ 0.0; 0.005; 0.01; 0.02; 0.05 ]
 
-let run ?(scale = Scale.Standard) () =
+let run ?(scale = Scale.Standard) ?pool () =
   let n = Scale.n scale in
   let v = Scale.v scale in
   let steps = Scale.steps scale in
   let seeds = Scale.seeds scale in
-  List.map
-    (fun churn_rate ->
-      let churn =
-        if churn_rate = 0.0 then None
-        else Some (Churn.make ~start:(steps /. 4.0) ~rate:churn_rate ())
-      in
-      let scenario protocol =
-        Scenario.make ~name:"churn" ~n ~f:0.1 ~force:10.0 ~protocol ~steps
-          ?churn ()
-      in
-      let basalt_scenario =
-        scenario (Scenario.Basalt (Basalt_core.Config.make ~v ()))
-      in
-      let basalt_runs = Sweep.run_seeds basalt_scenario ~seeds in
-      let brahms =
-        Sweep.aggregate
-          (Sweep.run_seeds
-             (scenario (Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ())))
-             ~seeds)
-      in
-      {
-        churn_rate;
-        basalt = Sweep.aggregate basalt_runs;
-        brahms;
-        basalt_churned =
-          (match basalt_runs with
-          | r :: _ -> r.Runner.nodes_churned
-          | [] -> 0);
-      })
-    rates
+  let scenario churn_rate protocol =
+    let churn =
+      if churn_rate = 0.0 then None
+      else Some (Churn.make ~start:(steps /. 4.0) ~rate:churn_rate ())
+    in
+    Scenario.make ~name:"churn" ~n ~f:0.1 ~force:10.0 ~protocol ~steps ?churn ()
+  in
+  (* One flat rate × protocol × seed batch; raw basalt runs are kept to
+     report the replacement count of the first seed. *)
+  let scenarios =
+    List.concat_map
+      (fun rate ->
+        [
+          scenario rate (Scenario.Basalt (Basalt_core.Config.make ~v ()));
+          scenario rate (Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ()));
+        ])
+      rates
+  in
+  let groups = Sweep.run_grouped ?pool scenarios ~seeds in
+  let agg runs =
+    (* Groups from run_grouped are non-empty (one run per seed). *)
+    match Sweep.aggregate runs with Some a -> a | None -> assert false
+  in
+  let rec rows rates groups =
+    match (rates, groups) with
+    | [], [] -> []
+    | churn_rate :: rates, basalt_runs :: brahms_runs :: groups ->
+        {
+          churn_rate;
+          basalt = agg basalt_runs;
+          brahms = agg brahms_runs;
+          basalt_churned =
+            (match basalt_runs with
+            | r :: _ -> r.Runner.nodes_churned
+            | [] -> 0);
+        }
+        :: rows rates groups
+    | _ -> assert false
+  in
+  rows rates groups
 
 let columns rows =
   let arr = Array.of_list rows in
@@ -79,8 +89,8 @@ let columns rows =
       };
     ] )
 
-let print ?(scale = Scale.Standard) ?csv () =
+let print ?(scale = Scale.Standard) ?csv ?pool () =
   Printf.printf "== churn extension (n=%d, v=%d, f=0.1, F=10)\n" (Scale.n scale)
     (Scale.v scale);
-  let rows, cols = columns (run ~scale ()) in
+  let rows, cols = columns (run ~scale ?pool ()) in
   Output.emit ?csv ~rows cols

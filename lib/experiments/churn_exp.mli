@@ -15,7 +15,7 @@ type row = {
   basalt_churned : int;  (** Replacements over the run (one seed). *)
 }
 
-val run : ?scale:Scale.t -> unit -> row list
+val run : ?scale:Scale.t -> ?pool:Basalt_parallel.Pool.t -> unit -> row list
 (** [run ()] executes the churn experiment at the given scale and returns
     one row per churn setting. *)
 
@@ -23,6 +23,7 @@ val columns : row list -> int * Basalt_sim.Report.column list
 (** [columns rows] lays out the report table (key-column count and column
     specs). *)
 
-val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
+val print :
+  ?scale:Scale.t -> ?csv:string -> ?pool:Basalt_parallel.Pool.t -> unit -> unit
 (** [print ()] runs the experiment and prints the table; [csv] also writes a
     CSV file. *)

@@ -53,15 +53,26 @@ let points scale panel =
         (fun v -> (float_of_int v, { base with v }))
         (Scale.view_sizes scale)
 
-let run ?(scale = Scale.Standard) panel =
+let run ?(scale = Scale.Standard) ?pool panel =
   let seeds = Scale.seeds scale in
-  List.map
-    (fun (x, point) ->
-      let agg which =
-        Sweep.aggregate (Sweep.run_seeds (scenario scale which point) ~seeds)
-      in
-      { x; optimal = point.f; basalt = agg `Basalt; brahms = agg `Brahms })
-    (points scale panel)
+  let pts = points scale panel in
+  (* One flat batch: every (point, protocol, seed) simulation is an
+     independent task, so a pool stays busy even with one seed. *)
+  let scenarios =
+    List.concat_map
+      (fun (_, point) ->
+        [ scenario scale `Basalt point; scenario scale `Brahms point ])
+      pts
+  in
+  let aggs = Sweep.run_aggregates ?pool scenarios ~seeds in
+  let rec rows pts aggs =
+    match (pts, aggs) with
+    | [], [] -> []
+    | (x, point) :: pts, basalt :: brahms :: aggs ->
+        { x; optimal = point.f; basalt; brahms } :: rows pts aggs
+    | _ -> assert false
+  in
+  rows pts aggs
 
 let columns rows =
   let arr = Array.of_list rows in
@@ -90,7 +101,7 @@ let columns rows =
       };
     ] )
 
-let print ?(scale = Scale.Standard) ?csv panel =
+let print ?(scale = Scale.Standard) ?csv ?pool panel =
   Printf.printf "== %s  [scale=%s]\n" (panel_name panel) (Scale.to_string scale);
-  let rows, cols = columns (run ~scale panel) in
+  let rows, cols = columns (run ~scale ?pool panel) in
   Output.emit ?csv ~rows cols

@@ -29,12 +29,14 @@ type row = {
   brahms : Basalt_sim.Sweep.aggregate;
 }
 
-val run : ?scale:Scale.t -> panel -> row list
+val run : ?scale:Scale.t -> ?pool:Basalt_parallel.Pool.t -> panel -> row list
 (** [run ~scale panel] executes both protocols over the panel's x-axis,
-    averaged over the scale's seeds. *)
+    averaged over the scale's seeds.  With [?pool], the point × protocol
+    × seed product fans out as one flat task batch. *)
 
 val columns : row list -> int * Basalt_sim.Report.column list
 (** [columns rows] is [(row count, printable columns)]. *)
 
-val print : ?scale:Scale.t -> ?csv:string -> panel -> unit
+val print :
+  ?scale:Scale.t -> ?csv:string -> ?pool:Basalt_parallel.Pool.t -> panel -> unit
 (** [print ~scale panel] runs the panel and prints its table. *)

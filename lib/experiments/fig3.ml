@@ -1,5 +1,6 @@
 module Scenario = Basalt_sim.Scenario
 module Runner = Basalt_sim.Runner
+module Sweep = Basalt_sim.Sweep
 module Measurements = Basalt_sim.Measurements
 module Report = Basalt_sim.Report
 
@@ -31,31 +32,37 @@ let convergence_of_runs runs ~optimal ~within =
     Some (List.nth sorted (List.length sorted / 2))
   end
 
-let run ?(scale = Scale.Standard) ?(within = 0.25) () =
+let run ?(scale = Scale.Standard) ?(within = 0.25) ?pool () =
   let n, v, steps = dims scale in
   let seeds = Scale.seeds scale in
-  List.map
-    (fun f ->
-      let scenario protocol =
-        Scenario.make ~name:"fig3" ~n ~f ~force:10.0 ~protocol ~steps ()
-      in
-      let runs protocol =
-        List.map
-          (fun seed -> Runner.run (Scenario.with_seed (scenario protocol) seed))
-          seeds
-      in
-      let basalt_runs =
-        runs (Scenario.Basalt (Basalt_core.Config.make ~v ()))
-      in
-      let brahms_runs =
-        runs (Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ()))
-      in
-      {
-        f;
-        basalt_time = convergence_of_runs basalt_runs ~optimal:f ~within;
-        brahms_time = convergence_of_runs brahms_runs ~optimal:f ~within;
-      })
-    (Scale.byzantine_fractions scale)
+  let fs = Scale.byzantine_fractions scale in
+  let scenario f protocol =
+    Scenario.make ~name:"fig3" ~n ~f ~force:10.0 ~protocol ~steps ()
+  in
+  (* One flat f × protocol × seed batch, regrouped per scenario. *)
+  let scenarios =
+    List.concat_map
+      (fun f ->
+        [
+          scenario f (Scenario.Basalt (Basalt_core.Config.make ~v ()));
+          scenario f (Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ()));
+        ])
+      fs
+  in
+  let groups = Sweep.run_grouped ?pool scenarios ~seeds in
+  let rec rows fs groups =
+    match (fs, groups) with
+    | [], [] -> []
+    | f :: fs, basalt_runs :: brahms_runs :: groups ->
+        {
+          f;
+          basalt_time = convergence_of_runs basalt_runs ~optimal:f ~within;
+          brahms_time = convergence_of_runs brahms_runs ~optimal:f ~within;
+        }
+        :: rows fs groups
+    | _ -> assert false
+  in
+  rows fs groups
 
 let time_cell = function
   | Some t -> Report.float_cell t
@@ -76,10 +83,10 @@ let columns rows =
       };
     ] )
 
-let print ?(scale = Scale.Standard) ?csv () =
+let print ?(scale = Scale.Standard) ?csv ?pool () =
   let n, v, steps = dims scale in
   Printf.printf
     "== fig3 (convergence time within 25%% of optimal)  [n=%d v=%d steps=%g]\n"
     n v steps;
-  let rows, cols = columns (run ~scale ()) in
+  let rows, cols = columns (run ~scale ?pool ()) in
   Output.emit ?csv ~rows cols

@@ -12,7 +12,12 @@ type row = {
   brahms_time : float option;
 }
 
-val run : ?scale:Scale.t -> ?within:float -> unit -> row list
+val run :
+  ?scale:Scale.t ->
+  ?within:float ->
+  ?pool:Basalt_parallel.Pool.t ->
+  unit ->
+  row list
 (** [run ~scale ~within ()] measures the earliest time from which the
     Byzantine sample proportion stays at or below
     [(1 + within) * f] (default [within = 0.25]), median across seeds
@@ -22,6 +27,7 @@ val columns : row list -> int * Basalt_sim.Report.column list
 (** [columns rows] lays out the report table (key-column count and column
     specs). *)
 
-val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
+val print :
+  ?scale:Scale.t -> ?csv:string -> ?pool:Basalt_parallel.Pool.t -> unit -> unit
 (** [print ()] runs the experiment and prints the table; [csv] also writes a
     CSV file. *)

@@ -11,21 +11,21 @@ let dims scale =
   | Scale.Standard -> (1000, 100, 150.0, 5.0)
   | Scale.Full -> (10_000, 160, 200.0, 5.0)
 
-let run ?(scale = Scale.Standard) () =
+let run ?(scale = Scale.Standard) ?pool () =
   let n, v, steps, measure_every = dims scale in
   let make protocol =
     Scenario.make ~name:"fig4" ~n ~f:0.1 ~force:1.0 ~protocol ~steps
       ~measure_every ~graph_metrics:true ()
   in
-  let series name protocol =
+  let series (name, protocol) =
     let r = Runner.run (make protocol) in
     { protocol = name; points = Measurements.points r.Runner.series }
   in
-  [
-    series "basalt" (Scenario.Basalt (Basalt_core.Config.make ~v ~rho:0.5 ()));
-    series "brahms"
-      (Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ~rho:0.5 ()));
-  ]
+  Basalt_parallel.Pool.map ?pool series
+    [
+      ("basalt", Scenario.Basalt (Basalt_core.Config.make ~v ~rho:0.5 ()));
+      ("brahms", Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ~rho:0.5 ()));
+    ]
 
 let opt_cell = function Some x -> Report.float_cell x | None -> "-"
 
@@ -63,12 +63,12 @@ let columns series_list =
         }
         :: List.concat_map per_protocol series_list )
 
-let print ?(scale = Scale.Standard) ?csv () =
+let print ?(scale = Scale.Standard) ?csv ?pool () =
   let n, v, steps, _ = dims scale in
   Printf.printf
     "== fig4 (graph metric convergence)  [n=%d v=%d f=0.1 F=1 rho=0.5 steps=%g]\n"
     n v steps;
-  let series_list = run ~scale () in
+  let series_list = run ~scale ?pool () in
   let rows, cols = columns series_list in
   Output.emit ?csv ~rows cols;
   (* Quantify "Basalt converges much more rapidly" with fitted relaxation

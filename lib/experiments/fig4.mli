@@ -18,13 +18,16 @@ type series = {
   points : Basalt_sim.Measurements.point list;
 }
 
-val run : ?scale:Scale.t -> unit -> series list
-(** [run ~scale ()] produces one series per protocol (Basalt, Brahms). *)
+val run :
+  ?scale:Scale.t -> ?pool:Basalt_parallel.Pool.t -> unit -> series list
+(** [run ~scale ()] produces one series per protocol (Basalt, Brahms),
+    in parallel when a pool is given. *)
 
 val columns : series list -> int * Basalt_sim.Report.column list
 (** Interleaved table: one row per measurement time, one column group per
     protocol. *)
 
-val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
+val print :
+  ?scale:Scale.t -> ?csv:string -> ?pool:Basalt_parallel.Pool.t -> unit -> unit
 (** [print ()] runs the experiment, prints the per-series table and the
     fitted decay rates; [csv] also writes a CSV file. *)

@@ -8,7 +8,7 @@ type row = {
   brahms_max_rho : float option;
 }
 
-let run ?(scale = Scale.Standard) () =
+let run ?(scale = Scale.Standard) ?pool () =
   let n = Scale.n scale in
   let steps = Scale.steps scale in
   let seeds = Scale.seeds scale in
@@ -23,14 +23,27 @@ let run ?(scale = Scale.Standard) () =
       ~protocol:(Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ~rho ()))
       ~steps ()
   in
-  List.map
-    (fun v ->
-      {
-        v;
-        basalt_max_rho = Sweep.max_rho ~make:(make_basalt v) ~rhos ~seeds;
-        brahms_max_rho = Sweep.max_rho ~make:(make_brahms v) ~rhos ~seeds;
-      })
-    (Scale.view_sizes scale)
+  (* Each max_rho scan is inherently sequential (it stops at the first
+     failing rate), so parallelism comes from the v × protocol grid. *)
+  let tasks =
+    List.concat_map (fun v -> [ (v, `Basalt); (v, `Brahms) ]) (Scale.view_sizes scale)
+  in
+  let results =
+    Basalt_parallel.Pool.map ?pool
+      (fun (v, which) ->
+        let make =
+          match which with `Basalt -> make_basalt v | `Brahms -> make_brahms v
+        in
+        Sweep.max_rho ~make ~seeds rhos)
+      tasks
+  in
+  let rec rows = function
+    | [] -> []
+    | ((v, _), basalt_max_rho) :: (_, brahms_max_rho) :: rest ->
+        { v; basalt_max_rho; brahms_max_rho } :: rows rest
+    | _ -> assert false
+  in
+  rows (List.combine tasks results)
 
 let rho_cell = function Some r -> Report.float_cell r | None -> "none"
 
@@ -49,9 +62,9 @@ let columns rows =
       };
     ] )
 
-let print ?(scale = Scale.Standard) ?csv () =
+let print ?(scale = Scale.Standard) ?csv ?pool () =
   Printf.printf
     "== fig5 (max sampling rate without isolation)  [n=%d f=0.1 F=10]\n"
     (Scale.n scale);
-  let rows, cols = columns (run ~scale ()) in
+  let rows, cols = columns (run ~scale ?pool ()) in
   Output.emit ?csv ~rows cols

@@ -13,13 +13,16 @@ type row = {
   brahms_max_rho : float option;
 }
 
-val run : ?scale:Scale.t -> unit -> row list
-(** [run ()] executes the hit-ratio experiment at the given scale. *)
+val run : ?scale:Scale.t -> ?pool:Basalt_parallel.Pool.t -> unit -> row list
+(** [run ()] executes the hit-ratio experiment at the given scale,
+    fanning the v × protocol grid out over the pool (each ρ-scan itself
+    stays sequential: it stops at the first failing rate). *)
 
 val columns : row list -> int * Basalt_sim.Report.column list
 (** [columns rows] lays out the report table (key-column count and column
     specs). *)
 
-val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
+val print :
+  ?scale:Scale.t -> ?csv:string -> ?pool:Basalt_parallel.Pool.t -> unit -> unit
 (** [print ()] runs the experiment and prints the table; [csv] also writes a
     CSV file. *)

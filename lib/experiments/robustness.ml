@@ -11,56 +11,62 @@ type row = {
 
 let loss_rates = [ 0.0; 0.1; 0.2; 0.4 ]
 
-let run ?(scale = Scale.Standard) () =
+let run ?(scale = Scale.Standard) ?pool () =
   let n = Scale.n scale in
   let v = Scale.v scale in
   let steps = Scale.steps scale in
   let seeds = Scale.seeds scale in
-  List.map
-    (fun loss_rate ->
-      let loss =
-        if loss_rate = 0.0 then Link.Loss.None
-        else Link.Loss.Bernoulli loss_rate
-      in
-      let agg protocol =
-        Sweep.aggregate
-          (Sweep.run_seeds
-             (Scenario.make ~name:"robustness" ~n ~f:0.1 ~force:10.0 ~protocol
-                ~steps ~loss ())
-             ~seeds)
-      in
-      {
-        loss_rate;
-        basalt = agg (Scenario.Basalt (Basalt_core.Config.make ~v ()));
-        brahms = agg (Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ()));
-      })
-    loss_rates
+  let scenario loss_rate protocol =
+    let loss =
+      if loss_rate = 0.0 then Link.Loss.None else Link.Loss.Bernoulli loss_rate
+    in
+    Scenario.make ~name:"robustness" ~n ~f:0.1 ~force:10.0 ~protocol ~steps
+      ~loss ()
+  in
+  let scenarios =
+    List.concat_map
+      (fun rate ->
+        [
+          scenario rate (Scenario.Basalt (Basalt_core.Config.make ~v ()));
+          scenario rate (Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ()));
+        ])
+      loss_rates
+  in
+  let aggs = Sweep.run_aggregates ?pool scenarios ~seeds in
+  let rec rows rates aggs =
+    match (rates, aggs) with
+    | [], [] -> []
+    | loss_rate :: rates, basalt :: brahms :: aggs ->
+        { loss_rate; basalt; brahms } :: rows rates aggs
+    | _ -> assert false
+  in
+  rows loss_rates aggs
 
 type latency_row = { jitter : float; basalt_sample_byz : float }
 
 let jitters = [ 0.0; 0.25; 0.5; 1.0 ]
 
-let run_latency ?(scale = Scale.Standard) () =
+let run_latency ?(scale = Scale.Standard) ?pool () =
   let n = Scale.n scale in
   let v = Scale.v scale in
   let steps = Scale.steps scale in
   let seeds = Scale.seeds scale in
-  List.map
-    (fun jitter ->
-      let latency =
-        if jitter = 0.0 then Link.Latency.Zero
-        else Link.Latency.Uniform { lo = 0.0; hi = jitter }
-      in
-      let agg =
-        Sweep.aggregate
-          (Sweep.run_seeds
-             (Scenario.make ~name:"robustness-latency" ~n ~f:0.1 ~force:10.0
-                ~protocol:(Scenario.Basalt (Basalt_core.Config.make ~v ()))
-                ~steps ~latency ())
-             ~seeds)
-      in
-      { jitter; basalt_sample_byz = agg.Sweep.mean_sample_byz })
+  let scenarios =
+    List.map
+      (fun jitter ->
+        let latency =
+          if jitter = 0.0 then Link.Latency.Zero
+          else Link.Latency.Uniform { lo = 0.0; hi = jitter }
+        in
+        Scenario.make ~name:"robustness-latency" ~n ~f:0.1 ~force:10.0
+          ~protocol:(Scenario.Basalt (Basalt_core.Config.make ~v ()))
+          ~steps ~latency ())
+      jitters
+  in
+  List.map2
+    (fun jitter agg -> { jitter; basalt_sample_byz = agg.Sweep.mean_sample_byz })
     jitters
+    (Sweep.run_aggregates ?pool scenarios ~seeds)
 
 let columns rows =
   let arr = Array.of_list rows in
@@ -88,14 +94,14 @@ let columns rows =
       };
     ] )
 
-let print ?(scale = Scale.Standard) ?csv () =
+let print ?(scale = Scale.Standard) ?csv ?pool () =
   Printf.printf "== robustness extension: message loss (n=%d, v=%d, F=10)\n"
     (Scale.n scale) (Scale.v scale);
-  let rows, cols = columns (run ~scale ()) in
+  let rows, cols = columns (run ~scale ?pool ()) in
   Output.emit ?csv ~rows cols;
   Printf.printf "latency jitter sweep (basalt, max delay as fraction of tau):\n";
   List.iter
     (fun r ->
       Printf.printf "  jitter=%.2f  samples_byz=%.4f\n" r.jitter
         r.basalt_sample_byz)
-    (run_latency ~scale ())
+    (run_latency ~scale ?pool ())

@@ -15,7 +15,7 @@ type row = {
   brahms : Basalt_sim.Sweep.aggregate;
 }
 
-val run : ?scale:Scale.t -> unit -> row list
+val run : ?scale:Scale.t -> ?pool:Basalt_parallel.Pool.t -> unit -> row list
 (** Loss sweep at the scale's base parameters. *)
 
 type latency_row = {
@@ -23,13 +23,15 @@ type latency_row = {
   basalt_sample_byz : float;
 }
 
-val run_latency : ?scale:Scale.t -> unit -> latency_row list
+val run_latency :
+  ?scale:Scale.t -> ?pool:Basalt_parallel.Pool.t -> unit -> latency_row list
 (** Latency-jitter sweep (Basalt only). *)
 
 val columns : row list -> int * Basalt_sim.Report.column list
 (** [columns rows] lays out the report table (key-column count and column
     specs). *)
 
-val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
+val print :
+  ?scale:Scale.t -> ?csv:string -> ?pool:Basalt_parallel.Pool.t -> unit -> unit
 (** [print ()] runs both robustness sweeps and prints their tables; [csv]
     also writes a CSV file. *)

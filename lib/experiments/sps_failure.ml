@@ -14,7 +14,7 @@ let dims scale =
   | Scale.Quick -> (300, 40, 100.0)
   | Scale.Standard | Scale.Full -> (1000, 100, 200.0)
 
-let run ?(scale = Scale.Standard) ?(force = 0.0) () =
+let run ?(scale = Scale.Standard) ?(force = 0.0) ?pool () =
   let n, v, steps = dims scale in
   let seeds = Scale.seeds scale in
   let strategy =
@@ -29,14 +29,15 @@ let run ?(scale = Scale.Standard) ?(force = 0.0) () =
       ("classic", Scenario.Classic (Basalt_sps.Classic.config ~l:v ()));
     ]
   in
-  List.map
-    (fun (name, protocol) ->
-      let scenario =
+  let scenarios =
+    List.map
+      (fun (_, protocol) ->
         Scenario.make ~name:"sps-failure" ~n ~f:0.3 ~force ~strategy ~protocol
-          ~steps ()
-      in
-      let runs = Sweep.run_seeds scenario ~seeds in
-      let agg = Sweep.aggregate runs in
+          ~steps ())
+      protocols
+  in
+  List.map2
+    (fun (name, _) agg ->
       {
         protocol = name;
         isolated_fraction = agg.Sweep.mean_isolated;
@@ -44,6 +45,7 @@ let run ?(scale = Scale.Standard) ?(force = 0.0) () =
         ever_isolated = agg.Sweep.isolation_runs > 0;
       })
     protocols
+    (Sweep.run_aggregates ?pool scenarios ~seeds)
 
 let columns rows =
   let arr = Array.of_list rows in
@@ -64,8 +66,8 @@ let columns rows =
       };
     ] )
 
-let print ?(scale = Scale.Standard) ?csv () =
+let print ?(scale = Scale.Standard) ?csv ?pool () =
   let n, v, steps = dims scale in
   Printf.printf "== sps-failure (f=0.3, F=0)  [n=%d v=%d steps=%g]\n" n v steps;
-  let rows, cols = columns (run ~scale ()) in
+  let rows, cols = columns (run ~scale ?pool ()) in
   Output.emit ?csv ~rows cols

@@ -17,7 +17,12 @@ type row = {
   ever_isolated : bool;  (** Any isolation during the second half. *)
 }
 
-val run : ?scale:Scale.t -> ?force:float -> unit -> row list
+val run :
+  ?scale:Scale.t ->
+  ?force:float ->
+  ?pool:Basalt_parallel.Pool.t ->
+  unit ->
+  row list
 (** [run ~scale ~force ()] uses [f = 0.3] and [force] (default 0: the
     adversary only answers pulls). *)
 
@@ -25,6 +30,7 @@ val columns : row list -> int * Basalt_sim.Report.column list
 (** [columns rows] lays out the report table (key-column count and column
     specs). *)
 
-val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
+val print :
+  ?scale:Scale.t -> ?csv:string -> ?pool:Basalt_parallel.Pool.t -> unit -> unit
 (** [print ()] runs the experiment and prints the table; [csv] also writes a
     CSV file. *)

@@ -20,36 +20,53 @@ let attacker_prefixes = 4
 (* Sybil multipliers: attacker identifiers as a multiple of Q/8. *)
 let multipliers = [ 1; 3; 8; 16 ]
 
-let run ?(scale = Scale.Standard) () =
+let run ?(scale = Scale.Standard) ?pool () =
   let honest = Scale.n scale * 3 / 4 in
   let v = Scale.v scale in
   let steps = Scale.steps scale in
   let seeds = Scale.seeds scale in
-  List.map
-    (fun m ->
-      let sybils = honest * m / 8 in
-      let n = honest + sybils in
-      let f = float_of_int sybils /. float_of_int n in
-      let prefix_of =
-        prefix_layout ~honest ~honest_prefixes ~attacker_prefixes
-      in
-      let sample_share backend =
-        let scenario =
-          Scenario.make ~name:"sybil" ~n ~f ~force:10.0
-            ~protocol:(Scenario.Basalt (Basalt_core.Config.make ~v ~backend ()))
-            ~steps ()
-        in
-        (Sweep.aggregate (Sweep.run_seeds scenario ~seeds)).Sweep.mean_sample_byz
-      in
-      {
-        sybil_ids = f;
-        prefix_share =
-          float_of_int attacker_prefixes
-          /. float_of_int (honest_prefixes + attacker_prefixes);
-        vanilla = sample_share Rank.Cheap;
-        diverse = sample_share (Rank.Prefix_diverse { prefix_of });
-      })
-    multipliers
+  let settings =
+    List.map
+      (fun m ->
+        let sybils = honest * m / 8 in
+        let n = honest + sybils in
+        let f = float_of_int sybils /. float_of_int n in
+        (n, f))
+      multipliers
+  in
+  let prefix_of = prefix_layout ~honest ~honest_prefixes ~attacker_prefixes in
+  let scenario (n, f) backend =
+    Scenario.make ~name:"sybil" ~n ~f ~force:10.0
+      ~protocol:(Scenario.Basalt (Basalt_core.Config.make ~v ~backend ()))
+      ~steps ()
+  in
+  (* One flat multiplier × backend × seed batch. *)
+  let scenarios =
+    List.concat_map
+      (fun s ->
+        [
+          scenario s Rank.Cheap;
+          scenario s (Rank.Prefix_diverse { prefix_of });
+        ])
+      settings
+  in
+  let aggs = Sweep.run_aggregates ?pool scenarios ~seeds in
+  let rec rows settings aggs =
+    match (settings, aggs) with
+    | [], [] -> []
+    | (_, f) :: settings, vanilla :: diverse :: aggs ->
+        {
+          sybil_ids = f;
+          prefix_share =
+            float_of_int attacker_prefixes
+            /. float_of_int (honest_prefixes + attacker_prefixes);
+          vanilla = vanilla.Sweep.mean_sample_byz;
+          diverse = diverse.Sweep.mean_sample_byz;
+        }
+        :: rows settings aggs
+    | _ -> assert false
+  in
+  rows settings aggs
 
 let columns rows =
   let arr = Array.of_list rows in
@@ -73,11 +90,11 @@ let columns rows =
       };
     ] )
 
-let print ?(scale = Scale.Standard) ?csv () =
+let print ?(scale = Scale.Standard) ?csv ?pool () =
   Printf.printf
     "== sybil extension (honest nodes over %d prefixes, attacker over %d)\n"
     honest_prefixes attacker_prefixes;
-  let rows, cols = columns (run ~scale ()) in
+  let rows, cols = columns (run ~scale ?pool ()) in
   Output.emit ?csv ~rows cols;
   print_endline
     "vanilla Basalt tracks the attacker's identifier share; prefix-diverse\n\

@@ -30,13 +30,14 @@ val prefix_layout :
     spread round-robin over [honest_prefixes]; attacker identifiers
     cycle over [attacker_prefixes] prefixes of their own. *)
 
-val run : ?scale:Scale.t -> unit -> row list
+val run : ?scale:Scale.t -> ?pool:Basalt_parallel.Pool.t -> unit -> row list
 (** [run ()] executes the sybil-prefix experiment at the given scale. *)
 
 val columns : row list -> int * Basalt_sim.Report.column list
 (** [columns rows] lays out the report table (key-column count and column
     specs). *)
 
-val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
+val print :
+  ?scale:Scale.t -> ?csv:string -> ?pool:Basalt_parallel.Pool.t -> unit -> unit
 (** [print ()] runs the experiment and prints the table; [csv] also writes a
     CSV file. *)

@@ -51,26 +51,34 @@ type validation_row = {
   simulated : float;
 }
 
-let validate ?(scale = Scale.Standard) () =
+let validate ?(scale = Scale.Standard) ?pool () =
   let n = Scale.n scale in
   let f = 0.1 in
   let seeds = Scale.seeds scale in
-  List.map
-    (fun v ->
-      let env = Model.env ~n ~f ~v () in
-      let scenario =
+  let vs = Scale.view_sizes scale in
+  let scenarios =
+    List.map
+      (fun v ->
         (* High force approximates the model's worst-case flooding. *)
         Scenario.make ~name:"theory-validate" ~n ~f ~force:50.0
           ~protocol:(Scenario.Basalt (Basalt_core.Config.make ~v ()))
-          ~steps:(Scale.steps scale) ()
-      in
-      let agg = Sweep.aggregate (Sweep.run_seeds scenario ~seeds) in
-      { view = v; model_b1 = Model.steady_state env; simulated = agg.Sweep.mean_view_byz })
-    (Scale.view_sizes scale)
+          ~steps:(Scale.steps scale) ())
+      vs
+  in
+  List.map2
+    (fun v agg ->
+      let env = Model.env ~n ~f ~v () in
+      {
+        view = v;
+        model_b1 = Model.steady_state env;
+        simulated = agg.Sweep.mean_view_byz;
+      })
+    vs
+    (Sweep.run_aggregates ?pool scenarios ~seeds)
 
 let opt_cell = function Some x -> Report.float_cell x | None -> "none"
 
-let print ?(scale = Scale.Standard) () =
+let print ?(scale = Scale.Standard) ?pool () =
   let w = worked_examples () in
   Printf.printf "== theory: worked examples (Section 3.3.1)\n";
   Printf.printf
@@ -99,7 +107,7 @@ let print ?(scale = Scale.Standard) () =
       };
     ];
   Printf.printf "== theory: model vs Monte-Carlo (Basalt views under flooding)\n";
-  let rows = Array.of_list (validate ~scale ()) in
+  let rows = Array.of_list (validate ~scale ?pool ()) in
   Report.print_table ~rows:(Array.length rows)
     [
       { Report.header = "v"; cell = (fun i -> string_of_int rows.(i).view) };

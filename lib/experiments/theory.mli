@@ -39,10 +39,14 @@ type validation_row = {
   simulated : float;  (** Mean Byzantine view proportion at the end. *)
 }
 
-val validate : ?scale:Scale.t -> unit -> validation_row list
+val validate :
+  ?scale:Scale.t ->
+  ?pool:Basalt_parallel.Pool.t ->
+  unit ->
+  validation_row list
 (** [validate ~scale ()] runs Basalt at several view sizes under the
     worst-case-style flooding attack and compares against [B1]. *)
 
-val print : ?scale:Scale.t -> unit -> unit
+val print : ?scale:Scale.t -> ?pool:Basalt_parallel.Pool.t -> unit -> unit
 (** [print ()] prints the worked examples, the equilibrium table, and the
     model-vs-simulation validation. *)

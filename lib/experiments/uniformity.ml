@@ -50,7 +50,7 @@ let ideal_histogram rng ~correct ~samples =
   done;
   hist
 
-let run ?(scale = Scale.Standard) () =
+let run ?(scale = Scale.Standard) ?pool () =
   let n = Scale.n scale in
   let v = Scale.v scale in
   let steps = Scale.steps scale in
@@ -62,7 +62,7 @@ let run ?(scale = Scale.Standard) () =
     ]
   in
   let rows =
-    List.map
+    Basalt_parallel.Pool.map ?pool
       (fun (name, protocol) ->
         let scenario =
           Scenario.make ~name:"uniformity" ~n ~f:0.1 ~force:10.0 ~protocol
@@ -109,10 +109,10 @@ let columns rows =
       };
     ] )
 
-let print ?(scale = Scale.Standard) ?csv () =
+let print ?(scale = Scale.Standard) ?csv ?pool () =
   Printf.printf
     "== uniformity extension: sample-stream diversity over correct nodes \
      (n=%d, f=0.1, F=10)\n"
     (Scale.n scale);
-  let rows, cols = columns (run ~scale ()) in
+  let rows, cols = columns (run ~scale ?pool ()) in
   Output.emit ?csv ~rows cols

@@ -26,13 +26,14 @@ val of_histogram : sampler:string -> correct:int -> int array -> row
 (** [of_histogram ~sampler ~correct hist] computes the statistics over
     the first [correct] entries of [hist]. *)
 
-val run : ?scale:Scale.t -> unit -> row list
+val run : ?scale:Scale.t -> ?pool:Basalt_parallel.Pool.t -> unit -> row list
 (** [run ()] executes the uniformity experiment at the given scale. *)
 
 val columns : row list -> int * Basalt_sim.Report.column list
 (** [columns rows] lays out the report table (key-column count and column
     specs). *)
 
-val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
+val print :
+  ?scale:Scale.t -> ?csv:string -> ?pool:Basalt_parallel.Pool.t -> unit -> unit
 (** [print ()] runs the experiment and prints the table; [csv] also writes a
     CSV file. *)

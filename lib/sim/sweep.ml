@@ -1,3 +1,5 @@
+module Pool = Basalt_parallel.Pool
+
 type aggregate = {
   mean_view_byz : float;
   mean_sample_byz : float;
@@ -6,40 +8,89 @@ type aggregate = {
   runs : int;
 }
 
-let run_seeds s ~seeds =
-  List.map (fun seed -> Runner.run (Scenario.with_seed s seed)) seeds
+let run_seeds ?pool s ~seeds =
+  Pool.map ?pool (fun seed -> Runner.run (Scenario.with_seed s seed)) seeds
 
 let aggregate results =
   match results with
-  | [] -> invalid_arg "Sweep.aggregate: no runs"
+  | [] -> None
   | _ ->
       let n = List.length results in
       let total field =
         List.fold_left (fun acc r -> acc +. field r.Runner.final) 0.0 results
         /. float_of_int n
       in
-      {
-        mean_view_byz = total (fun p -> p.Measurements.view_byz);
-        mean_sample_byz = total (fun p -> p.Measurements.sample_byz);
-        mean_isolated = total (fun p -> p.Measurements.isolated);
-        isolation_runs =
-          List.length
-            (List.filter (fun r -> r.Runner.ever_isolated_after_half) results);
-        runs = n;
-      }
+      Some
+        {
+          mean_view_byz = total (fun p -> p.Measurements.view_byz);
+          mean_sample_byz = total (fun p -> p.Measurements.sample_byz);
+          mean_isolated = total (fun p -> p.Measurements.isolated);
+          isolation_runs =
+            List.length
+              (List.filter (fun r -> r.Runner.ever_isolated_after_half) results);
+          runs = n;
+        }
 
-let sweep ~make ~seeds xs =
-  List.map (fun x -> (x, aggregate (run_seeds (make x) ~seeds))) xs
+let require_seeds fname seeds =
+  if seeds = [] then invalid_arg (fname ^ ": no seeds")
 
-let max_rho ~make ~rhos ~seeds =
+(* Fan out over the flat scenario × seed product, then regroup runs per
+   scenario in order.  Flattening matters: the scale presets use a single
+   seed, so parallelism has to come from the scenario axis as much as
+   from the seed axis. *)
+let run_grouped ?pool scenarios ~seeds =
+  require_seeds "Sweep.run_grouped" seeds;
+  let tasks =
+    List.concat_map
+      (fun s -> List.map (fun seed -> Scenario.with_seed s seed) seeds)
+      scenarios
+  in
+  let runs = Pool.map ?pool Runner.run tasks in
+  let per_group = List.length seeds in
+  let rec take n acc rest =
+    if n = 0 then (List.rev acc, rest)
+    else
+      match rest with
+      | r :: tl -> take (n - 1) (r :: acc) tl
+      | [] -> assert false
+  in
+  let rec regroup = function
+    | [] -> []
+    | runs ->
+        let group, rest = take per_group [] runs in
+        group :: regroup rest
+  in
+  regroup runs
+
+let aggregate_nonempty group =
+  (* Groups produced by [run_grouped] carry one run per seed and the
+     seed list was checked non-empty, so [aggregate] cannot fail. *)
+  match aggregate group with Some a -> a | None -> assert false
+
+let run_aggregates ?pool scenarios ~seeds =
+  require_seeds "Sweep.run_aggregates" seeds;
+  List.map aggregate_nonempty (run_grouped ?pool scenarios ~seeds)
+
+let run_aggregate ?pool s ~seeds =
+  require_seeds "Sweep.run_aggregate" seeds;
+  aggregate_nonempty (run_seeds ?pool s ~seeds)
+
+let sweep ?pool ~make ~seeds xs =
+  require_seeds "Sweep.sweep" seeds;
+  let groups = run_grouped ?pool (List.map make xs) ~seeds in
+  List.map2 (fun x group -> (x, aggregate_nonempty group)) xs groups
+
+let max_rho ?pool ~make ~seeds rhos =
   let sorted = List.sort_uniq Float.compare rhos in
   (* Try candidates in increasing order and stop at the first failure:
      isolation risk grows with rho (Fig. 2c), so once a rate fails, all
-     larger ones would too. *)
+     larger ones would too.  An empty result set (no seeds) counts as a
+     failure — no evidence of survival — rather than an exception. *)
   let rec scan best = function
     | [] -> best
-    | rho :: rest ->
-        let agg = aggregate (run_seeds (make ~rho) ~seeds) in
-        if agg.isolation_runs = 0 then scan (Some rho) rest else best
+    | rho :: rest -> (
+        match aggregate (run_seeds ?pool (make ~rho) ~seeds) with
+        | Some agg when agg.isolation_runs = 0 -> scan (Some rho) rest
+        | Some _ | None -> best)
   in
   scan None sorted

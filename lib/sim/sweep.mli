@@ -2,7 +2,10 @@
 
     The paper's figures vary one parameter at a time around the base
     scenario and average results over runs; these helpers drive
-    {!Runner.run} accordingly. *)
+    {!Runner.run} accordingly.  Every driver takes an optional
+    [?pool] ({!Basalt_parallel.Pool.t}): runs are independent seeded
+    Monte-Carlo simulations, so they fan out over domains with
+    bit-identical results (see DESIGN.md §7). *)
 
 type aggregate = {
   mean_view_byz : float;
@@ -13,26 +16,65 @@ type aggregate = {
   runs : int;
 }
 
-val run_seeds : Scenario.t -> seeds:int list -> Runner.result list
-(** [run_seeds s ~seeds] runs [s] once per seed. *)
+val run_seeds :
+  ?pool:Basalt_parallel.Pool.t ->
+  Scenario.t ->
+  seeds:int list ->
+  Runner.result list
+(** [run_seeds s ~seeds] runs [s] once per seed, in seed order. *)
 
-val aggregate : Runner.result list -> aggregate
+val aggregate : Runner.result list -> aggregate option
 (** [aggregate results] averages final measurements across runs.
-    @raise Invalid_argument on the empty list. *)
+    [None] on the empty list — an empty result set is data ("no runs
+    survived"), not a programming error, now that fan-out can lose tasks
+    to failure. *)
+
+val run_grouped :
+  ?pool:Basalt_parallel.Pool.t ->
+  Scenario.t list ->
+  seeds:int list ->
+  Runner.result list list
+(** [run_grouped scenarios ~seeds] runs every scenario × seed pair as
+    one flat task batch (maximising pool utilisation even with a single
+    seed) and returns the runs regrouped per scenario, in order: result
+    [i] lists [List.length seeds] runs of scenario [i] in seed order.
+    @raise Invalid_argument if [seeds] is empty. *)
+
+val run_aggregates :
+  ?pool:Basalt_parallel.Pool.t ->
+  Scenario.t list ->
+  seeds:int list ->
+  aggregate list
+(** [run_aggregates scenarios ~seeds] is {!run_grouped} with each group
+    aggregated.
+    @raise Invalid_argument if [seeds] is empty. *)
+
+val run_aggregate :
+  ?pool:Basalt_parallel.Pool.t -> Scenario.t -> seeds:int list -> aggregate
+(** [run_aggregate s ~seeds] aggregates {!run_seeds}.
+    @raise Invalid_argument if [seeds] is empty. *)
 
 val sweep :
-  make:('a -> Scenario.t) -> seeds:int list -> 'a list -> ('a * aggregate) list
+  ?pool:Basalt_parallel.Pool.t ->
+  make:('a -> Scenario.t) ->
+  seeds:int list ->
+  'a list ->
+  ('a * aggregate) list
 (** [sweep ~make ~seeds xs] evaluates [make x] for each parameter value
-    [x], averaged over [seeds]. *)
+    [x], averaged over [seeds].  With a pool, the [x] × seed product is
+    one flat task batch.
+    @raise Invalid_argument if [seeds] is empty. *)
 
 val max_rho :
+  ?pool:Basalt_parallel.Pool.t ->
   make:(rho:float -> Scenario.t) ->
-  rhos:float list ->
   seeds:int list ->
+  float list ->
   float option
-(** [max_rho ~make ~rhos ~seeds] tests the candidate rates in increasing
+(** [max_rho ~make ~seeds rhos] tests the candidate rates in increasing
     order and returns the largest [rho] before the first failure, where a
     failure is any run observing an isolated correct node during the
     second half of the simulation — the success criterion of Fig. 5.
     Isolation risk grows with [rho], so the scan stops at the first
-    failing rate.  [None] if even the smallest fails. *)
+    failing rate; an empty result set also counts as a failure.  [None]
+    if even the smallest fails. *)

@@ -137,6 +137,35 @@ let d6_scope_excludes_experiments () =
   check triples "bin may print" []
     (lint ~rel_path:"bin/ok.ml" "let f () = print_endline \"t\"\n")
 
+(* --- D7: concurrency primitives quarantined in lib/parallel --- *)
+
+let d7_flags_concurrency () =
+  check triples "Domain flagged in sim code"
+    [ ("lib/sim/bad.ml", 1, "D7") ]
+    (lint ~rel_path:"lib/sim/bad.ml"
+       "let d = Domain.spawn (fun () -> ())\n");
+  check triples "Atomic flagged in bin"
+    [ ("bin/bad.ml", 1, "D7") ]
+    (lint ~rel_path:"bin/bad.ml" "let c = Atomic.make 0\n");
+  check triples "Mutex module alias flagged"
+    [ ("lib/engine/bad.ml", 1, "D7") ]
+    (lint ~rel_path:"lib/engine/bad.ml" "module M = Mutex\n");
+  check triples "open Condition flagged"
+    [ ("test/bad.ml", 1, "D7") ]
+    (lint ~rel_path:"test/bad.ml" "open Condition\n");
+  check triples "Stdlib.Domain flagged"
+    [ ("lib/proto/bad.ml", 1, "D7") ]
+    (lint ~rel_path:"lib/proto/bad.ml"
+       "let n = Stdlib.Domain.recommended_domain_count ()\n")
+
+let d7_exempts_lib_parallel () =
+  check triples "lib/parallel may use the primitives" []
+    (lint ~rel_path:"lib/parallel/pool.ml"
+       "let d = Domain.spawn (fun () -> Atomic.make 0)\nlet m = Mutex.create ()\n");
+  check triples "pragma suppresses D7 elsewhere" []
+    (lint ~rel_path:"lib/sim/ok.ml"
+       "(* lint: allow D7 — documented exception *)\nlet c = Atomic.make 0\n")
+
 (* --- suppression pragmas --- *)
 
 let pragma_suppresses () =
@@ -252,7 +281,15 @@ let cli_flags_fixtures () =
     [ "d5_missing_doc.mli:7:D5:" ];
   expect
     ("--as lib/proto/d6_printf.ml " ^ fixture "d6_printf.ml")
-    [ "d6_printf.ml:3:D6:"; "d6_printf.ml:4:D6:" ]
+    [ "d6_printf.ml:3:D6:"; "d6_printf.ml:4:D6:" ];
+  expect
+    (fixture "d7_domain.ml")
+    [
+      "d7_domain.ml:2:D7:";
+      "d7_domain.ml:3:D7:";
+      "d7_domain.ml:4:D7:";
+      "d7_domain.ml:5:D7:";
+    ]
 
 let cli_clean_repo_exits_zero () =
   let code, output = run_cli ("--root " ^ Filename.quote repo_root) in
@@ -278,6 +315,10 @@ let () =
           Alcotest.test_case "D6 flags console output" `Quick d6_flags_printf;
           Alcotest.test_case "D6 scoped outside experiments" `Quick
             d6_scope_excludes_experiments;
+          Alcotest.test_case "D7 flags concurrency primitives" `Quick
+            d7_flags_concurrency;
+          Alcotest.test_case "D7 exempts lib/parallel" `Quick
+            d7_exempts_lib_parallel;
         ] );
       ( "suppression",
         [

@@ -415,12 +415,20 @@ let runner_sample_histogram () =
 let sweep_aggregate () =
   let runs = Sweep.run_seeds (tiny_scenario ()) ~seeds:[ 1; 2 ] in
   check_int "two runs" 2 (List.length runs);
-  let agg = Sweep.aggregate runs in
+  let agg =
+    match Sweep.aggregate runs with
+    | Some a -> a
+    | None -> Alcotest.fail "aggregate of two runs is Some"
+  in
   check_int "runs counted" 2 agg.Sweep.runs;
   check_bool "mean in range" true
     (agg.Sweep.mean_view_byz >= 0.0 && agg.Sweep.mean_view_byz <= 1.0);
-  Alcotest.check_raises "empty" (Invalid_argument "Sweep.aggregate: no runs")
-    (fun () -> ignore (Sweep.aggregate []))
+  check_bool "empty is None" true (Sweep.aggregate [] = None);
+  check_float "run_aggregate matches" agg.Sweep.mean_view_byz
+    (Sweep.run_aggregate (tiny_scenario ()) ~seeds:[ 1; 2 ]).Sweep.mean_view_byz;
+  Alcotest.check_raises "run_aggregate rejects no seeds"
+    (Invalid_argument "Sweep.run_aggregate: no seeds") (fun () ->
+      ignore (Sweep.run_aggregate (tiny_scenario ()) ~seeds:[]))
 
 let sweep_sweep () =
   let results =
@@ -441,9 +449,43 @@ let sweep_max_rho () =
   let make ~rho =
     tiny_scenario ~protocol:(Scenario.Basalt (Basalt_core.Config.make ~v:10 ~k:2 ~rho ())) ()
   in
-  match Sweep.max_rho ~make ~rhos:[ 0.5; 1.0 ] ~seeds:[ 1 ] with
+  (match Sweep.max_rho ~make ~seeds:[ 1 ] [ 0.5; 1.0 ] with
   | Some rho -> check_bool "a tested value" true (rho = 0.5 || rho = 1.0)
-  | None -> Alcotest.fail "basalt should survive some rho here"
+  | None -> Alcotest.fail "basalt should survive some rho here");
+  (* No seeds => no evidence of survival: typed failure, not an
+     exception. *)
+  check_bool "no seeds means None" true
+    (Sweep.max_rho ~make ~seeds:[] [ 0.5; 1.0 ] = None)
+
+(* The tentpole determinism claim: a quick-scale sweep fanned out over a
+   4-domain pool is bit-for-bit (Int64 float bits) identical to the
+   sequential run. *)
+let sweep_parallel_determinism () =
+  let make f = tiny_scenario ~f () in
+  let xs = [ 0.0; 0.1; 0.2 ] in
+  let seeds = [ 1; 2 ] in
+  let sequential = Sweep.sweep ~make ~seeds xs in
+  Basalt_parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let parallel = Sweep.sweep ~pool ~make ~seeds xs in
+      check_int "same row count" (List.length sequential)
+        (List.length parallel);
+      List.iter2
+        (fun (x_seq, (a : Sweep.aggregate)) (x_par, (b : Sweep.aggregate)) ->
+          check_float "same x" x_seq x_par;
+          let bits = Int64.bits_of_float in
+          Alcotest.(check int64)
+            "view_byz bits" (bits a.Sweep.mean_view_byz)
+            (bits b.Sweep.mean_view_byz);
+          Alcotest.(check int64)
+            "sample_byz bits" (bits a.Sweep.mean_sample_byz)
+            (bits b.Sweep.mean_sample_byz);
+          Alcotest.(check int64)
+            "isolated bits" (bits a.Sweep.mean_isolated)
+            (bits b.Sweep.mean_isolated);
+          check_int "isolation_runs" a.Sweep.isolation_runs
+            b.Sweep.isolation_runs;
+          check_int "runs" a.Sweep.runs b.Sweep.runs)
+        sequential parallel)
 
 let () =
   Alcotest.run "sim"
@@ -518,5 +560,7 @@ let () =
           Alcotest.test_case "aggregate" `Quick sweep_aggregate;
           Alcotest.test_case "sweep" `Quick sweep_sweep;
           Alcotest.test_case "max_rho" `Quick sweep_max_rho;
+          Alcotest.test_case "parallel determinism j=1 vs j=4" `Quick
+            sweep_parallel_determinism;
         ] );
     ]

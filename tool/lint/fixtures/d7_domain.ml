@@ -1,0 +1,5 @@
+(* D7 fixture: concurrency primitives live only in lib/parallel. *)
+let spawn () = Domain.spawn (fun () -> ())
+let guard = Mutex.create ()
+let signal = Condition.create ()
+let counter = Atomic.make 0

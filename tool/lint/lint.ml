@@ -1,4 +1,4 @@
-type rule = D1 | D2 | D3 | D4 | D5 | D6
+type rule = D1 | D2 | D3 | D4 | D5 | D6 | D7
 
 let rule_name = function
   | D1 -> "D1"
@@ -7,6 +7,7 @@ let rule_name = function
   | D4 -> "D4"
   | D5 -> "D5"
   | D6 -> "D6"
+  | D7 -> "D7"
 
 let rule_of_string = function
   | "D1" -> Some D1
@@ -15,6 +16,7 @@ let rule_of_string = function
   | "D4" -> Some D4
   | "D5" -> Some D5
   | "D6" -> Some D6
+  | "D7" -> Some D7
   | _ -> None
 
 type finding = { file : string; line : int; rule : rule; message : string }
@@ -90,6 +92,7 @@ let d4_scope path =
 
 let d5_scope path = in_dir "lib" path
 let d6_scope path = in_dir "lib" path && not (in_dir "lib/experiments" path)
+let d7_exempt path = in_dir "lib/parallel" path
 
 (* ------------------------------------------------------------------ *)
 (* Identifier classification                                           *)
@@ -124,6 +127,10 @@ let poly_eq_helpers =
     [ "Array"; "mem" ];
     [ "Array"; "memq" ];
   ]
+
+(* Concurrency primitives quarantined in lib/parallel (D7).  [Semaphore]
+   rides along: it is sugar over the same primitives. *)
+let concurrency_roots = [ "Domain"; "Mutex"; "Condition"; "Atomic"; "Semaphore" ]
 
 let console_output_paths =
   [
@@ -243,7 +250,16 @@ let check_path st (loc : Location.t) p =
       (Printf.sprintf
          "direct console output %s in a protocol library; route output \
           through the experiment/report layer"
-         (path_string p))
+         (path_string p));
+  match p with
+  | root :: _
+    when List.mem root concurrency_roots && not (d7_exempt st.rel_path) ->
+      report st D7 line
+        (Printf.sprintf
+           "reference to %s; concurrency primitives are confined to \
+            lib/parallel — fan work out through Basalt_parallel.Pool"
+           (path_string p))
+  | _ -> ()
 
 let pos_key (loc : Location.t) =
   (loc.loc_start.pos_lnum, loc.loc_start.pos_cnum)

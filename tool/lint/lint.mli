@@ -23,19 +23,24 @@
       [print_endline], [Format.printf], …) in protocol libraries
       ([lib/] minus [lib/experiments]); reporting flows through the
       experiment layer.
+    - {b D7} — no concurrency primitives ([Domain], [Mutex],
+      [Condition], [Atomic], [Semaphore]) outside [lib/parallel]:
+      parallelism flows through the one audited pool
+      ([Basalt_parallel.Pool]), which is the only place the
+      determinism argument has to be made.
 
     Suppression: a source line (or the line just above it) containing
     [lint: allow D<k>] inside a comment silences rule [D<k>] for that
     line; [tool/lint/allowlist.txt] lists [<rule> <path-or-dir/>]
     pairs for whole-file or whole-subtree exemptions. *)
 
-type rule = D1 | D2 | D3 | D4 | D5 | D6
+type rule = D1 | D2 | D3 | D4 | D5 | D6 | D7
 
 val rule_name : rule -> string
-(** [rule_name r] is ["D1"] … ["D6"]. *)
+(** [rule_name r] is ["D1"] … ["D7"]. *)
 
 val rule_of_string : string -> rule option
-(** [rule_of_string s] parses ["D1"] … ["D6"] (case-sensitive). *)
+(** [rule_of_string s] parses ["D1"] … ["D7"] (case-sensitive). *)
 
 type finding = {
   file : string;  (** Repo-relative path using [/] separators. *)
