@@ -248,6 +248,35 @@ let sweep_throughput () =
     ];
   Pool.shutdown pool
 
+(* Observability overhead (DESIGN.md §8): the same update_sample unit as
+   "core ops", once against the disabled sink (the default — instrument
+   mutations are dead stores into unregistered dummies) and once against
+   an enabled registry (shared per-run counters).  The pre-PR baseline
+   and the recorded disabled-vs-enabled numbers live in
+   BENCH_obs_overhead.json; the acceptance bar is < 2% regression for
+   the disabled sink. *)
+let obs_overhead () =
+  let ids = Array.init 161 Basalt_proto.Node_id.of_int in
+  let make obs =
+    Basalt_core.Basalt.create
+      ~config:(Basalt_core.Config.make ~v:160 ())
+      ~obs
+      ~id:(Basalt_proto.Node_id.of_int 9999)
+      ~bootstrap:ids
+      ~rng:(Rng.create ~seed:1)
+      ~send:(fun ~dst:_ _ -> ())
+      ()
+  in
+  let disabled = make Basalt_obs.Obs.disabled in
+  let enabled = make (Basalt_obs.Obs.create ()) in
+  run_group ~name:"obs overhead (update_sample, v=160, 161 ids)"
+    [
+      Test.make ~name:"sink disabled"
+        (Staged.stage (fun () -> Basalt_core.Basalt.update_sample disabled ids));
+      Test.make ~name:"sink enabled"
+        (Staged.stage (fun () -> Basalt_core.Basalt.update_sample enabled ids));
+    ]
+
 (* Ablations called out in DESIGN.md §4. *)
 let ablations () =
   run_group ~name:"ablation: replacement count k"
@@ -313,5 +342,6 @@ let () =
   graph_ops ();
   codec_ops ();
   sweep_throughput ();
+  obs_overhead ();
   ablations ();
   print_endline "bench: done"

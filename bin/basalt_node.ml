@@ -56,16 +56,35 @@ let report_arg =
     value & opt float 5.0
     & info [ "report-every" ] ~doc:"Status print interval in seconds.")
 
-let main listen peers v tau rho duration seed report_every =
+let metrics_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "metrics-every" ]
+        ~doc:
+          "Dump the lib/obs instrument registry every $(docv) seconds (0 = \
+           only on SIGUSR1 and at exit).")
+
+let main listen peers v tau rho duration seed report_every metrics_every =
   let seed =
     if seed = 0 then int_of_float (Unix.gettimeofday () *. 1000.0) land 0xFFFFFF
     else seed
   in
   let config = Basalt_core.Config.make ~v ~tau ~rho () in
   let loop = Event_loop.create ~clock:Unix.gettimeofday () in
+  (* The daemon is the allowlisted real-clock boundary (lint D2/D8): the
+     registry's trace clock is the event loop's wall clock. *)
+  let obs = Basalt_obs.Obs.create ~clock:(fun () -> Event_loop.now loop) () in
   let node =
-    Udp_node.create ~config ~loop ~listen ~bootstrap:peers ~seed ()
+    Udp_node.create ~config ~obs ~loop ~listen ~bootstrap:peers ~seed ()
   in
+  let dump_metrics () =
+    Printf.printf "-- metrics @ %.3f\n%s%!" (Event_loop.now loop)
+      (Basalt_obs.Obs.render obs)
+  in
+  ignore
+    (Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump_metrics ())));
+  if metrics_every > 0.0 then
+    Event_loop.every loop ~interval:metrics_every (fun () -> dump_metrics ());
   Printf.printf "basalt-node listening on %s (v=%d tau=%gs rho=%g seed=%d)\n%!"
     (Endpoint.to_string (Udp_node.endpoint node))
     v tau rho seed;
@@ -94,6 +113,7 @@ let main listen peers v tau rho duration seed report_every =
   Printf.printf "done: %d datagrams in, %d out, %d decode errors\n"
     stats.Udp_node.datagrams_in stats.Udp_node.datagrams_out
     stats.Udp_node.decode_errors;
+  dump_metrics ();
   Udp_node.close node
 
 let cmd =
@@ -104,6 +124,6 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ listen_arg $ peers_arg $ view_size_arg $ tau_arg $ rho_arg
-      $ duration_arg $ seed_arg $ report_arg)
+      $ duration_arg $ seed_arg $ report_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

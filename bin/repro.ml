@@ -23,6 +23,15 @@ let csv_arg =
   in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a deterministic JSONL event trace (lib/obs, DESIGN.md \xc2\xa78) to \
+     $(docv).  Supported by $(b,cost) and $(b,timeline), whose tables then \
+     also report instrument-sourced metrics; other targets warn and ignore \
+     the flag (sweeps would record millions of events)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let jobs_arg =
   let doc =
     "Fan Monte-Carlo runs out over $(docv) domains (1 = sequential, today's \
@@ -38,6 +47,13 @@ let csv_path csv_dir name =
       Filename.concat dir (name ^ ".csv"))
     csv_dir
 
+let warn_no_trace cmd_name = function
+  | None -> ()
+  | Some _ ->
+      Printf.eprintf
+        "repro %s: --trace is only supported by cost and timeline; ignoring\n%!"
+        cmd_name
+
 (* jobs = 1 avoids the pool entirely (no domains are ever spawned), so
    the default matches the pre-parallelism driver exactly. *)
 let with_jobs jobs f =
@@ -49,14 +65,20 @@ let with_jobs jobs f =
       prerr_endline "repro: -j must be >= 0";
       exit 1
 
-let timed cmd_name f scale csv_dir jobs =
+let timed cmd_name f scale csv_dir trace jobs =
   let t0 = Unix.gettimeofday () in
-  with_jobs jobs (fun pool -> f ~scale ~csv_dir ~pool ());
+  with_jobs jobs (fun pool -> f ~scale ~csv_dir ~trace ~pool ());
   Printf.printf "[%s done in %.1fs]\n\n%!" cmd_name (Unix.gettimeofday () -. t0)
 
 let cmd cmd_name ~doc f =
   Cmd.v (Cmd.info cmd_name ~doc)
-    Term.(const (timed cmd_name f) $ scale_arg $ csv_arg $ jobs_arg)
+    Term.(const (timed cmd_name f) $ scale_arg $ csv_arg $ trace_arg $ jobs_arg)
+
+(* Adapter for the targets that do not support tracing: warn, drop the
+   flag, and keep the original signature. *)
+let untraced cmd_name f ~scale ~csv_dir ~trace ~pool () =
+  warn_no_trace cmd_name trace;
+  f ~scale ~csv_dir ~pool ()
 
 let fig2_panel tag panel ~scale ~csv_dir ~pool () =
   Fig2.print ~scale ?csv:(csv_path csv_dir tag) ?pool panel
@@ -85,8 +107,8 @@ let live ~scale ~csv_dir ~pool:_ () =
 let theory ~scale ~csv_dir:_ ~pool () = Theory.print ~scale ?pool ()
 let params ~scale ~csv_dir:_ ~pool:_ () = Params.print ~scale ()
 
-let cost ~scale ~csv_dir ~pool:_ () =
-  Cost.print ~scale ?csv:(csv_path csv_dir "cost") ()
+let cost ~scale ~csv_dir ~trace ~pool:_ () =
+  Cost.print ~scale ?csv:(csv_path csv_dir "cost") ?trace ()
 
 let churn ~scale ~csv_dir ~pool () =
   Churn_exp.print ~scale ?csv:(csv_path csv_dir "churn") ?pool ()
@@ -103,7 +125,7 @@ let uniformity ~scale ~csv_dir ~pool () =
 let dag ~scale ~csv_dir ~pool:_ () =
   Dag_exp.print ~scale ?csv:(csv_path csv_dir "dag") ()
 
-let all ~scale ~csv_dir ~pool () =
+let all ~scale ~csv_dir ~trace ~pool () =
   params ~scale ~csv_dir ~pool ();
   theory ~scale ~csv_dir ~pool ();
   fig2_all ~scale ~csv_dir ~pool ();
@@ -112,7 +134,8 @@ let all ~scale ~csv_dir ~pool () =
   fig5 ~scale ~csv_dir ~pool ();
   sps_failure ~scale ~csv_dir ~pool ();
   live ~scale ~csv_dir ~pool ();
-  cost ~scale ~csv_dir ~pool ()
+  (* cost is the one target in the sequence that understands --trace. *)
+  cost ~scale ~csv_dir ~trace ~pool ()
 
 let extensions ~scale ~csv_dir ~pool () =
   churn ~scale ~csv_dir ~pool ();
@@ -124,39 +147,44 @@ let extensions ~scale ~csv_dir ~pool () =
 let cmds =
   [
     cmd "fig2a" ~doc:"Byzantine samples vs fraction f (Fig. 2a)"
-      (fig2_panel "fig2a" Fig2.F_byzantine);
+      (untraced "fig2a" (fig2_panel "fig2a" Fig2.F_byzantine));
     cmd "fig2b" ~doc:"Byzantine samples vs attack force F (Fig. 2b)"
-      (fig2_panel "fig2b" Fig2.Force);
+      (untraced "fig2b" (fig2_panel "fig2b" Fig2.Force));
     cmd "fig2c" ~doc:"Byzantine samples vs sampling rate rho (Fig. 2c)"
-      (fig2_panel "fig2c" Fig2.Rho);
+      (untraced "fig2c" (fig2_panel "fig2c" Fig2.Rho));
     cmd "fig2d" ~doc:"Byzantine samples vs view size v (Fig. 2d)"
-      (fig2_panel "fig2d" Fig2.View_size);
-    cmd "fig2" ~doc:"All four panels of Fig. 2" fig2_all;
-    cmd "fig3" ~doc:"Convergence time vs f (Fig. 3)" fig3;
-    cmd "fig4" ~doc:"Graph metric convergence over time (Fig. 4)" fig4;
-    cmd "fig5" ~doc:"Max sampling rate without isolation vs v (Fig. 5)" fig5;
+      (untraced "fig2d" (fig2_panel "fig2d" Fig2.View_size));
+    cmd "fig2" ~doc:"All four panels of Fig. 2" (untraced "fig2" fig2_all);
+    cmd "fig3" ~doc:"Convergence time vs f (Fig. 3)" (untraced "fig3" fig3);
+    cmd "fig4" ~doc:"Graph metric convergence over time (Fig. 4)"
+      (untraced "fig4" fig4);
+    cmd "fig5" ~doc:"Max sampling rate without isolation vs v (Fig. 5)"
+      (untraced "fig5" fig5);
     cmd "sps-failure" ~doc:"SPS isolation at f=30%, F=0 (Section 4.3)"
-      sps_failure;
-    cmd "live" ~doc:"Simulated live-deployment measurement (Section 5)" live;
+      (untraced "sps-failure" sps_failure);
+    cmd "live" ~doc:"Simulated live-deployment measurement (Section 5)"
+      (untraced "live" live);
     cmd "theory" ~doc:"Section 3 bounds, equilibria and model validation"
-      theory;
-    cmd "params" ~doc:"Table 1 parameter envelope and stability checks" params;
+      (untraced "theory" theory);
+    cmd "params" ~doc:"Table 1 parameter envelope and stability checks"
+      (untraced "params" params);
     cmd "cost" ~doc:"Communication-cost accounting (Section 4.3 budget)" cost;
-    cmd "churn" ~doc:"Extension: sample quality under continuous churn" churn;
+    cmd "churn" ~doc:"Extension: sample quality under continuous churn"
+      (untraced "churn" churn);
     cmd "sybil"
       ~doc:"Extension: institutional Sybil attack vs prefix-diverse ranking"
-      sybil;
+      (untraced "sybil" sybil);
     cmd "robustness"
       ~doc:"Extension: resilience to message loss and latency jitter"
-      robustness;
+      (untraced "robustness" robustness);
     cmd "uniformity" ~doc:"Extension: sample-stream diversity statistics"
-      uniformity;
+      (untraced "uniformity" uniformity);
     cmd "dag" ~doc:"Extension: Avalanche DAG consensus with a double-spend"
-      dag;
+      (untraced "dag" dag);
     cmd "all" ~doc:"Run every paper experiment in sequence" all;
     cmd "extensions"
       ~doc:"Run the extension experiments (churn, sybil, robustness, uniformity, dag)"
-      extensions;
+      (untraced "extensions" extensions);
   ]
 
 (* timeline has its own flag set (free-form scenario parameters). *)
@@ -178,12 +206,12 @@ let timeline_cmd =
   let graph =
     Arg.(value & flag & info [ "graph-metrics" ] ~doc:"Record Fig. 4 metrics.")
   in
-  let run protocol n f force v rho steps seed graph csv_dir =
+  let run protocol n f force v rho steps seed graph csv_dir trace =
     match
       Timeline.spec ~protocol ~n ~f ~force ~v ~rho ~steps ~seed
         ~graph_metrics:graph ()
     with
-    | Ok s -> Timeline.print ?csv:(csv_path csv_dir "timeline") s
+    | Ok s -> Timeline.print ?csv:(csv_path csv_dir "timeline") ?trace s
     | Error msg ->
         prerr_endline ("timeline: " ^ msg);
         exit 1
@@ -192,7 +220,7 @@ let timeline_cmd =
     (Cmd.info "timeline" ~doc:"Time series for one free-form scenario")
     Term.(
       const run $ protocol $ n $ f $ force $ v $ rho $ steps $ seed $ graph
-      $ csv_arg)
+      $ csv_arg $ trace_arg)
 
 let () =
   let info =

@@ -2,6 +2,7 @@ module Node_id = Basalt_proto.Node_id
 module Message = Basalt_proto.Message
 module Rps = Basalt_proto.Rps
 module Rng = Basalt_prng.Rng
+module Obs = Basalt_obs.Obs
 
 type t = {
   config : Config.t;
@@ -17,6 +18,15 @@ type t = {
      oldest unanswered pull (only populated when eviction is enabled). *)
   probes : (int, int) Hashtbl.t;
   mutable evicted : int;
+  (* Run-wide instruments, shared across nodes by name (dummies when the
+     sink is disabled — a mutation is then a dead store, DESIGN.md §8). *)
+  c_rank_evals : Obs.Counter.t;
+  c_rounds : Obs.Counter.t;
+  c_pulls : Obs.Counter.t;
+  c_pushes : Obs.Counter.t;
+  c_samples : Obs.Counter.t;
+  c_slot_resets : Obs.Counter.t;
+  c_evictions : Obs.Counter.t;
 }
 
 let config t = t.config
@@ -30,6 +40,7 @@ let update_sample t ids =
       let prepared =
         Basalt_hashing.Rank.prepare backend (Node_id.to_int id)
       in
+      Obs.Counter.add t.c_rank_evals (Array.length t.slots);
       Array.iter
         (fun slot -> ignore (Slot.offer_prepared slot id prepared))
         t.slots
@@ -37,11 +48,13 @@ let update_sample t ids =
   in
   Array.iter offer_all ids
 
-let create ?(config = Config.default) ~id ~bootstrap ~rng ~send () =
+let create ?(config = Config.default) ?(obs = Obs.disabled) ~id ~bootstrap
+    ~rng ~send () =
   let rng = Rng.split rng in
   let slots =
     Array.init config.Config.v (fun _ -> Slot.create config.Config.backend rng)
   in
+  let send = Basalt_codec.Metered.send obs ~proto:"basalt" send in
   let t =
     {
       config;
@@ -55,6 +68,13 @@ let create ?(config = Config.default) ~id ~bootstrap ~rng ~send () =
       emitted = 0;
       probes = Hashtbl.create 16;
       evicted = 0;
+      c_rank_evals = Obs.counter obs "basalt.rank_evals";
+      c_rounds = Obs.counter obs "basalt.rounds";
+      c_pulls = Obs.counter obs "basalt.pulls_sent";
+      c_pushes = Obs.counter obs "basalt.pushes_sent";
+      c_samples = Obs.counter obs "basalt.samples_emitted";
+      c_slot_resets = Obs.counter obs "basalt.slot_resets";
+      c_evictions = Obs.counter obs "basalt.evictions";
     }
   in
   update_sample t bootstrap;
@@ -134,7 +154,8 @@ let evict_peer t peer =
       match Slot.peer slot with
       | Some p when Node_id.equal p peer ->
           Slot.reset t.config.Config.backend t.rng slot;
-          t.evicted <- t.evicted + 1
+          t.evicted <- t.evicted + 1;
+          Obs.Counter.incr t.c_evictions
       | Some _ | None -> ())
     t.slots;
   update_sample t snapshot
@@ -154,6 +175,7 @@ let run_eviction t limit =
 
 let on_round t =
   t.rounds <- t.rounds + 1;
+  Obs.Counter.incr t.c_rounds;
   (match t.config.Config.evict_after_rounds with
   | Some limit -> run_eviction t limit
   | None -> ());
@@ -167,6 +189,7 @@ let on_round t =
           if not (Hashtbl.mem t.probes key) then
             Hashtbl.replace t.probes key t.rounds
       | None -> ());
+      Obs.Counter.incr t.c_pulls;
       t.send ~dst:p Message.Pull_request
   | None -> ());
   match select_peer t with
@@ -175,6 +198,7 @@ let on_round t =
         if t.config.Config.push_own_id_only then Message.Push_id t.id
         else Message.Push (view t)
       in
+      Obs.Counter.incr t.c_pushes;
       t.send ~dst:q payload
   | None -> ()
 
@@ -203,9 +227,11 @@ let sample_tick t =
     (match Slot.peer t.slots.(i) with
     | Some p ->
         samples := p :: !samples;
-        t.emitted <- t.emitted + 1
+        t.emitted <- t.emitted + 1;
+        Obs.Counter.incr t.c_samples
     | None -> ());
-    Slot.reset t.config.Config.backend t.rng t.slots.(i)
+    Slot.reset t.config.Config.backend t.rng t.slots.(i);
+    Obs.Counter.incr t.c_slot_resets
   done;
   update_sample t snapshot;
   List.rev !samples
@@ -214,9 +240,9 @@ let samples_emitted t = t.emitted
 let rounds_executed t = t.rounds
 let evictions t = t.evicted
 
-let sampler ?config () : Rps.maker =
+let sampler ?config ?obs () : Rps.maker =
  fun ~id ~bootstrap ~rng ~send ->
-  let t = create ?config ~id ~bootstrap ~rng ~send () in
+  let t = create ?config ?obs ~id ~bootstrap ~rng ~send () in
   {
     Rps.protocol = "basalt";
     node = id;

@@ -18,6 +18,7 @@ type t
 
 val create :
   ?config:Config.t ->
+  ?obs:Basalt_obs.Obs.t ->
   id:Basalt_proto.Node_id.t ->
   bootstrap:Basalt_proto.Node_id.t array ->
   rng:Basalt_prng.Rng.t ->
@@ -26,7 +27,16 @@ val create :
   t
 (** [create ~id ~bootstrap ~rng ~send ()] initialises all [v] slots with
     fresh seeds and offers the bootstrap peers to every slot (Alg. 1
-    lines 3–6). *)
+    lines 3–6).
+
+    [obs] (default disabled) records the run-wide counters
+    [basalt.rank_evals], [basalt.rounds], [basalt.pulls_sent],
+    [basalt.pushes_sent], [basalt.samples_emitted],
+    [basalt.slot_resets] and [basalt.evictions], and meters outgoing
+    messages through {!Basalt_codec.Metered.send} ([basalt.msgs_sent],
+    [basalt.bytes_sent], [basalt.msg_bytes], [basalt.max_msg_bytes]).
+    Instruments are shared by name across every node handed the same
+    sink, so values aggregate over the whole run. *)
 
 val config : t -> Config.t
 (** [config t] is the node's configuration. *)
@@ -77,6 +87,7 @@ val evictions : t -> int
 (** [evictions t] counts slots reset by dead-peer eviction (always 0 when
     [evict_after_rounds] is [None]). *)
 
-val sampler : ?config:Config.t -> unit -> Basalt_proto.Rps.maker
+val sampler :
+  ?config:Config.t -> ?obs:Basalt_obs.Obs.t -> unit -> Basalt_proto.Rps.maker
 (** [sampler ?config ()] packages the protocol for the simulation
-    runner. *)
+    runner; [obs] is threaded to {!create}. *)

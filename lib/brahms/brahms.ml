@@ -4,6 +4,7 @@ module Rps = Basalt_proto.Rps
 module View_ops = Basalt_proto.View_ops
 module Rng = Basalt_prng.Rng
 module Slot = Basalt_core.Slot
+module Obs = Basalt_obs.Obs
 
 type t = {
   config : Brahms_config.t;
@@ -19,6 +20,14 @@ type t = {
   mutable next_reset : int;
   mutable blocked : int;
   mutable emitted : int;
+  (* Run-wide instruments, shared across nodes by name (DESIGN.md §8). *)
+  c_rank_evals : Obs.Counter.t;
+  c_rounds : Obs.Counter.t;
+  c_pulls : Obs.Counter.t;
+  c_pushes : Obs.Counter.t;
+  c_samples : Obs.Counter.t;
+  c_slot_resets : Obs.Counter.t;
+  c_view_rebuilds : Obs.Counter.t;
 }
 
 let config t = t.config
@@ -31,12 +40,15 @@ let feed_samplers t ids =
     (fun id ->
       if not (skip_self && Node_id.equal id t.id) then begin
         let prepared = Basalt_hashing.Rank.prepare backend (Node_id.to_int id) in
+        Obs.Counter.add t.c_rank_evals (Array.length t.samplers);
         Array.iter (fun s -> ignore (Slot.offer_prepared s id prepared)) t.samplers
       end)
     ids
 
-let create ?(config = Brahms_config.default) ~id ~bootstrap ~rng ~send () =
+let create ?(config = Brahms_config.default) ?(obs = Obs.disabled) ~id
+    ~bootstrap ~rng ~send () =
   let rng = Rng.split rng in
+  let send = Basalt_codec.Metered.send obs ~proto:"brahms" send in
   let samplers =
     Array.init config.Brahms_config.l (fun _ ->
         Slot.create config.Brahms_config.backend rng)
@@ -65,6 +77,13 @@ let create ?(config = Brahms_config.default) ~id ~bootstrap ~rng ~send () =
       next_reset = 0;
       blocked = 0;
       emitted = 0;
+      c_rank_evals = Obs.counter obs "brahms.rank_evals";
+      c_rounds = Obs.counter obs "brahms.rounds";
+      c_pulls = Obs.counter obs "brahms.pulls_sent";
+      c_pushes = Obs.counter obs "brahms.pushes_sent";
+      c_samples = Obs.counter obs "brahms.samples_emitted";
+      c_slot_resets = Obs.counter obs "brahms.slot_resets";
+      c_view_rebuilds = Obs.counter obs "brahms.view_rebuilds";
     }
   in
   feed_samplers t (Array.to_list bootstrap);
@@ -119,12 +138,14 @@ let rebuild_view t =
     in
     if Array.length candidates > 0 then begin
       t.view <- candidates;
+      Obs.Counter.incr t.c_view_rebuilds;
       true
     end
     else false
   end
 
 let on_round t =
+  Obs.Counter.incr t.c_rounds;
   ignore (rebuild_view t);
   t.pending_push <- [];
   t.pending_push_count <- 0;
@@ -132,12 +153,16 @@ let on_round t =
   t.got_pull_reply <- false;
   for _ = 1 to t.config.Brahms_config.pushes_per_round do
     match View_ops.random_member t.rng t.view with
-    | Some p -> t.send ~dst:p (Message.Push_id t.id)
+    | Some p ->
+        Obs.Counter.incr t.c_pushes;
+        t.send ~dst:p (Message.Push_id t.id)
     | None -> ()
   done;
   for _ = 1 to t.config.Brahms_config.pulls_per_round do
     match View_ops.random_member t.rng t.view with
-    | Some q -> t.send ~dst:q Message.Pull_request
+    | Some q ->
+        Obs.Counter.incr t.c_pulls;
+        t.send ~dst:q Message.Pull_request
     | None -> ()
   done
 
@@ -172,18 +197,20 @@ let sample_tick t =
     (match Slot.peer t.samplers.(i) with
     | Some p ->
         samples := p :: !samples;
-        t.emitted <- t.emitted + 1
+        t.emitted <- t.emitted + 1;
+        Obs.Counter.incr t.c_samples
     | None -> ());
-    Slot.reset t.config.Brahms_config.backend t.rng t.samplers.(i)
+    Slot.reset t.config.Brahms_config.backend t.rng t.samplers.(i);
+    Obs.Counter.incr t.c_slot_resets
   done;
   List.rev !samples
 
 let view t = t.view
 let blocked_rounds t = t.blocked
 
-let sampler ?config () : Rps.maker =
+let sampler ?config ?obs () : Rps.maker =
  fun ~id ~bootstrap ~rng ~send ->
-  let t = create ?config ~id ~bootstrap ~rng ~send () in
+  let t = create ?config ?obs ~id ~bootstrap ~rng ~send () in
   {
     Rps.protocol = "brahms";
     node = id;

@@ -23,13 +23,21 @@ type t
 
 val create :
   ?config:Brahms_config.t ->
+  ?obs:Basalt_obs.Obs.t ->
   id:Basalt_proto.Node_id.t ->
   bootstrap:Basalt_proto.Node_id.t array ->
   rng:Basalt_prng.Rng.t ->
   send:Basalt_proto.Rps.send ->
   unit ->
   t
-(** [create ~id ~bootstrap ~rng ~send ()] initialises the view with (up
+(** [obs] (default disabled) records counters [brahms.rank_evals],
+    [brahms.rounds], [brahms.pulls_sent], [brahms.pushes_sent],
+    [brahms.samples_emitted], [brahms.slot_resets] and
+    [brahms.view_rebuilds], and meters outgoing messages through
+    {!Basalt_codec.Metered.send}; instruments aggregate across all nodes
+    sharing the sink.
+
+    [create ~id ~bootstrap ~rng ~send ()] initialises the view with (up
     to) [l] bootstrap peers and feeds the bootstrap list to the
     samplers. *)
 
@@ -64,7 +72,12 @@ val blocked_rounds : t -> int
 (** [blocked_rounds t] counts rounds where the push limit vetoed the view
     update (always 0 when blocking is deactivated). *)
 
-val sampler : ?config:Brahms_config.t -> unit -> Basalt_proto.Rps.maker
-(** [sampler ?config ()] packages the protocol for the simulation runner.
+val sampler :
+  ?config:Brahms_config.t ->
+  ?obs:Basalt_obs.Obs.t ->
+  unit ->
+  Basalt_proto.Rps.maker
+(** [sampler ?config ()] packages the protocol for the simulation runner
+    ([obs] is threaded to {!create}).
     The service's [current_view] is 𝒱 and its emitted samples come from
     the sampler vector 𝒮, matching the paper's measurement methodology. *)

@@ -1,6 +1,8 @@
+module Obs = Basalt_obs.Obs
+
 type 'msg event = Deliver of { src : int; dst : int; msg : 'msg } | Timer of (unit -> unit)
 
-type stats = { sent : int; delivered : int; dropped : int; events : int }
+type stats = { sent : int; delivered : int; dropped : int; ignored : int; events : int }
 
 type 'msg t = {
   queue : 'msg event Event_queue.t;
@@ -8,10 +10,18 @@ type 'msg t = {
   latency : Link.Latency.t;
   loss : Link.Loss.t;
   rng : Basalt_prng.Rng.t;
+  obs : Obs.t;
+  kind_of : 'msg -> string;
+  c_sent : Obs.Counter.t;
+  c_delivered : Obs.Counter.t;
+  c_dropped : Obs.Counter.t;
+  c_ignored : Obs.Counter.t;
+  c_timer_fires : Obs.Counter.t;
   mutable clock : float;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable ignored : int;
   mutable events : int;
 }
 
@@ -20,8 +30,8 @@ type 'msg t = {
    that timer completes but before round [t + tau]. *)
 let min_delay = 1e-6
 
-let create ?(latency = Link.Latency.Zero) ?(loss = Link.Loss.None) ~rng ~n ()
-    =
+let create ?(latency = Link.Latency.Zero) ?(loss = Link.Loss.None)
+    ?(obs = Obs.disabled) ?(kind_of = fun _ -> "msg") ~rng ~n () =
   if n < 0 then invalid_arg "Engine.create: negative n";
   {
     queue = Event_queue.create ();
@@ -29,10 +39,18 @@ let create ?(latency = Link.Latency.Zero) ?(loss = Link.Loss.None) ~rng ~n ()
     latency;
     loss;
     rng = Basalt_prng.Rng.split rng;
+    obs;
+    kind_of;
+    c_sent = Obs.counter obs "engine.sent";
+    c_delivered = Obs.counter obs "engine.delivered";
+    c_dropped = Obs.counter obs "engine.dropped";
+    c_ignored = Obs.counter obs "engine.ignored";
+    c_timer_fires = Obs.counter obs "engine.timer_fires";
     clock = 0.0;
     sent = 0;
     delivered = 0;
     dropped = 0;
+    ignored = 0;
     events = 0;
   }
 
@@ -44,9 +62,19 @@ let register t node handler =
     invalid_arg "Engine.register: node out of range";
   t.handlers.(node) <- Some handler
 
+let trace_msg t ev ~src ~dst msg =
+  Obs.trace t.obs ~name:ev
+    [ ("src", Obs.Int src); ("dst", Obs.Int dst); ("kind", Obs.Str (t.kind_of msg)) ]
+
 let send t ~src ~dst msg =
   t.sent <- t.sent + 1;
-  if Link.Loss.drops t.loss t.rng then t.dropped <- t.dropped + 1
+  Obs.Counter.incr t.c_sent;
+  if Obs.tracing t.obs then trace_msg t "engine.send" ~src ~dst msg;
+  if Link.Loss.drops t.loss t.rng then begin
+    t.dropped <- t.dropped + 1;
+    Obs.Counter.incr t.c_dropped;
+    if Obs.tracing t.obs then trace_msg t "engine.drop" ~src ~dst msg
+  end
   else
     let delay = min_delay +. Link.Latency.sample t.latency t.rng in
     Event_queue.push t.queue ~time:(t.clock +. delay)
@@ -68,13 +96,24 @@ let every t ?phase ~interval f =
 let execute t event =
   t.events <- t.events + 1;
   match event with
-  | Timer f -> f ()
+  | Timer f ->
+      Obs.Counter.incr t.c_timer_fires;
+      f ()
   | Deliver { src; dst; msg } -> (
-      t.delivered <- t.delivered + 1;
-      if dst >= 0 && dst < Array.length t.handlers then
-        match t.handlers.(dst) with
-        | Some handler -> handler ~from:src msg
-        | None -> ())
+      let handler =
+        if dst >= 0 && dst < Array.length t.handlers then t.handlers.(dst)
+        else None
+      in
+      match handler with
+      | Some handler ->
+          t.delivered <- t.delivered + 1;
+          Obs.Counter.incr t.c_delivered;
+          if Obs.tracing t.obs then trace_msg t "engine.deliver" ~src ~dst msg;
+          handler ~from:src msg
+      | None ->
+          t.ignored <- t.ignored + 1;
+          Obs.Counter.incr t.c_ignored;
+          if Obs.tracing t.obs then trace_msg t "engine.ignore" ~src ~dst msg)
 
 let step t =
   match Event_queue.pop t.queue with
@@ -100,4 +139,10 @@ let run_until t horizon =
   t.clock <- max t.clock horizon
 
 let stats t =
-  { sent = t.sent; delivered = t.delivered; dropped = t.dropped; events = t.events }
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    ignored = t.ignored;
+    events = t.events;
+  }

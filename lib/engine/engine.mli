@@ -18,12 +18,19 @@ type stats = {
   sent : int;  (** Messages submitted to {!send}. *)
   delivered : int;  (** Messages handed to a registered handler. *)
   dropped : int;  (** Messages discarded by the loss model. *)
+  ignored : int;
+      (** Messages that arrived at a node with no registered handler (a
+          crashed or never-spawned destination) — distinct from
+          [delivered] so crashed-node traffic is not conflated with real
+          deliveries. *)
   events : int;  (** Total events executed (deliveries + timers). *)
 }
 
 val create :
   ?latency:Link.Latency.t ->
   ?loss:Link.Loss.t ->
+  ?obs:Basalt_obs.Obs.t ->
+  ?kind_of:('msg -> string) ->
   rng:Basalt_prng.Rng.t ->
   n:int ->
   unit ->
@@ -31,7 +38,16 @@ val create :
 (** [create ~rng ~n ()] builds an engine for [n] nodes.  [latency]
     defaults to {!Link.Latency.Zero} wrapped in a small epsilon so that a
     message sent during round [t] is handled before round [t+1]; [loss]
-    defaults to {!Link.Loss.None}. *)
+    defaults to {!Link.Loss.None}.
+
+    [obs] (default {!Basalt_obs.Obs.disabled}) receives counters
+    [engine.sent]/[engine.delivered]/[engine.dropped]/[engine.ignored]/
+    [engine.timer_fires] mirroring {!stats}, and — when the sink is
+    tracing — per-message [engine.send]/[engine.deliver]/[engine.drop]/
+    [engine.ignore] events with [src], [dst] and [kind] fields, where
+    [kind] is computed by [kind_of] (default: constantly ["msg"]).
+    Stamp trace events with virtual time by pointing the sink's clock at
+    [now t]. *)
 
 val n : 'msg t -> int
 (** [n t] is the number of node slots. *)
@@ -46,8 +62,8 @@ val register : 'msg t -> int -> (from:int -> 'msg -> unit) -> unit
 
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 (** [send t ~src ~dst msg] enqueues delivery of [msg] to [dst].  Messages
-    to unregistered nodes are counted as delivered but silently ignored
-    (the destination behaves as a crashed node). *)
+    to unregistered nodes are dropped on arrival and counted in the
+    [ignored] statistic (the destination behaves as a crashed node). *)
 
 val schedule : 'msg t -> delay:float -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at [now t +. delay].

@@ -4,26 +4,45 @@
     round per node and argues every datagram fits one 1500-byte MTU (at
     most 200 four-byte identifiers plus headers).  This experiment runs
     each protocol in the base scenario and reports measured message and
-    byte rates, checking the budget empirically. *)
+    byte rates, checking the budget empirically.
+
+    Since the observability layer (DESIGN.md §8) the message and
+    wire-byte rates are sourced from the protocols' own [lib/obs]
+    instruments ([<proto>.msgs_sent] / [<proto>.bytes_sent], costed with
+    {!Basalt_codec.Wire.encoded_size}); the transport meter's abstract
+    4-byte-identifier model is kept alongside as [bytes_per_node_round]
+    for direct comparison with the paper's formula. *)
 
 type row = {
   protocol : string;
-  msgs_per_node_round : float;  (** Messages a correct node sends per τ. *)
+  msgs_per_node_round : float;  (** Messages a correct node sends per τ,
+                                    from the [<proto>.msgs_sent]
+                                    instrument. *)
   bytes_per_node_round : float;
+      (** Per the §4.3 4-byte-identifier model (transport meter). *)
+  wire_bytes_per_node_round : float;
+      (** Per the real codec ([<proto>.bytes_sent] instrument). *)
   max_datagram : int;  (** Largest payload observed (bytes). *)
   fits_mtu : bool;  (** [max_datagram <= 1500]. *)
   adversary_bytes_ratio : float;
       (** Adversary bytes / correct bytes — the resource asymmetry the
           attack force F buys. *)
+  obs : Basalt_obs.Obs.t;
+      (** The run's full instrument registry (and trace, when
+          requested). *)
 }
 
-val run : ?scale:Scale.t -> unit -> row list
-(** [run ()] measures the communication-cost table at the given scale. *)
+val run : ?scale:Scale.t -> ?trace:bool -> unit -> row list
+(** [run ()] measures the communication-cost table at the given scale;
+    [trace] (default [false]) additionally records per-message events in
+    each row's registry. *)
 
 val columns : row list -> int * Basalt_sim.Report.column list
 (** [columns rows] lays out the report table (key-column count and column
     specs). *)
 
-val print : ?scale:Scale.t -> ?csv:string -> unit -> unit
-(** [print ()] runs the experiment and prints the table; [csv] also writes a
-    CSV file. *)
+val print : ?scale:Scale.t -> ?csv:string -> ?trace:string -> unit -> unit
+(** [print ()] runs the experiment and prints the table; [csv] also
+    writes a CSV file, and [trace] writes the merged per-protocol event
+    stream as JSONL (each line tagged with a ["proto"] field) to the
+    given path. *)

@@ -34,17 +34,20 @@ let protocol_of s =
   | "classic" -> Scenario.Classic (Basalt_sps.Classic.config ~l:s.v ())
   | p -> invalid_arg ("Timeline: unknown protocol " ^ p)
 
-let run s =
-  Runner.run
+let run ?obs ?trace s =
+  Runner.run ?obs ?trace
     (Scenario.make ~name:"timeline" ~n:s.n ~f:s.f ~force:s.force
        ~protocol:(protocol_of s) ~steps:s.steps ~seed:s.seed
        ~graph_metrics:s.graph_metrics ())
 
-let print ?csv s =
+let print ?csv ?trace s =
   Printf.printf
     "== timeline: %s  n=%d f=%g F=%g v=%d rho=%g steps=%g seed=%d\n" s.protocol
     s.n s.f s.force s.v s.rho s.steps s.seed;
-  let r = run s in
+  (* Metrics columns ride along whenever a trace was asked for: the same
+     sink feeds both, and the table is where the instruments surface. *)
+  let with_obs = Option.is_some trace in
+  let r = run ~obs:with_obs ~trace:with_obs s in
   let cols = Report.series_columns r.Runner.series in
   let rows = Basalt_sim.Measurements.length r.Runner.series in
   Output.emit ?csv ~rows cols;
@@ -65,4 +68,12 @@ let print ?csv s =
     r.Runner.final.Basalt_sim.Measurements.view_byz
     r.Runner.final.Basalt_sim.Measurements.sample_byz
     r.Runner.final.Basalt_sim.Measurements.isolated b.Runner.correct_messages
-    b.Runner.correct_bytes b.Runner.max_datagram
+    b.Runner.correct_bytes b.Runner.max_datagram;
+  match (trace, r.Runner.obs) with
+  | Some path, Some sink ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc (Basalt_obs.Obs.events_to_jsonl sink));
+      Printf.printf "(trace written to %s)\n" path
+  | _ -> ()

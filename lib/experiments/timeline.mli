@@ -33,10 +33,12 @@ val spec :
     name (construction-parameter errors surface as [Invalid_argument]
     from {!run}). *)
 
-val run : spec -> Basalt_sim.Runner.result
+val run : ?obs:bool -> ?trace:bool -> spec -> Basalt_sim.Runner.result
 (** [run spec] executes the timeline scenario and returns the runner's
-    result. *)
+    result; [obs]/[trace] are forwarded to {!Basalt_sim.Runner.run}. *)
 
-val print : ?csv:string -> spec -> unit
-(** [print spec] runs the scenario and prints the per-phase timeline; [csv]
-    also writes a CSV file. *)
+val print : ?csv:string -> ?trace:string -> spec -> unit
+(** [print spec] runs the scenario and prints the per-phase timeline;
+    [csv] also writes a CSV file.  [trace] enables the observability
+    sink — the table then carries one column per instrument — and writes
+    the event stream as JSONL to the given path. *)

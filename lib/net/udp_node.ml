@@ -2,6 +2,7 @@ module Basalt = Basalt_core.Basalt
 module Config = Basalt_core.Config
 module Sample_stream = Basalt_core.Sample_stream
 module Wire = Basalt_codec.Wire
+module Obs = Basalt_obs.Obs
 
 type stats = {
   datagrams_in : int;
@@ -32,21 +33,25 @@ let bind_socket listen =
   | Unix.ADDR_INET (addr, port) -> (socket, { Endpoint.addr; port })
   | Unix.ADDR_UNIX _ -> assert false
 
-let create ?(config = Config.make ~v:16 ~k:4 ()) ~loop ~listen ~bootstrap
-    ~seed () =
+let create ?(config = Config.make ~v:16 ~k:4 ()) ?(obs = Obs.disabled) ~loop
+    ~listen ~bootstrap ~seed () =
   let socket, endpoint = bind_socket listen in
   let datagrams_in = ref 0 in
   let datagrams_out = ref 0 in
   let decode_errors = ref 0 in
+  let c_in = Obs.counter obs "net.datagrams_in" in
+  let c_out = Obs.counter obs "net.datagrams_out" in
+  let c_decode_errors = Obs.counter obs "net.decode_errors" in
   let send ~dst msg =
     let packet = Wire.encode msg in
     let target = Endpoint.to_sockaddr (Endpoint.of_node_id dst) in
     (try ignore (Unix.sendto socket packet 0 (Bytes.length packet) [] target)
      with Unix.Unix_error _ -> ());
-    incr datagrams_out
+    incr datagrams_out;
+    Obs.Counter.incr c_out
   in
   let node =
-    Basalt.create ~config
+    Basalt.create ~config ~obs
       ~id:(Endpoint.to_node_id endpoint)
       ~bootstrap:(Array.of_list (List.map Endpoint.to_node_id bootstrap))
       ~rng:(Basalt_prng.Rng.create ~seed)
@@ -71,10 +76,13 @@ let create ?(config = Config.make ~v:16 ~k:4 ()) ~loop ~listen ~bootstrap
       match Unix.recvfrom t.socket t.buffer 0 (Bytes.length t.buffer) [] with
       | len, Unix.ADDR_INET (addr, port) -> (
           incr t.datagrams_in;
+          Obs.Counter.incr c_in;
           let from = Endpoint.to_node_id { Endpoint.addr; port } in
           (match Wire.decode_sub t.buffer ~off:0 ~len with
           | Ok msg -> Basalt.on_message t.node ~from msg
-          | Error _ -> incr t.decode_errors);
+          | Error _ ->
+              incr t.decode_errors;
+              Obs.Counter.incr c_decode_errors);
           drain ())
       | _, Unix.ADDR_UNIX _ -> drain ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->

@@ -20,6 +20,7 @@ type t
 
 val create :
   ?config:Basalt_core.Config.t ->
+  ?obs:Basalt_obs.Obs.t ->
   loop:Event_loop.t ->
   listen:Endpoint.t ->
   bootstrap:Endpoint.t list ->
@@ -30,6 +31,12 @@ val create :
     lets the OS pick; see {!endpoint}) and schedules the protocol's
     periodic tasks on [loop]: one exchange round every [tau] {e seconds}
     and a sampling tick every [k/rho] seconds.
+
+    [obs] (default disabled) is threaded into the protocol instance and
+    additionally records [net.datagrams_in], [net.datagrams_out] and
+    [net.decode_errors].  This is the one allowlisted boundary where the
+    sink's clock may come from the event loop's real monotonic time
+    (lint D2/D8, DESIGN.md §8).
     @raise Unix.Unix_error if the socket cannot be bound. *)
 
 val endpoint : t -> Endpoint.t

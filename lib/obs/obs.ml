@@ -1,0 +1,384 @@
+module Counter = struct
+  type t = { mutable n : int }
+
+  let make () = { n = 0 }
+  let incr c = c.n <- c.n + 1
+  let add c k = c.n <- c.n + k
+  let value c = c.n
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let make () = { v = 0.0 }
+  let set g x = g.v <- x
+  let set_max g x = if x > g.v then g.v <- x
+  let value g = g.v
+end
+
+module Histogram = struct
+  type t = {
+    edges : float array;
+    counts : int array;  (* length edges + 1; last cell = overflow *)
+    mutable total : int;
+    mutable sum : float;
+  }
+
+  let make edges =
+    let n = Array.length edges in
+    if n = 0 then invalid_arg "Obs.histogram: empty edges";
+    for i = 1 to n - 1 do
+      if edges.(i) <= edges.(i - 1) then
+        invalid_arg "Obs.histogram: edges must be strictly increasing"
+    done;
+    { edges = Array.copy edges; counts = Array.make (n + 1) 0; total = 0; sum = 0.0 }
+
+  let observe h x =
+    let n = Array.length h.edges in
+    let i = ref 0 in
+    while !i < n && x > h.edges.(!i) do
+      incr i
+    done;
+    h.counts.(!i) <- h.counts.(!i) + 1;
+    h.total <- h.total + 1;
+    h.sum <- h.sum +. x
+
+  let count h = h.total
+  let sum h = h.sum
+  let edges h = Array.copy h.edges
+  let bucket_counts h = Array.copy h.counts
+end
+
+type instrument =
+  | I_counter of Counter.t
+  | I_gauge of Gauge.t
+  | I_histogram of Histogram.t
+
+type value = Int of int | Float of float | Str of string
+type event = { time : float; name : string; fields : (string * value) list }
+
+type t = {
+  is_enabled : bool;
+  trace_enabled : bool;
+  mutable clock : unit -> float;
+  (* Registration order, newest first.  Lookup is O(#instruments), which
+     is fine: get-or-create runs at node construction, never on the hot
+     path, and an association list keeps the registry free of hash
+     tables (and of their iteration-order pitfalls). *)
+  mutable instruments : (string * instrument) list;
+  mutable events_rev : event list;
+  mutable n_events : int;
+}
+
+let zero_clock () = 0.0
+
+let disabled =
+  {
+    is_enabled = false;
+    trace_enabled = false;
+    clock = zero_clock;
+    instruments = [];
+    events_rev = [];
+    n_events = 0;
+  }
+
+let create ?(clock = zero_clock) ?(trace = false) () =
+  {
+    is_enabled = true;
+    trace_enabled = trace;
+    clock;
+    instruments = [];
+    events_rev = [];
+    n_events = 0;
+  }
+
+let enabled t = t.is_enabled
+let tracing t = t.trace_enabled
+let set_clock t f = if t.is_enabled then t.clock <- f
+
+let kind_name = function
+  | I_counter _ -> "counter"
+  | I_gauge _ -> "gauge"
+  | I_histogram _ -> "histogram"
+
+let get_or_create t name ~make ~cast =
+  match List.assoc_opt name t.instruments with
+  | Some i -> (
+      match cast i with
+      | Some x -> x
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Obs: %S already registered as a %s" name
+               (kind_name i)))
+  | None ->
+      let i = make () in
+      t.instruments <- (name, i) :: t.instruments;
+      match cast i with Some x -> x | None -> assert false
+
+let counter t name =
+  if not t.is_enabled then Counter.make ()
+  else
+    get_or_create t name
+      ~make:(fun () -> I_counter (Counter.make ()))
+      ~cast:(function I_counter c -> Some c | _ -> None)
+
+let gauge t name =
+  if not t.is_enabled then Gauge.make ()
+  else
+    get_or_create t name
+      ~make:(fun () -> I_gauge (Gauge.make ()))
+      ~cast:(function I_gauge g -> Some g | _ -> None)
+
+let default_edges = [| 64.; 128.; 256.; 512.; 1024.; 2048.; 4096.; 8192.; 16384.; 32768.; 65536. |]
+
+let histogram ?(edges = default_edges) t name =
+  if not t.is_enabled then Histogram.make edges
+  else
+    get_or_create t name
+      ~make:(fun () -> I_histogram (Histogram.make edges))
+      ~cast:(function I_histogram h -> Some h | _ -> None)
+
+let trace t ~name fields =
+  if t.trace_enabled then begin
+    t.events_rev <- { time = t.clock (); name; fields } :: t.events_rev;
+    t.n_events <- t.n_events + 1
+  end
+
+let events t = List.rev t.events_rev
+let event_count t = t.n_events
+
+(* Fixed-format floats: the same float always renders the same bytes, so
+   traces and snapshots diff clean across -j N. *)
+let float_string x = Printf.sprintf "%.12g" x
+
+let escape_json s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_to_json = function
+  | Int n -> string_of_int n
+  | Float x -> float_string x
+  | Str s -> Printf.sprintf "\"%s\"" (escape_json s)
+
+let event_to_json ?(extra = []) e =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf "{\"t\":";
+  Buffer.add_string buf (float_string e.time);
+  Buffer.add_string buf ",\"ev\":\"";
+  Buffer.add_string buf (escape_json e.name);
+  Buffer.add_char buf '"';
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf ",\"";
+      Buffer.add_string buf (escape_json k);
+      Buffer.add_string buf "\":";
+      Buffer.add_string buf (value_to_json v))
+    (extra @ e.fields);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let events_to_jsonl ?extra t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (event_to_json ?extra e);
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+(* A hand-rolled parser for exactly the JSON subset event_to_json emits:
+   one flat object of string/number values per line. *)
+let event_of_json line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then (incr pos; true) else false
+  in
+  let parse_string () =
+    if not (expect '"') then None
+    else begin
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then None
+        else
+          match line.[!pos] with
+          | '"' -> incr pos; Some (Buffer.contents buf)
+          | '\\' when !pos + 1 < n ->
+              let c = line.[!pos + 1] in
+              pos := !pos + 2;
+              (match c with
+              | 'n' -> Buffer.add_char buf '\n'; loop ()
+              | 't' -> Buffer.add_char buf '\t'; loop ()
+              | 'r' -> Buffer.add_char buf '\r'; loop ()
+              | 'u' ->
+                  if !pos + 4 <= n then begin
+                    (match int_of_string_opt ("0x" ^ String.sub line !pos 4) with
+                    | Some code when code < 0x80 ->
+                        Buffer.add_char buf (Char.chr code)
+                    | _ -> ());
+                    pos := !pos + 4;
+                    loop ()
+                  end
+                  else None
+              | c -> Buffer.add_char buf c; loop ())
+          | c -> incr pos; Buffer.add_char buf c; loop ()
+      in
+      loop ()
+    end
+  in
+  let parse_number () =
+    skip_ws ();
+    let start = !pos in
+    while
+      !pos < n
+      && (match line.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then None
+    else
+      let s = String.sub line start (!pos - start) in
+      let is_float = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s in
+      if is_float then Option.map (fun x -> Float x) (float_of_string_opt s)
+      else Option.map (fun i -> Int i) (int_of_string_opt s)
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Option.map (fun s -> Str s) (parse_string ())
+    | _ -> parse_number ()
+  in
+  let rec parse_members acc =
+    match parse_string () with
+    | None -> None
+    | Some key -> (
+        if not (expect ':') then None
+        else
+          match parse_value () with
+          | None -> None
+          | Some v ->
+              let acc = (key, v) :: acc in
+              skip_ws ();
+              if expect ',' then (skip_ws (); parse_members acc)
+              else if expect '}' then Some (List.rev acc)
+              else None)
+  in
+  if not (expect '{') then None
+  else
+    match parse_members [] with
+    | None -> None
+    | Some members -> (
+        let time =
+          match List.assoc_opt "t" members with
+          | Some (Float x) -> Some x
+          | Some (Int i) -> Some (float_of_int i)
+          | _ -> None
+        in
+        let name =
+          match List.assoc_opt "ev" members with
+          | Some (Str s) -> Some s
+          | _ -> None
+        in
+        match (time, name) with
+        | Some time, Some name ->
+            let fields =
+              List.filter (fun (k, _) -> k <> "t" && k <> "ev") members
+            in
+            Some { time; name; fields }
+        | _ -> None)
+
+let value_to_text = function
+  | Int n -> string_of_int n
+  | Float x -> float_string x
+  | Str s -> s
+
+let events_to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "time,event,fields\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (float_string e.time);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf e.name;
+      Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (String.concat ";"
+           (List.map (fun (k, v) -> k ^ "=" ^ value_to_text v) e.fields));
+      Buffer.add_char buf '\n')
+    (events t);
+  Buffer.contents buf
+
+let in_order t = List.rev t.instruments
+
+let snapshot t =
+  List.filter_map
+    (fun (name, i) ->
+      match i with
+      | I_counter c -> Some (name, float_of_int (Counter.value c))
+      | I_gauge g -> Some (name, Gauge.value g)
+      | I_histogram _ -> None)
+    (in_order t)
+
+let histograms t =
+  List.filter_map
+    (fun (name, i) ->
+      match i with I_histogram h -> Some (name, h) | _ -> None)
+    (in_order t)
+
+let render t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, i) ->
+      (match i with
+      | I_counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "counter    %-32s %d" name (Counter.value c))
+      | I_gauge g ->
+          Buffer.add_string buf
+            (Printf.sprintf "gauge      %-32s %s" name
+               (float_string (Gauge.value g)))
+      | I_histogram h ->
+          let cells =
+            let edges = Histogram.edges h and counts = Histogram.bucket_counts h in
+            let parts = ref [] in
+            Array.iteri
+              (fun i c ->
+                if c > 0 then
+                  let label =
+                    if i < Array.length edges then
+                      "<=" ^ float_string edges.(i)
+                    else ">" ^ float_string edges.(Array.length edges - 1)
+                  in
+                  parts := Printf.sprintf "%s:%d" label c :: !parts)
+              counts;
+            String.concat " " (List.rev !parts)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "histogram  %-32s count=%d sum=%s %s" name
+               (Histogram.count h)
+               (float_string (Histogram.sum h))
+               cells));
+      Buffer.add_char buf '\n')
+    (in_order t);
+  if t.trace_enabled then
+    Buffer.add_string buf (Printf.sprintf "trace      %-32s %d\n" "events" t.n_events);
+  Buffer.contents buf

@@ -1,0 +1,183 @@
+(** Deterministic observability: typed instruments and a structured trace
+    sink (DESIGN.md §8).
+
+    A registry holds monotonic counters, gauges and fixed-bucket
+    histograms, found by name (get-or-create), plus an optional trace
+    sink that records timestamped structured events.  Design goals, in
+    order:
+
+    - {e free when disabled}: instruments requested from {!disabled} are
+      fresh unregistered dummies, so a mutation is a single store into a
+      record nobody reads — no branch, no allocation on the hot path,
+      and no shared state that domains could race on;
+    - {e deterministic when enabled}: time comes from an injected clock
+      (the virtual [Engine.now] in simulation; the event-loop clock at
+      the allowlisted [lib/net] boundary — never the wall clock
+      directly), snapshot order is registration order, and all float
+      rendering is fixed-format, so rendered output is bit-identical
+      across [-j N] parallelism levels;
+    - {e confined}: lint rule D8 keeps references to this module inside
+      [lib/obs] and the allowlisted instrumentation boundaries.
+
+    Instrument names are shared across nodes of a simulation: two nodes
+    asking for counter ["basalt.rounds"] get the same counter, so values
+    are per-run aggregates.  A registry must therefore not be shared
+    across concurrently running simulations; [lib/sim/runner.ml] creates
+    one registry per run, inside the (possibly pooled) run itself. *)
+
+type t
+(** An instrument registry plus optional trace sink, or the no-op
+    {!disabled} sink. *)
+
+val disabled : t
+(** [disabled] is the no-op sink: {!enabled} is [false], instruments
+    requested from it are fresh dummies, {!trace} does nothing, and no
+    call ever mutates shared state (safe to use from any domain). *)
+
+val create : ?clock:(unit -> float) -> ?trace:bool -> unit -> t
+(** [create ()] is a fresh enabled registry.  [clock] stamps trace
+    events (default: constantly [0.]; see {!set_clock}); [trace]
+    switches event recording on (default [false] — instruments only). *)
+
+val enabled : t -> bool
+(** [enabled t] is [false] exactly for {!disabled}. *)
+
+val tracing : t -> bool
+(** [tracing t] is [true] when [t] records trace events.  Call sites
+    with per-event field allocation should guard on this. *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** [set_clock t f] replaces the trace timestamp source, e.g. with
+    [Engine.now] once the engine exists.  No-op on {!disabled}. *)
+
+(** Monotonically increasing integer counters. *)
+module Counter : sig
+  type t
+  (** A counter cell. *)
+
+  val incr : t -> unit
+  (** [incr c] adds one: a single store, even on a disabled dummy. *)
+
+  val add : t -> int -> unit
+  (** [add c k] adds [k] (negative [k] is a programming error; not
+      checked on the hot path). *)
+
+  val value : t -> int
+  (** [value c] is the current count. *)
+end
+
+(** Last-value (or running-max) float gauges. *)
+module Gauge : sig
+  type t
+  (** A gauge cell. *)
+
+  val set : t -> float -> unit
+  (** [set g x] overwrites the gauge with [x]. *)
+
+  val set_max : t -> float -> unit
+  (** [set_max g x] keeps the running maximum of observed values. *)
+
+  val value : t -> float
+  (** [value g] is the current value ([0.] if never set). *)
+end
+
+(** Fixed-bucket histograms (cumulative-free, one count per bucket). *)
+module Histogram : sig
+  type t
+  (** A histogram cell. *)
+
+  val observe : t -> float -> unit
+  (** [observe h x] increments the bucket of the first upper edge
+      [>= x], or the overflow bucket when [x] exceeds every edge. *)
+
+  val count : t -> int
+  (** [count h] is the number of observations. *)
+
+  val sum : t -> float
+  (** [sum h] is the sum of observed values. *)
+
+  val edges : t -> float array
+  (** [edges h] is the (sorted, inclusive) upper-edge array the
+      histogram was created with. *)
+
+  val bucket_counts : t -> int array
+  (** [bucket_counts h] has length [Array.length (edges h) + 1]; the
+      last cell counts overflow observations. *)
+end
+
+val counter : t -> string -> Counter.t
+(** [counter t name] gets or creates the counter [name].  On
+    {!disabled}, a fresh unregistered dummy.  @raise Invalid_argument
+    if [name] already names a non-counter instrument. *)
+
+val gauge : t -> string -> Gauge.t
+(** [gauge t name] gets or creates the gauge [name] (dummy on
+    {!disabled}).  @raise Invalid_argument on an instrument-kind
+    clash. *)
+
+val histogram : ?edges:float array -> t -> string -> Histogram.t
+(** [histogram t name] gets or creates the histogram [name] with the
+    given upper [edges] (default: powers of two from 64 to 65536,
+    sized for datagram bytes).  [edges] must be sorted strictly
+    increasing and non-empty.  On re-lookup the existing instrument is
+    returned and [edges] is ignored.  @raise Invalid_argument on bad
+    [edges] or an instrument-kind clash. *)
+
+(** {1 Trace events} *)
+
+type value = Int of int | Float of float | Str of string
+(** A structured field value. *)
+
+type event = { time : float; name : string; fields : (string * value) list }
+(** One trace event: clock stamp, event name, ordered fields. *)
+
+val trace : t -> name:string -> (string * value) list -> unit
+(** [trace t ~name fields] appends an event stamped with the registry
+    clock.  No-op unless {!tracing}; guard callers that allocate
+    [fields] with [if Obs.tracing t then ...]. *)
+
+val events : t -> event list
+(** [events t] is all recorded events, oldest first. *)
+
+val event_count : t -> int
+(** [event_count t] is [List.length (events t)], without the list. *)
+
+(** {1 Rendering}
+
+    All float formatting is fixed ([%.12g]) so identical runs render
+    byte-identical output regardless of parallelism. *)
+
+val event_to_json : ?extra:(string * value) list -> event -> string
+(** [event_to_json e] is a single-line JSON object
+    [{"t":<time>,"ev":<name>,...fields}].  [extra] fields are
+    interleaved right after ["ev"] (used to tag merged streams, e.g.
+    with the protocol name). *)
+
+val events_to_jsonl : ?extra:(string * value) list -> t -> string
+(** [events_to_jsonl t] is one {!event_to_json} line per event,
+    oldest first, each ["\n"]-terminated. *)
+
+val event_of_json : string -> event option
+(** [event_of_json line] parses a line produced by {!event_to_json}
+    (the subset of JSON this module emits — flat objects of numbers
+    and strings).  [None] on malformed input or missing ["t"]/["ev"]
+    keys; extra fields (e.g. the [?extra] tags) are returned as
+    ordinary event fields. *)
+
+val events_to_csv : t -> string
+(** [events_to_csv t] renders events as CSV with header
+    [time,event,fields]; the fields column packs [k=v] pairs separated
+    by [';']. *)
+
+val snapshot : t -> (string * float) list
+(** [snapshot t] is every counter (as float) and gauge, in
+    registration order — the stable order that makes reports
+    bit-identical across [-j N].  Histograms are excluded; see
+    {!histograms}. *)
+
+val histograms : t -> (string * Histogram.t) list
+(** [histograms t] is every histogram, in registration order. *)
+
+val render : t -> string
+(** [render t] is a human-readable dump of every instrument (the
+    SIGUSR1 output of [bin/basalt_node]). *)

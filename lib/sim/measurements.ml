@@ -6,6 +6,7 @@ type point = {
   clustering : float option;
   mean_path : float option;
   indegree_spread : float option;
+  metrics : (string * float) list option;
 }
 
 type t = { mutable rev_points : point list; mutable count : int }

@@ -13,6 +13,11 @@ type point = {
   clustering : float option;
   mean_path : float option;
   indegree_spread : float option;
+  metrics : (string * float) list option;
+      (** Instrument snapshot ({!Basalt_obs.Obs.snapshot}) at this
+          instant, in registration order; present only when the run had
+          an enabled observability sink.  Counters are cumulative, so
+          per-interval rates are successive differences. *)
 }
 
 type t

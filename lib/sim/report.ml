@@ -124,7 +124,41 @@ let series_columns series =
       ]
     else []
   in
+  (* Instrument columns: one per metric name, taken from the last point
+     so the header set covers everything registered during the run (the
+     snapshot can only grow).  Registration order keeps the column order
+     — and thus the rendered table — identical at any -j N. *)
+  let metric_cell x =
+    if Float.is_nan x then "-"
+    else if Float.is_integer x && Float.abs x < 1e15 then
+      Printf.sprintf "%.0f" x
+    else Printf.sprintf "%.4f" x
+  in
+  let metric_names =
+    if Array.length points = 0 then []
+    else
+      match points.(Array.length points - 1).Measurements.metrics with
+      | Some m -> List.map fst m
+      | None -> []
+  in
+  let metric_columns =
+    List.map
+      (fun name ->
+        {
+          header = name;
+          cell =
+            (fun i ->
+              match points.(i).Measurements.metrics with
+              | Some m -> (
+                  match List.assoc_opt name m with
+                  | Some x -> metric_cell x
+                  | None -> "-")
+              | None -> "-");
+        })
+      metric_names
+  in
   base
   @ optional "clustering" (fun p -> p.Measurements.clustering)
   @ optional "mean_path" (fun p -> p.Measurements.mean_path)
   @ optional "indeg_spread" (fun p -> p.Measurements.indegree_spread)
+  @ metric_columns

@@ -27,7 +27,9 @@ val series_columns :
   Measurements.t -> column list
 (** Standard columns (time, view_byz, sample_byz, isolated, plus graph
     metrics when present) for a measurement series; row [i] is the [i]-th
-    measurement point. *)
+    measurement point.  When points carry an instrument snapshot (a run
+    with [~obs:true]), one extra column per instrument is appended in
+    registration order; integral values render without decimals. *)
 
 val sparkline : ?width:int -> float array -> string
 (** [sparkline xs] renders the series as a fixed-width (default 60)

@@ -8,6 +8,7 @@ module Sample_stream = Basalt_core.Sample_stream
 module Digraph = Basalt_graph.Digraph
 module Metrics = Basalt_graph.Metrics
 module Isolation = Basalt_graph.Isolation
+module Obs = Basalt_obs.Obs
 
 type node_outcome = {
   node_view_byz : float;
@@ -35,6 +36,7 @@ type result = {
   adversary_pushes : int;
   nodes_churned : int;
   sample_histogram : int array;
+  obs : Obs.t option;
 }
 
 let is_malicious s id = Node_id.to_int id >= Scenario.num_correct s
@@ -68,7 +70,7 @@ let bootstrap_sample s rng ~self =
   if num_byz > 0 then draw num_byz q byz_count;
   Array.of_list !out
 
-let run_with_observer ?observer s =
+let run_with_observer ?observer ?(obs = false) ?(trace = false) s =
   let master = Rng.create ~seed:s.Scenario.seed in
   let engine_rng = Rng.split master in
   let node_rng = Rng.split master in
@@ -78,10 +80,15 @@ let run_with_observer ?observer s =
   let n = s.Scenario.n in
   let q = Scenario.num_correct s in
   let num_byz = Scenario.num_byzantine s in
+  (* The registry is created inside the run — never shared across the
+     scenarios a Pool fans out — so instruments and traces are as
+     deterministic as the run itself (DESIGN.md §8). *)
+  let sink = if obs || trace then Obs.create ~trace () else Obs.disabled in
   let engine : Message.t Engine.t =
     Engine.create ~latency:s.Scenario.latency ~loss:s.Scenario.loss
-      ~rng:engine_rng ~n ()
+      ~obs:sink ~kind_of:Message.kind ~rng:engine_rng ~n ()
   in
+  Obs.set_clock sink (fun () -> Engine.now engine);
   let malicious_pred id = is_malicious s id in
   (* Bandwidth accounting: every send is metered by its estimated wire
      size so experiments can check the §4.3 communication budget. *)
@@ -103,7 +110,7 @@ let run_with_observer ?observer s =
     end
   in
   (* --- Correct nodes --- *)
-  let maker = Scenario.maker s in
+  let maker = Scenario.maker ~obs:sink s in
   let samplers = Array.make q (Rps.null (Node_id.of_int 0)) in
   let streams =
     Array.init q (fun _ -> Sample_stream.create ~capacity:s.Scenario.sample_window)
@@ -255,6 +262,7 @@ let run_with_observer ?observer s =
         clustering;
         mean_path;
         indegree_spread;
+        metrics = (if Obs.enabled sink then Some (Obs.snapshot sink) else None);
       };
     match observer with
     | Some f -> f ~time ~views
@@ -303,6 +311,7 @@ let run_with_observer ?observer s =
       (match adversary with Some a -> Adversary.pushes_sent a | None -> 0);
     nodes_churned = !churned;
     sample_histogram;
+    obs = (if Obs.enabled sink then Some sink else None);
   }
 
-let run s = run_with_observer s
+let run ?obs ?trace s = run_with_observer ?obs ?trace s

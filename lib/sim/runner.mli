@@ -45,19 +45,33 @@ type result = {
           all correct nodes' service outputs — the raw data behind
           stream-uniformity statistics (a good RPS draws every node
           equally often). *)
+  obs : Basalt_obs.Obs.t option;
+      (** The run's instrument registry when observability was requested
+          ([None] otherwise): engine and protocol counters, byte
+          histograms, and — with [~trace:true] — the event stream. *)
 }
 
 val is_malicious : Scenario.t -> Basalt_proto.Node_id.t -> bool
 (** [is_malicious s id] under the deterministic layout. *)
 
-val run : Scenario.t -> result
-(** [run s] executes the scenario to completion. *)
+val run : ?obs:bool -> ?trace:bool -> Scenario.t -> result
+(** [run s] executes the scenario to completion.
+
+    [obs] (default [false]) creates a per-run instrument registry — its
+    snapshots appear in each measurement point's [metrics] field and the
+    registry itself in the result's [obs] field.  [trace] (default
+    [false]) implies [obs] and additionally records structured events
+    (engine send/deliver/drop/ignore) stamped with virtual time.  Both
+    leave the measured numbers untouched: the registry is created inside
+    the run, so results stay bit-identical at any [-j N]. *)
 
 val run_with_observer :
   ?observer:(time:float -> views:(int -> Basalt_proto.Node_id.t array) -> unit) ->
+  ?obs:bool ->
+  ?trace:bool ->
   Scenario.t ->
   result
 (** [run_with_observer ~observer s] additionally invokes [observer] at
     each measurement instant with a view accessor (correct nodes only;
     malicious indices yield [[||]]) — the hook used to export snapshots or
-    compute custom metrics. *)
+    compute custom metrics.  [obs]/[trace] as in {!run}. *)

@@ -86,12 +86,12 @@ let view_size s =
   | Sps c -> c.Basalt_sps.Sps.l
   | Classic c -> c.Basalt_sps.Classic.l
 
-let maker s =
+let maker ?obs s =
   match s.protocol with
-  | Basalt c -> Basalt_core.Basalt.sampler ~config:c ()
-  | Brahms c -> Basalt_brahms.Brahms.sampler ~config:c ()
-  | Sps c -> Basalt_sps.Sps.sampler ~config:c ()
-  | Classic c -> Basalt_sps.Classic.sampler ~config:c ()
+  | Basalt c -> Basalt_core.Basalt.sampler ~config:c ?obs ()
+  | Brahms c -> Basalt_brahms.Brahms.sampler ~config:c ?obs ()
+  | Sps c -> Basalt_sps.Sps.sampler ~config:c ?obs ()
+  | Classic c -> Basalt_sps.Classic.sampler ~config:c ?obs ()
 
 let protocol_name s =
   match s.protocol with

@@ -76,8 +76,10 @@ val refresh_interval : t -> float
 val view_size : t -> int
 (** [view_size s] is the protocol's view size parameter. *)
 
-val maker : t -> Basalt_proto.Rps.maker
-(** [maker s] instantiates the scenario's protocol. *)
+val maker : ?obs:Basalt_obs.Obs.t -> t -> Basalt_proto.Rps.maker
+(** [maker s] instantiates the scenario's protocol; [obs] (default
+    disabled) is handed to every node so protocol instruments aggregate
+    run-wide. *)
 
 val protocol_name : t -> string
 (** [protocol_name s] is the short name used in reports (["basalt"],

@@ -8,8 +8,10 @@ type aggregate = {
   runs : int;
 }
 
-let run_seeds ?pool s ~seeds =
-  Pool.map ?pool (fun seed -> Runner.run (Scenario.with_seed s seed)) seeds
+let run_seeds ?pool ?obs ?trace s ~seeds =
+  Pool.map ?pool
+    (fun seed -> Runner.run ?obs ?trace (Scenario.with_seed s seed))
+    seeds
 
 let aggregate results =
   match results with

@@ -18,10 +18,15 @@ type aggregate = {
 
 val run_seeds :
   ?pool:Basalt_parallel.Pool.t ->
+  ?obs:bool ->
+  ?trace:bool ->
   Scenario.t ->
   seeds:int list ->
   Runner.result list
-(** [run_seeds s ~seeds] runs [s] once per seed, in seed order. *)
+(** [run_seeds s ~seeds] runs [s] once per seed, in seed order.
+    [obs]/[trace] are forwarded to {!Runner.run}; each run gets its own
+    registry, created inside the pooled task, so instrument values and
+    traces are bit-identical at any parallelism level. *)
 
 val aggregate : Runner.result list -> aggregate option
 (** [aggregate results] averages final measurements across runs.

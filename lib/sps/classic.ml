@@ -3,6 +3,7 @@ module Message = Basalt_proto.Message
 module Rps = Basalt_proto.Rps
 module View_ops = Basalt_proto.View_ops
 module Rng = Basalt_prng.Rng
+module Obs = Basalt_obs.Obs
 
 type config = { l : int; keep_old : bool }
 
@@ -19,13 +20,21 @@ type t = {
   mutable view : Node_id.t array;
   mutable received : Node_id.t list;
   mutable got_any : bool;
+  (* Run-wide instruments, shared across nodes by name (DESIGN.md §8);
+     the label distinguishes the bare shuffler from its {!Sps} wrap. *)
+  c_rounds : Obs.Counter.t;
+  c_pulls : Obs.Counter.t;
+  c_pushes : Obs.Counter.t;
+  c_samples : Obs.Counter.t;
+  c_view_rebuilds : Obs.Counter.t;
 }
 
 let default_config = config ()
 
-let create ?(config = default_config) ?(filter = fun _ -> true) ~id ~bootstrap
-    ~rng ~send () =
+let create ?(config = default_config) ?(filter = fun _ -> true)
+    ?(obs = Obs.disabled) ?(label = "classic") ~id ~bootstrap ~rng ~send () =
   let rng = Rng.split rng in
+  let send = Basalt_codec.Metered.send obs ~proto:label send in
   let candidates =
     Array.of_list
       (List.filter
@@ -41,6 +50,11 @@ let create ?(config = default_config) ?(filter = fun _ -> true) ~id ~bootstrap
     view = View_ops.random_subset rng ~k:config.l candidates;
     received = [];
     got_any = false;
+    c_rounds = Obs.counter obs (label ^ ".rounds");
+    c_pulls = Obs.counter obs (label ^ ".pulls_sent");
+    c_pushes = Obs.counter obs (label ^ ".pushes_sent");
+    c_samples = Obs.counter obs (label ^ ".samples_emitted");
+    c_view_rebuilds = Obs.counter obs (label ^ ".view_rebuilds");
   }
 
 let id t = t.id
@@ -59,19 +73,26 @@ let rebuild t =
               (fun p -> (not (Node_id.equal p t.id)) && t.filter p)
               (Array.to_list pool)))
     in
-    if Array.length pool > 0 then
-      t.view <- View_ops.random_subset t.rng ~k:t.config.l pool
+    if Array.length pool > 0 then begin
+      t.view <- View_ops.random_subset t.rng ~k:t.config.l pool;
+      Obs.Counter.incr t.c_view_rebuilds
+    end
   end;
   t.received <- [];
   t.got_any <- false
 
 let on_round t =
+  Obs.Counter.incr t.c_rounds;
   rebuild t;
   (match View_ops.random_member t.rng t.view with
-  | Some p -> t.send ~dst:p (Message.Push t.view)
+  | Some p ->
+      Obs.Counter.incr t.c_pushes;
+      t.send ~dst:p (Message.Push t.view)
   | None -> ());
   match View_ops.random_member t.rng t.view with
-  | Some q -> t.send ~dst:q Message.Pull_request
+  | Some q ->
+      Obs.Counter.incr t.c_pulls;
+      t.send ~dst:q Message.Pull_request
   | None -> ()
 
 let receive t ids sender =
@@ -93,7 +114,9 @@ let sample t k =
     if remaining = 0 then acc
     else
       match View_ops.random_member t.rng t.view with
-      | Some p -> draw (p :: acc) (remaining - 1)
+      | Some p ->
+          Obs.Counter.incr t.c_samples;
+          draw (p :: acc) (remaining - 1)
       | None -> acc
   in
   draw [] k
@@ -101,9 +124,9 @@ let sample t k =
 let evict t p =
   t.view <- Array.of_list (List.filter (fun q -> not (p q)) (Array.to_list t.view))
 
-let sampler ?config () : Rps.maker =
+let sampler ?config ?obs () : Rps.maker =
  fun ~id ~bootstrap ~rng ~send ->
-  let t = create ?config ~id ~bootstrap ~rng ~send () in
+  let t = create ?config ?obs ~id ~bootstrap ~rng ~send () in
   {
     Rps.protocol = "classic";
     node = id;

@@ -24,6 +24,8 @@ type t
 val create :
   ?config:config ->
   ?filter:(Basalt_proto.Node_id.t -> bool) ->
+  ?obs:Basalt_obs.Obs.t ->
+  ?label:string ->
   id:Basalt_proto.Node_id.t ->
   bootstrap:Basalt_proto.Node_id.t array ->
   rng:Basalt_prng.Rng.t ->
@@ -32,7 +34,14 @@ val create :
   t
 (** [create ~id ~bootstrap ~rng ~send ()] seeds the view with up to [l]
     bootstrap peers.  [filter], if given, rejects identifiers before they
-    enter the candidate pool (the hook {!Sps} uses for blacklisting). *)
+    enter the candidate pool (the hook {!Sps} uses for blacklisting).
+
+    [obs] (default disabled) records counters [<label>.rounds],
+    [<label>.pulls_sent], [<label>.pushes_sent],
+    [<label>.samples_emitted] and [<label>.view_rebuilds], and meters
+    outgoing messages through {!Basalt_codec.Metered.send}; [label]
+    (default ["classic"]) prefixes the instrument names so a wrapping
+    protocol ({!Sps}) reports under its own name. *)
 
 val on_round : t -> unit
 (** Rebuilds the view from the previous round's receipts, then sends one
@@ -55,6 +64,7 @@ val evict : t -> (Basalt_proto.Node_id.t -> bool) -> unit
 val id : t -> Basalt_proto.Node_id.t
 (** [id t] is the node's own identifier. *)
 
-val sampler : ?config:config -> unit -> Basalt_proto.Rps.maker
+val sampler :
+  ?config:config -> ?obs:Basalt_obs.Obs.t -> unit -> Basalt_proto.Rps.maker
 (** Packaged for the simulation runner; [sample_tick] emits one view
-    member per tick. *)
+    member per tick ([obs] is threaded to {!create}). *)

@@ -1,6 +1,7 @@
 module Node_id = Basalt_proto.Node_id
 module Message = Basalt_proto.Message
 module Rps = Basalt_proto.Rps
+module Obs = Basalt_obs.Obs
 
 type config = {
   l : int;
@@ -25,6 +26,7 @@ type t = {
   blacklist : (int, int) Hashtbl.t;  (* id -> expiry round *)
   round : int ref;  (* shared with the base protocol's filter closure *)
   base : Classic.t;
+  c_blacklist_adds : Obs.Counter.t;
 }
 
 let blacklisted t id =
@@ -39,7 +41,8 @@ let blacklist_size t =
 
 let default_config = config ()
 
-let create ?(config = default_config) ~id ~bootstrap ~rng ~send () =
+let create ?(config = default_config) ?(obs = Obs.disabled) ~id ~bootstrap
+    ~rng ~send () =
   let stats = Indegree_stats.create ~decay:config.decay () in
   let blacklist = Hashtbl.create 64 in
   let round = ref 0 in
@@ -51,9 +54,16 @@ let create ?(config = default_config) ~id ~bootstrap ~rng ~send () =
   let base =
     Classic.create
       ~config:(Classic.config ~l:config.l ~keep_old:false ())
-      ~filter:accepts ~id ~bootstrap ~rng ~send ()
+      ~filter:accepts ~obs ~label:"sps" ~id ~bootstrap ~rng ~send ()
   in
-  { config; stats; blacklist; round; base }
+  {
+    config;
+    stats;
+    blacklist;
+    round;
+    base;
+    c_blacklist_adds = Obs.counter obs "sps.blacklist_adds";
+  }
 
 (* Record every identifier carried by an incoming message, run the outlier
    test, and blacklist offenders before the base protocol consumes the
@@ -66,6 +76,7 @@ let inspect t ids =
       if armed && Indegree_stats.is_outlier t.stats ~z:t.config.z id then begin
         Hashtbl.replace t.blacklist (Node_id.to_int id)
           (!(t.round) + t.config.blacklist_ttl);
+        Obs.Counter.incr t.c_blacklist_adds;
         Classic.evict t.base (Node_id.equal id)
       end)
     ids
@@ -86,9 +97,9 @@ let on_round t =
 let view t = Classic.view t.base
 let sample t k = Classic.sample t.base k
 
-let sampler ?config () : Rps.maker =
+let sampler ?config ?obs () : Rps.maker =
  fun ~id ~bootstrap ~rng ~send ->
-  let t = create ?config ~id ~bootstrap ~rng ~send () in
+  let t = create ?config ?obs ~id ~bootstrap ~rng ~send () in
   {
     Rps.protocol = "sps";
     node = id;

@@ -44,6 +44,7 @@ type t
 
 val create :
   ?config:config ->
+  ?obs:Basalt_obs.Obs.t ->
   id:Basalt_proto.Node_id.t ->
   bootstrap:Basalt_proto.Node_id.t array ->
   rng:Basalt_prng.Rng.t ->
@@ -51,7 +52,9 @@ val create :
   unit ->
   t
 (** [create ~id ~bootstrap ~rng ~send ()] wraps a {!Classic} instance with
-    indegree tracking and outlier blacklisting. *)
+    indegree tracking and outlier blacklisting.  [obs] (default disabled)
+    is threaded to the base shuffler under the [sps.] instrument prefix
+    and additionally records [sps.blacklist_adds]. *)
 
 val on_round : t -> unit
 (** [on_round t] advances the round counter, decays the indegree statistics,
@@ -74,6 +77,7 @@ val blacklist_size : t -> int
 val sample : t -> int -> Basalt_proto.Node_id.t list
 (** [sample t k] draws [k] view members uniformly (the service output). *)
 
-val sampler : ?config:config -> unit -> Basalt_proto.Rps.maker
+val sampler :
+  ?config:config -> ?obs:Basalt_obs.Obs.t -> unit -> Basalt_proto.Rps.maker
 (** Packaged for the simulation runner, like {!Classic.sampler} but with the
-    SPS defenses enabled. *)
+    SPS defenses enabled ([obs] is threaded to {!create}). *)

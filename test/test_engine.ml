@@ -160,10 +160,16 @@ let engine_delivery () =
     "delivered" [ (0, "hello") ] !received
 
 let engine_unregistered_ok () =
+  (* A message to a node with no handler is dropped on arrival: it is
+     NOT counted as delivered (it never reached a handler) but shows up
+     in the distinct [ignored] statistic. *)
   let e = fresh_engine 2 in
   Engine.send e ~src:0 ~dst:1 "void";
   Engine.run_until e 1.0;
-  check_int "counted delivered" 1 (Engine.stats e).Engine.delivered
+  let s = Engine.stats e in
+  check_int "not delivered" 0 s.Engine.delivered;
+  check_int "counted ignored" 1 s.Engine.ignored;
+  check_int "not dropped (it did arrive)" 0 s.Engine.dropped
 
 let engine_out_of_range_register () =
   let e = fresh_engine 2 in
@@ -248,6 +254,7 @@ let engine_stats () =
   check_int "sent" 2 s.Engine.sent;
   check_int "delivered" 2 s.Engine.delivered;
   check_int "dropped" 0 s.Engine.dropped;
+  check_int "ignored" 0 s.Engine.ignored;
   check_int "events = deliveries + timers" 3 s.Engine.events
 
 let engine_loss () =

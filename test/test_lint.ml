@@ -1,7 +1,7 @@
 (* Tests for the basalt-lint determinism & interface linter (tool/lint).
 
    Three layers:
-   - inline fixture snippets per rule D1–D6, asserting the exact
+   - inline fixture snippets per rule D1–D8, asserting the exact
      [file:line:rule] diagnostics (and that clean variants stay clean);
    - suppression mechanics: `lint: allow` pragmas and the allowlist;
    - a whole-repo run over the real sources (materialised into the build
@@ -166,6 +166,32 @@ let d7_exempts_lib_parallel () =
     (lint ~rel_path:"lib/sim/ok.ml"
        "(* lint: allow D7 — documented exception *)\nlet c = Atomic.make 0\n")
 
+(* --- D8: observability confined to lib/obs + allowlisted boundaries --- *)
+
+let d8_flags_obs_references () =
+  check triples "Obs usage flagged in protocol code"
+    [ ("lib/proto/bad.ml", 1, "D8"); ("lib/proto/bad.ml", 1, "D8") ]
+    (lint ~rel_path:"lib/proto/bad.ml"
+       "let c = Basalt_obs.Obs.counter Basalt_obs.Obs.disabled \"x\"\n");
+  check triples "module alias flagged"
+    [ ("lib/graph/bad.ml", 1, "D8") ]
+    (lint ~rel_path:"lib/graph/bad.ml" "module Obs = Basalt_obs.Obs\n");
+  check triples "open flagged"
+    [ ("bin/bad.ml", 1, "D8") ]
+    (lint ~rel_path:"bin/bad.ml" "open Basalt_obs\n")
+
+let d8_exempts_lib_obs_and_allowlist () =
+  check triples "lib/obs may reference itself" []
+    (lint ~rel_path:"lib/obs/extra.ml" "module O = Basalt_obs.Obs\n");
+  let allow = Lint.allowlist_of_lines [ "D8 lib/engine/" ] in
+  check triples "allowlisted boundary is clean" []
+    (lint ~allow ~rel_path:"lib/engine/engine.ml"
+       "module Obs = Basalt_obs.Obs\n");
+  check triples "pragma suppresses D8" []
+    (lint ~rel_path:"lib/analysis/ok.ml"
+       "(* lint: allow D8 — documented exception *)\n\
+        module Obs = Basalt_obs.Obs\n")
+
 (* --- suppression pragmas --- *)
 
 let pragma_suppresses () =
@@ -289,6 +315,14 @@ let cli_flags_fixtures () =
       "d7_domain.ml:3:D7:";
       "d7_domain.ml:4:D7:";
       "d7_domain.ml:5:D7:";
+    ];
+  expect
+    (fixture "d8_obs.ml")
+    [
+      "d8_obs.ml:2:D8:";
+      "d8_obs.ml:4:D8:";
+      "d8_obs.ml:5:D8:";
+      "d8_obs.ml:7:D8:";
     ]
 
 let cli_clean_repo_exits_zero () =
@@ -319,6 +353,10 @@ let () =
             d7_flags_concurrency;
           Alcotest.test_case "D7 exempts lib/parallel" `Quick
             d7_exempts_lib_parallel;
+          Alcotest.test_case "D8 flags Basalt_obs references" `Quick
+            d8_flags_obs_references;
+          Alcotest.test_case "D8 exempts lib/obs + allowlist" `Quick
+            d8_exempts_lib_obs_and_allowlist;
         ] );
       ( "suppression",
         [

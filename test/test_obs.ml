@@ -1,0 +1,278 @@
+(* Tests for basalt.obs: registry determinism, instrument semantics,
+   the disabled sink's zero-interaction guarantee, and the trace
+   JSONL/CSV round-trip. *)
+
+module Obs = Basalt_obs.Obs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+let check_string = Alcotest.(check string)
+
+(* --- Registry --- *)
+
+let registry_get_or_create () =
+  let t = Obs.create () in
+  let c1 = Obs.counter t "a" in
+  let c2 = Obs.counter t "a" in
+  Obs.Counter.incr c1;
+  Obs.Counter.add c2 2;
+  check_int "same cell by name" 3 (Obs.Counter.value c1);
+  let g = Obs.gauge t "g" in
+  Obs.Gauge.set g 1.5;
+  check_float "gauge set" 1.5 (Obs.Gauge.value (Obs.gauge t "g"))
+
+let registry_kind_clash () =
+  let t = Obs.create () in
+  ignore (Obs.counter t "x");
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Obs: \"x\" already registered as a counter") (fun () ->
+      ignore (Obs.gauge t "x"))
+
+let registry_snapshot_order () =
+  (* Snapshot order is registration order, not alphabetical and not
+     hash order — that is what keeps reports bit-identical. *)
+  let t = Obs.create () in
+  Obs.Counter.incr (Obs.counter t "zz");
+  Obs.Gauge.set (Obs.gauge t "aa") 2.0;
+  Obs.Counter.add (Obs.counter t "mm") 5;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "registration order"
+    [ ("zz", 1.0); ("aa", 2.0); ("mm", 5.0) ]
+    (Obs.snapshot t)
+
+let registry_snapshot_deterministic () =
+  (* Two registries fed the same operations render identically,
+     regardless of interleaved lookups. *)
+  let feed t =
+    let c = Obs.counter t "basalt.rounds" in
+    let g = Obs.gauge t "basalt.max_msg_bytes" in
+    let h = Obs.histogram t "basalt.msg_bytes" in
+    for i = 1 to 10 do
+      Obs.Counter.incr c;
+      Obs.Gauge.set_max g (float_of_int (i * 100));
+      Obs.Histogram.observe h (float_of_int (i * 100));
+      (* re-lookup mid-stream must hit the same cells *)
+      Obs.Counter.incr (Obs.counter t "basalt.rounds")
+    done;
+    Obs.render t
+  in
+  check_string "bit-identical renders" (feed (Obs.create ()))
+    (feed (Obs.create ()))
+
+(* --- Counters, gauges, histograms --- *)
+
+let counter_semantics () =
+  let t = Obs.create () in
+  let c = Obs.counter t "c" in
+  check_int "starts at zero" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  check_int "accumulates" 42 (Obs.Counter.value c)
+
+let gauge_semantics () =
+  let t = Obs.create () in
+  let g = Obs.gauge t "g" in
+  check_float "starts at zero" 0.0 (Obs.Gauge.value g);
+  Obs.Gauge.set g 5.0;
+  Obs.Gauge.set g 3.0;
+  check_float "set overwrites" 3.0 (Obs.Gauge.value g);
+  Obs.Gauge.set_max g 2.0;
+  check_float "set_max keeps max" 3.0 (Obs.Gauge.value g);
+  Obs.Gauge.set_max g 7.0;
+  check_float "set_max raises" 7.0 (Obs.Gauge.value g)
+
+let histogram_bucket_edges () =
+  let t = Obs.create () in
+  let h = Obs.histogram ~edges:[| 10.0; 20.0 |] t "h" in
+  (* Edges are inclusive upper bounds; beyond the last edge lands in
+     the overflow bucket. *)
+  List.iter (Obs.Histogram.observe h) [ 0.0; 10.0; 10.5; 20.0; 21.0 ];
+  check_int "count" 5 (Obs.Histogram.count h);
+  check_float "sum" 61.5 (Obs.Histogram.sum h);
+  Alcotest.(check (array int))
+    "bucket counts (<=10, <=20, overflow)" [| 2; 2; 1 |]
+    (Obs.Histogram.bucket_counts h);
+  Alcotest.(check (array (float 1e-9)))
+    "edges preserved" [| 10.0; 20.0 |] (Obs.Histogram.edges h)
+
+let histogram_default_edges () =
+  let t = Obs.create () in
+  let h = Obs.histogram t "bytes" in
+  Alcotest.(check (array (float 1e-9)))
+    "powers of two 64..65536"
+    [| 64.0; 128.0; 256.0; 512.0; 1024.0; 2048.0; 4096.0; 8192.0; 16384.0;
+       32768.0; 65536.0 |]
+    (Obs.Histogram.edges h)
+
+let histogram_bad_edges () =
+  let t = Obs.create () in
+  Alcotest.check_raises "unsorted edges"
+    (Invalid_argument "Obs.histogram: edges must be strictly increasing")
+    (fun () -> ignore (Obs.histogram ~edges:[| 2.0; 1.0 |] t "bad"));
+  Alcotest.check_raises "empty edges"
+    (Invalid_argument "Obs.histogram: empty edges") (fun () ->
+      ignore (Obs.histogram ~edges:[||] t "empty"))
+
+(* --- Disabled sink --- *)
+
+let disabled_zero_interaction () =
+  check_bool "not enabled" false (Obs.enabled Obs.disabled);
+  check_bool "not tracing" false (Obs.tracing Obs.disabled);
+  (* Dummies are fresh: mutating one is invisible to the next lookup,
+     so nothing is ever shared between call sites (or domains). *)
+  let c = Obs.counter Obs.disabled "x" in
+  Obs.Counter.incr c;
+  check_int "dummy mutated locally" 1 (Obs.Counter.value c);
+  check_int "next lookup is fresh" 0
+    (Obs.Counter.value (Obs.counter Obs.disabled "x"));
+  Obs.trace Obs.disabled ~name:"e" [ ("k", Obs.Int 1) ];
+  check_int "no events recorded" 0 (Obs.event_count Obs.disabled);
+  check_bool "empty snapshot" true (Obs.snapshot Obs.disabled = []);
+  (* set_clock must not mutate the global disabled value *)
+  Obs.set_clock Obs.disabled (fun () -> 99.0);
+  Obs.trace Obs.disabled ~name:"e" [];
+  check_int "still no events" 0 (Obs.event_count Obs.disabled)
+
+(* --- Tracing --- *)
+
+let trace_records_events () =
+  let now = ref 1.0 in
+  let t = Obs.create ~clock:(fun () -> !now) ~trace:true () in
+  check_bool "tracing on" true (Obs.tracing t);
+  Obs.trace t ~name:"engine.send" [ ("src", Obs.Int 0); ("dst", Obs.Int 1) ];
+  now := 2.5;
+  Obs.trace t ~name:"engine.deliver" [ ("kind", Obs.Str "pull") ];
+  check_int "two events" 2 (Obs.event_count t);
+  match Obs.events t with
+  | [ e1; e2 ] ->
+      check_float "first stamp" 1.0 e1.Obs.time;
+      check_string "first name" "engine.send" e1.Obs.name;
+      check_float "second stamp" 2.5 e2.Obs.time;
+      check_bool "fields kept in order" true
+        (e1.Obs.fields = [ ("src", Obs.Int 0); ("dst", Obs.Int 1) ])
+  | _ -> Alcotest.fail "expected two events"
+
+let trace_off_by_default () =
+  let t = Obs.create () in
+  check_bool "instruments only" false (Obs.tracing t);
+  Obs.trace t ~name:"e" [];
+  check_int "trace is a no-op" 0 (Obs.event_count t)
+
+let jsonl_round_trip () =
+  let t = Obs.create ~clock:(fun () -> 3.25) ~trace:true () in
+  Obs.trace t ~name:"msg"
+    [
+      ("src", Obs.Int 7);
+      ("bytes", Obs.Float 88.5);
+      ("kind", Obs.Str "pull-reply");
+      ("quoted", Obs.Str "a\"b\\c");
+    ];
+  let line = String.trim (Obs.events_to_jsonl t) in
+  check_bool "looks like json" true
+    (String.length line > 2 && line.[0] = '{'
+    && line.[String.length line - 1] = '}');
+  match Obs.event_of_json line with
+  | None -> Alcotest.fail "round trip parse failed"
+  | Some e ->
+      check_float "time survives" 3.25 e.Obs.time;
+      check_string "name survives" "msg" e.Obs.name;
+      check_bool "fields survive" true
+        (e.Obs.fields
+        = [
+            ("src", Obs.Int 7);
+            ("bytes", Obs.Float 88.5);
+            ("kind", Obs.Str "pull-reply");
+            ("quoted", Obs.Str "a\"b\\c");
+          ])
+
+let jsonl_extra_fields () =
+  let t = Obs.create ~trace:true () in
+  Obs.trace t ~name:"e" [ ("k", Obs.Int 1) ];
+  let line =
+    String.trim (Obs.events_to_jsonl ~extra:[ ("proto", Obs.Str "basalt") ] t)
+  in
+  match Obs.event_of_json line with
+  | None -> Alcotest.fail "parse with extra failed"
+  | Some e ->
+      check_bool "extra comes back as a field" true
+        (List.mem_assoc "proto" e.Obs.fields
+        && List.assoc "proto" e.Obs.fields = Obs.Str "basalt")
+
+let event_of_json_rejects_garbage () =
+  check_bool "not json" true (Obs.event_of_json "nonsense" = None);
+  check_bool "missing keys" true (Obs.event_of_json "{\"a\":1}" = None);
+  check_bool "empty" true (Obs.event_of_json "" = None)
+
+let csv_rendering () =
+  let t = Obs.create ~clock:(fun () -> 1.0) ~trace:true () in
+  Obs.trace t ~name:"e" [ ("k", Obs.Int 2) ];
+  let csv = Obs.events_to_csv t in
+  check_bool "header present" true
+    (String.length csv >= 17 && String.sub csv 0 17 = "time,event,fields");
+  check_bool "k=v packed" true
+    (String.length csv > 0
+    &&
+    let lines = String.split_on_char '\n' csv in
+    List.exists (fun l -> l = "1,e,k=2") lines)
+
+(* --- Render --- *)
+
+let render_lists_instruments () =
+  let t = Obs.create () in
+  Obs.Counter.add (Obs.counter t "basalt.rounds") 30;
+  Obs.Gauge.set (Obs.gauge t "basalt.max_msg_bytes") 94.0;
+  Obs.Histogram.observe (Obs.histogram t "basalt.msg_bytes") 94.0;
+  let r = Obs.render t in
+  List.iter
+    (fun needle ->
+      let found =
+        let nl = String.length needle and rl = String.length r in
+        let rec scan i = i + nl <= rl && (String.sub r i nl = needle || scan (i + 1)) in
+        scan 0
+      in
+      check_bool (Printf.sprintf "render mentions %s" needle) true found)
+    [ "basalt.rounds"; "basalt.max_msg_bytes"; "basalt.msg_bytes"; "30" ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "get or create" `Quick registry_get_or_create;
+          Alcotest.test_case "kind clash" `Quick registry_kind_clash;
+          Alcotest.test_case "snapshot order" `Quick registry_snapshot_order;
+          Alcotest.test_case "deterministic render" `Quick
+            registry_snapshot_deterministic;
+        ] );
+      ( "instruments",
+        [
+          Alcotest.test_case "counter" `Quick counter_semantics;
+          Alcotest.test_case "gauge" `Quick gauge_semantics;
+          Alcotest.test_case "histogram bucket edges" `Quick
+            histogram_bucket_edges;
+          Alcotest.test_case "histogram default edges" `Quick
+            histogram_default_edges;
+          Alcotest.test_case "histogram bad edges" `Quick histogram_bad_edges;
+        ] );
+      ( "disabled",
+        [
+          Alcotest.test_case "zero interaction" `Quick
+            disabled_zero_interaction;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records events" `Quick trace_records_events;
+          Alcotest.test_case "off by default" `Quick trace_off_by_default;
+          Alcotest.test_case "jsonl round trip" `Quick jsonl_round_trip;
+          Alcotest.test_case "jsonl extra fields" `Quick jsonl_extra_fields;
+          Alcotest.test_case "rejects garbage" `Quick
+            event_of_json_rejects_garbage;
+          Alcotest.test_case "csv rendering" `Quick csv_rendering;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "lists instruments" `Quick
+            render_lists_instruments;
+        ] );
+    ]

@@ -63,6 +63,7 @@ let point ?(time = 0.0) ?(sample_byz = 0.0) ?(view_byz = 0.0) ?(isolated = 0.0) 
     clustering = None;
     mean_path = None;
     indegree_spread = None;
+    metrics = None;
   }
 
 let measurements_basics () =
@@ -187,7 +188,23 @@ let report_series_columns () =
       mean_path = Some 2.0;
       indegree_spread = Some 1.0;
     };
-  check_int "with graph metrics" 7 (List.length (Report.series_columns m2))
+  check_int "with graph metrics" 7 (List.length (Report.series_columns m2));
+  let m3 = Measurements.create () in
+  Measurements.add m3
+    {
+      (point ~time:1.0 ()) with
+      Measurements.metrics = Some [ ("basalt.rounds", 30.0); ("basalt.rank_evals", 1.5) ];
+    };
+  let cols3 = Report.series_columns m3 in
+  check_int "with instrument metrics" 6 (List.length cols3);
+  let headers = List.map (fun c -> c.Report.header) cols3 in
+  check_bool "metric headers appended" true
+    (List.mem "basalt.rounds" headers && List.mem "basalt.rank_evals" headers);
+  let rounds_col =
+    List.find (fun c -> c.Report.header = "basalt.rounds") cols3
+  in
+  Alcotest.(check string) "integral metric renders as integer" "30"
+    (rounds_col.Report.cell 0)
 
 (* --- Runner --- *)
 
@@ -487,6 +504,40 @@ let sweep_parallel_determinism () =
           check_int "runs" a.Sweep.runs b.Sweep.runs)
         sequential parallel)
 
+(* The observability counterpart: metric snapshots and full JSONL traces
+   from pooled runs are byte-identical to the sequential ones.  Each run
+   creates its registry inside the worker (never shared), so this holds
+   at any -j (DESIGN.md §8). *)
+let obs_trace_parallel_determinism () =
+  let s = tiny_scenario () in
+  let seeds = [ 1; 2; 3; 4 ] in
+  let render runs =
+    String.concat "\n---\n"
+      (List.map
+         (fun (r : Runner.result) ->
+           match r.Runner.obs with
+           | None -> Alcotest.fail "tracing run should expose its sink"
+           | Some sink ->
+               Basalt_obs.Obs.render sink
+               ^ Basalt_obs.Obs.events_to_jsonl sink)
+         runs)
+  in
+  let sequential = render (Sweep.run_seeds ~trace:true s ~seeds) in
+  check_bool "trace is non-empty" true (String.length sequential > 1000);
+  Basalt_parallel.Pool.with_pool ~domains:4 (fun pool ->
+      let parallel = render (Sweep.run_seeds ~pool ~trace:true s ~seeds) in
+      Alcotest.(check string) "j=1 vs j=4 traces identical" sequential parallel)
+
+(* Runs without tracing carry no sink and record no metrics: the
+   zero-overhead configuration really is zero-interaction. *)
+let obs_absent_by_default () =
+  let r = Runner.run (tiny_scenario ()) in
+  check_bool "no sink" true (r.Runner.obs = None);
+  check_bool "no metrics in points" true
+    (List.for_all
+       (fun p -> p.Measurements.metrics = None)
+       (Measurements.points r.Runner.series))
+
 let () =
   Alcotest.run "sim"
     [
@@ -562,5 +613,11 @@ let () =
           Alcotest.test_case "max_rho" `Quick sweep_max_rho;
           Alcotest.test_case "parallel determinism j=1 vs j=4" `Quick
             sweep_parallel_determinism;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "trace determinism j=1 vs j=4" `Quick
+            obs_trace_parallel_determinism;
+          Alcotest.test_case "absent by default" `Quick obs_absent_by_default;
         ] );
     ]

@@ -1,0 +1,7 @@
+(* D8 fixture: Basalt_obs references outside lib/obs / the allowlist. *)
+module Obs = Basalt_obs.Obs
+
+let t = Basalt_obs.Obs.create ()
+let c = Basalt_obs.Obs.counter t "sneaky"
+
+open Basalt_obs

@@ -1,4 +1,4 @@
-type rule = D1 | D2 | D3 | D4 | D5 | D6 | D7
+type rule = D1 | D2 | D3 | D4 | D5 | D6 | D7 | D8
 
 let rule_name = function
   | D1 -> "D1"
@@ -8,6 +8,7 @@ let rule_name = function
   | D5 -> "D5"
   | D6 -> "D6"
   | D7 -> "D7"
+  | D8 -> "D8"
 
 let rule_of_string = function
   | "D1" -> Some D1
@@ -17,6 +18,7 @@ let rule_of_string = function
   | "D5" -> Some D5
   | "D6" -> Some D6
   | "D7" -> Some D7
+  | "D8" -> Some D8
   | _ -> None
 
 type finding = { file : string; line : int; rule : rule; message : string }
@@ -93,6 +95,7 @@ let d4_scope path =
 let d5_scope path = in_dir "lib" path
 let d6_scope path = in_dir "lib" path && not (in_dir "lib/experiments" path)
 let d7_exempt path = in_dir "lib/parallel" path
+let d8_exempt path = in_dir "lib/obs" path
 
 (* ------------------------------------------------------------------ *)
 (* Identifier classification                                           *)
@@ -251,13 +254,23 @@ let check_path st (loc : Location.t) p =
          "direct console output %s in a protocol library; route output \
           through the experiment/report layer"
          (path_string p));
-  match p with
+  (match p with
   | root :: _
     when List.mem root concurrency_roots && not (d7_exempt st.rel_path) ->
       report st D7 line
         (Printf.sprintf
            "reference to %s; concurrency primitives are confined to \
             lib/parallel — fan work out through Basalt_parallel.Pool"
+           (path_string p))
+  | _ -> ());
+  match p with
+  | "Basalt_obs" :: _ when not (d8_exempt st.rel_path) ->
+      report st D8 line
+        (Printf.sprintf
+           "reference to %s; instruments and telemetry are confined to \
+            lib/obs and the allowlisted instrumentation boundaries \
+            (tool/lint/allowlist.txt) — thread an Obs.t in, don't reach \
+            for the module"
            (path_string p))
   | _ -> ()
 

@@ -28,19 +28,24 @@
       parallelism flows through the one audited pool
       ([Basalt_parallel.Pool]), which is the only place the
       determinism argument has to be made.
+    - {b D8} — no [Basalt_obs] references outside [lib/obs] and the
+      allowlisted instrumentation boundaries: instrument creation,
+      mutation, and telemetry output stay behind the one observability
+      layer (DESIGN.md §8); code that wants metrics takes an [Obs.t]
+      argument rather than reaching for the module.
 
     Suppression: a source line (or the line just above it) containing
     [lint: allow D<k>] inside a comment silences rule [D<k>] for that
     line; [tool/lint/allowlist.txt] lists [<rule> <path-or-dir/>]
     pairs for whole-file or whole-subtree exemptions. *)
 
-type rule = D1 | D2 | D3 | D4 | D5 | D6 | D7
+type rule = D1 | D2 | D3 | D4 | D5 | D6 | D7 | D8
 
 val rule_name : rule -> string
-(** [rule_name r] is ["D1"] … ["D7"]. *)
+(** [rule_name r] is ["D1"] … ["D8"]. *)
 
 val rule_of_string : string -> rule option
-(** [rule_of_string s] parses ["D1"] … ["D7"] (case-sensitive). *)
+(** [rule_of_string s] parses ["D1"] … ["D8"] (case-sensitive). *)
 
 type finding = {
   file : string;  (** Repo-relative path using [/] separators. *)
