@@ -1,0 +1,253 @@
+(** Deterministic property-based testing with integrated shrinking
+    (DESIGN.md §9).
+
+    A from-scratch property layer built directly on {!Basalt_prng.Rng} so
+    that machine-generated test cases obey the repository's determinism
+    policy: every property owns a pinned generator stream derived from
+    [(suite, property, seed)], so a failure reported by one run is
+    replayed exactly — same case, same shrink path, same minimal
+    counterexample — by any later run with the same seed.
+
+    Generators ({!Gen}) carry their shrinker {e inside} the generated
+    value (a lazily-evaluated rose tree, in the Hedgehog style), so
+    shrinking respects every invariant established through {!Gen.map} /
+    {!Gen.bind} and never produces values the generator could not have
+    produced.  The runner shrinks greedily: it repeatedly descends into
+    the first failing shrink candidate until none fails (or the shrink
+    budget runs out), which converges to a locally minimal
+    counterexample.
+
+    Case budgets: a property runs [count] cases (default
+    {!default_count}), raised globally by the [BASALT_CHECK_COUNT]
+    environment variable (the effective budget is the {e maximum} of the
+    two, so pinned fuzzing budgets never shrink), and divided by 10 —
+    with a floor of 10 — when the test binary is invoked with Alcotest's
+    [-q]/[--quick-tests] flag.  The base seed comes from
+    [BASALT_CHECK_SEED] (decimal or [0x]-hex; default
+    {!default_seed_value}).  When [BASALT_CHECK_DIR] names a directory,
+    every failure additionally writes its shrunk counterexample report
+    there (one file per property), which CI uploads as artifacts. *)
+
+(** Composable generators with integrated shrinking. *)
+module Gen : sig
+  type 'a t
+  (** A generator of ['a] values paired with their shrink candidates. *)
+
+  exception Generation_failure of string
+  (** Raised when a generator cannot produce a value (e.g.
+      {!such_that} exhausting its retry budget). *)
+
+  val generate : 'a t -> rng:Basalt_prng.Rng.t -> 'a
+  (** [generate g ~rng] draws one value (discarding the shrink tree).
+      Deterministic in [rng]'s state. *)
+
+  val return : 'a -> 'a t
+  (** [return x] always generates [x]; no shrinks. *)
+
+  val map : ('a -> 'b) -> 'a t -> 'b t
+  (** [map f g] applies [f] to generated values and to every shrink
+      candidate. *)
+
+  val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+  (** [map2 f a b] combines two generators; both sides shrink
+      independently. *)
+
+  val bind : 'a t -> ('a -> 'b t) -> 'b t
+  (** [bind g f] generates [x] from [g], then from [f x].  Shrinking
+      first shrinks [x] (re-running [f] on each candidate with a copy of
+      the inner random stream, so shrinks stay deterministic), then the
+      inner value. *)
+
+  val pair : 'a t -> 'b t -> ('a * 'b) t
+  (** [pair a b] generates both components; each shrinks independently. *)
+
+  val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+  (** Three-way {!pair}. *)
+
+  val int_range : int -> int -> int t
+  (** [int_range lo hi] is uniform on [\[lo, hi\]]; shrinks towards the
+      point of the range closest to 0.  @raise Invalid_argument if
+      [hi < lo]. *)
+
+  val nat : max:int -> int t
+  (** [nat ~max] is [int_range 0 max]. *)
+
+  val bool : bool t
+  (** Fair coin; [true] shrinks to [false]. *)
+
+  val float_range : float -> float -> float t
+  (** [float_range lo hi] is uniform on [\[lo, hi)]; shrinks towards
+      [lo] by halving the distance. *)
+
+  val oneof : 'a t list -> 'a t
+  (** [oneof gs] picks one generator uniformly; the choice shrinks
+      towards the head of the list.  @raise Invalid_argument on []. *)
+
+  val oneofl : 'a list -> 'a t
+  (** [oneofl xs] picks one value uniformly; shrinks towards the head. *)
+
+  val frequency : (int * 'a t) list -> 'a t
+  (** [frequency ws] picks a generator with probability proportional to
+      its weight; the choice shrinks towards the first entry.
+      @raise Invalid_argument on an empty list or non-positive total. *)
+
+  val such_that : ?retries:int -> ('a -> bool) -> 'a t -> 'a t
+  (** [such_that p g] regenerates until [p] holds ([retries] attempts,
+      default 100) and prunes shrink candidates violating [p].
+      @raise Generation_failure when the retry budget is exhausted. *)
+
+  val list : ?min_len:int -> max_len:int -> 'a t -> 'a list t
+  (** [list ~min_len ~max_len g] generates a list whose length is
+      uniform on [\[min_len, max_len\]] ([min_len] defaults to 0).
+      Shrinks by dropping chunks and single elements (never below
+      [min_len]) and by shrinking the elements themselves. *)
+
+  val list_repeat : int -> 'a t -> 'a list t
+  (** [list_repeat n g] generates exactly [n] elements; only the
+      elements shrink, never the length. *)
+
+  val array : ?min_len:int -> max_len:int -> 'a t -> 'a array t
+  (** {!list} producing an array. *)
+
+  val bytes : ?min_len:int -> max_len:int -> unit -> bytes t
+  (** [bytes ~max_len ()] generates a uniformly random byte buffer whose
+      length is uniform on [\[min_len, max_len\]]; shrinks like {!list}
+      with byte values shrinking towards 0. *)
+end
+
+(** Generators for the repository's domain types, shared by the test
+    suites (wire fuzzing, protocol differential tests, engine schedule
+    properties). *)
+module Gens : sig
+  val node_id : max:int -> Basalt_proto.Node_id.t Gen.t
+  (** [node_id ~max] generates identifiers in [\[0, max\]], shrinking
+      towards 0. *)
+
+  val view : ?min_len:int -> max_len:int -> max_id:int -> unit -> Basalt_proto.Node_id.t array Gen.t
+  (** [view ~max_len ~max_id ()] generates an identifier array
+      (duplicates allowed, like real views). *)
+
+  val message : ?max_ids:int -> ?max_id:int -> unit -> Basalt_proto.Message.t Gen.t
+  (** [message ()] generates any of the four wire message kinds;
+      payload arrays hold up to [max_ids] (default 40) identifiers of
+      value at most [max_id] (default [2^48 - 1], exercising the full
+      on-wire width). *)
+
+  val latency : Basalt_engine.Link.Latency.t Gen.t
+  (** Any latency model with small parameters ([Uniform] bounds are
+      generated ordered). *)
+
+  val loss : Basalt_engine.Link.Loss.t Gen.t
+  (** Reliable links or Bernoulli loss with probability in [\[0, 0.9\]]. *)
+
+  type schedule = {
+    nodes : int;  (** Number of node slots, [>= 1]. *)
+    registered : bool list;  (** Per-node: does it get a handler? *)
+    sends : (float * int * int) list;
+        (** [(time, src, dst)] messages submitted by timers. *)
+    horizon : float;  (** Runs past every send and every delivery. *)
+  }
+  (** A randomized engine workload for schedule-invariant properties. *)
+
+  val schedule : max_nodes:int -> max_sends:int -> schedule Gen.t
+  (** [schedule ~max_nodes ~max_sends] generates a workload with send
+      times in [\[0, 100)] and a horizon safely beyond them. *)
+end
+
+(** Counterexample printers for failure reports. *)
+module Print : sig
+  val int : int -> string
+  (** Decimal rendering. *)
+
+  val float : float -> string
+  (** Fixed [%.17g] rendering (round-trips the float). *)
+
+  val bool : bool -> string
+  (** ["true"] / ["false"]. *)
+
+  val string : string -> string
+  (** OCaml-escaped, quoted. *)
+
+  val bytes_hex : bytes -> string
+  (** Length plus hex dump, e.g. ["7 bytes: b501020000..."] — the
+      format the wire-corpus file uses. *)
+
+  val list : ('a -> string) -> 'a list -> string
+  (** ["[a; b; c]"]. *)
+
+  val array : ('a -> string) -> 'a array -> string
+  (** ["[|a; b; c|]"]. *)
+
+  val pair : ('a -> string) -> ('b -> string) -> 'a * 'b -> string
+  (** ["(a, b)"]. *)
+
+  val triple :
+    ('a -> string) -> ('b -> string) -> ('c -> string) -> 'a * 'b * 'c -> string
+  (** ["(a, b, c)"]. *)
+end
+
+type t
+(** A named property: a generator plus a law over generated values. *)
+
+val prop : ?count:int -> ?print:('a -> string) -> name:string -> 'a Gen.t -> ('a -> bool) -> t
+(** [prop ~name gen law] is the property "for all [x] from [gen],
+    [law x] holds".  A law failing by returning [false] or by raising
+    (e.g. an [Alcotest] check) triggers shrinking.  [count] (default
+    {!default_count}) is the case budget before environment and [-q]
+    adjustments; [print] renders counterexamples (default: a
+    placeholder). *)
+
+val name : t -> string
+(** [name p] is the property's name. *)
+
+type failure = {
+  suite : string;  (** Suite the property ran under. *)
+  property : string;  (** Property name. *)
+  seed : int;  (** Base seed — the replay key. *)
+  case : int;  (** 0-based index of the failing case. *)
+  shrink_steps : int;  (** Successful shrink descents. *)
+  counterexample : string;  (** Printed shrunk counterexample. *)
+  reason : string;  (** ["returned false"] or the exception text. *)
+}
+(** Everything needed to reproduce and understand a failed property. *)
+
+type outcome = Pass of int | Fail of failure
+(** [Pass n] ran [n] cases; [Fail f] stopped at a counterexample. *)
+
+val run : ?seed:int -> suite:string -> t -> outcome
+(** [run ~suite p] executes the property on its pinned stream.  [seed]
+    defaults to {!default_seed}.  The per-property stream is derived
+    from [(suite, name p, seed)], so re-running with the same triple
+    replays the same cases and the same shrink path.  On failure, the
+    report is also written to [BASALT_CHECK_DIR] when that variable
+    names a directory. *)
+
+val failure_report : failure -> string
+(** [failure_report f] is the multi-line human-readable report,
+    including the replay instructions. *)
+
+val default_count : int
+(** Case budget when neither [?count] nor [BASALT_CHECK_COUNT] raises
+    it (200). *)
+
+val default_seed_value : int
+(** The built-in base seed used when [BASALT_CHECK_SEED] is unset. *)
+
+val default_seed : unit -> int
+(** [default_seed ()] reads [BASALT_CHECK_SEED] (decimal or [0x]-hex),
+    falling back to {!default_seed_value}. *)
+
+val effective_count : int -> int
+(** [effective_count count] is the budget {!run} will use for a
+    property pinned at [count]: [max count BASALT_CHECK_COUNT], divided
+    by 10 (floor 10) under Alcotest's [-q]/[--quick-tests]. *)
+
+val to_alcotest : ?speed:Alcotest.speed_level -> suite:string -> t -> unit Alcotest.test_case
+(** [to_alcotest ~suite p] wraps the property as an Alcotest case
+    (default speed [`Quick], so properties still run — with the reduced
+    budget — under [-q]) that fails with {!failure_report} on a
+    counterexample. *)
+
+val suite : string -> t list -> string * unit Alcotest.test_case list
+(** [suite name props] is an Alcotest suite entry [(name, cases)] with
+    every property adapted via {!to_alcotest ~suite:name}. *)

@@ -54,7 +54,12 @@ let encode msg =
   buf
 
 let decode_sub buf ~off ~len =
-  if off < 0 || len < 0 || off + len > Bytes.length buf then
+  (* [off > length - len] is the overflow-proof form of
+     [off + len > length]: with hostile [off]/[len] near [max_int] the
+     addition wraps negative and would let the slice check pass, sending
+     out-of-range offsets into the [Bytes] primitives below (found by
+     the lib/check fuzzer; pinned in test_codec). *)
+  if off < 0 || len < 0 || off > Bytes.length buf - len then
     invalid_arg "Wire.decode_sub: slice out of bounds";
   if len < header_size then Error Truncated
   else begin

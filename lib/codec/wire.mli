@@ -41,7 +41,12 @@ val decode : bytes -> (Basalt_proto.Message.t, error) result
 
 val decode_sub : bytes -> off:int -> len:int -> (Basalt_proto.Message.t, error) result
 (** [decode_sub b ~off ~len] parses a slice (e.g. a [recvfrom] buffer).
-    @raise Invalid_argument if the slice is not within [b]. *)
+    Within a valid slice, decoding is total — the parser never reads past
+    [off + len], even for hostile headers (fuzzed by [test_codec]'s
+    lib/check properties and the malformed-input corpus).
+    @raise Invalid_argument if the slice is not within [b] (checked
+    overflow-proof, so hostile [off]/[len] near [max_int] cannot smuggle
+    an out-of-bounds read past the guard). *)
 
 val max_ids : int
 (** Maximum identifier count a datagram may carry (65535). *)

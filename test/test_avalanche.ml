@@ -204,9 +204,13 @@ let dag_frontier () =
 (* Property: for any randomly grown DAG, every transaction's ancestor
    closure replays cleanly into a fresh DAG (parents always precede
    children). *)
+module Check = Basalt_check.Check
+
 let prop_closure_replayable =
-  QCheck.Test.make ~name:"ancestor closures always replay" ~count:200
-    QCheck.(small_list (pair (int_bound 9) (int_bound 3)))
+  Check.prop ~name:"ancestor closures always replay" ~count:200
+    ~print:
+      Check.Print.(list (pair int int))
+    Check.Gen.(list ~max_len:20 (pair (nat ~max:9) (nat ~max:3)))
     (fun spec ->
       let d = Tx_dag.create () in
       (* Grow a DAG: each entry attaches a new tx to an existing one. *)
@@ -358,7 +362,7 @@ let () =
             dag_acceptance_needs_ancestors;
           Alcotest.test_case "ancestor closure" `Quick dag_ancestor_closure;
           Alcotest.test_case "frontier" `Quick dag_frontier;
-          QCheck_alcotest.to_alcotest prop_closure_replayable;
+          Check.to_alcotest ~suite:"tx_dag" prop_closure_replayable;
         ] );
       ( "dag_network",
         [

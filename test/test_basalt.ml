@@ -441,11 +441,16 @@ let stream_invalid () =
     (Invalid_argument "Sample_stream.create: capacity <= 0") (fun () ->
       ignore (Sample_stream.create ~capacity:0))
 
+module Check = Basalt_check.Check
+module Gen = Check.Gen
+module Print = Check.Print
+
 (* Model-based test: the ring buffer must behave exactly like an
    unbounded list truncated to the last [capacity] elements. *)
 let prop_stream_model =
-  QCheck.Test.make ~name:"sample stream matches list reference" ~count:300
-    QCheck.(pair (int_range 1 8) (list small_nat))
+  Check.prop ~name:"sample stream matches list reference" ~count:300
+    ~print:(Print.pair Print.int (Print.list Print.int))
+    (Gen.pair (Gen.int_range 1 8) (Gen.list ~max_len:40 (Gen.nat ~max:100)))
     (fun (capacity, pushes) ->
       let s = Sample_stream.create ~capacity in
       let reference = ref [] in
@@ -464,22 +469,74 @@ let prop_stream_model =
       && Sample_stream.total s = List.length pushes
       && Sample_stream.retained s = List.length expected_window)
 
+let seed_and_ids =
+  Gen.pair (Gen.nat ~max:10_000)
+    (Gen.list ~min_len:1 ~max_len:30 (Gen.nat ~max:100))
+
+let print_seed_ids = Print.pair Print.int (Print.list Print.int)
+
+let make_node ?(v = 8) seed =
+  let send ~dst:_ _ = () in
+  Basalt.create
+    ~config:(Config.make ~v ())
+    ~id:(Node_id.of_int 0) ~bootstrap:[||]
+    ~rng:(Basalt_prng.Rng.create ~seed)
+    ~send ()
+
 let prop_view_subset_of_fed =
-  QCheck.Test.make ~name:"view is a subset of fed identifiers" ~count:200
-    QCheck.(pair small_int (list_of_size (Gen.int_range 1 30) small_nat))
+  Check.prop ~name:"view is a subset of fed identifiers" ~count:200
+    ~print:print_seed_ids seed_and_ids
     (fun (seed, ids) ->
-      let send ~dst:_ _ = () in
-      let t =
-        Basalt.create
-          ~config:(Config.make ~v:8 ())
-          ~id:(Node_id.of_int 0)
-          ~bootstrap:[||]
-          ~rng:(Basalt_prng.Rng.create ~seed)
-          ~send ()
-      in
+      let t = make_node seed in
       let fed = Array.of_list (List.map (fun i -> Node_id.of_int (i + 1)) ids) in
       Basalt.update_sample t fed;
       Array.for_all (Basalt_proto.View_ops.contains fed) (Basalt.view t))
+
+(* Differential oracle for the hot path: every slot must hold exactly
+   the argmin of its rank function over all offered identifiers (the
+   oblivious reference model of Alg. 1 lines 20-23). *)
+let prop_slot_argmin =
+  Check.prop ~name:"slot holds the argmin-rank identifier" ~count:300
+    ~print:print_seed_ids seed_and_ids
+    (fun (seed, ids) ->
+      let s = Slot.create Rank.Cheap (Basalt_prng.Rng.create ~seed) in
+      List.iter (fun i -> ignore (Slot.offer s (id i))) ids;
+      let rank i = Rank.rank (Slot.seed s) i in
+      let best = List.fold_left (fun acc i -> min acc (rank i)) max_int ids in
+      match (Slot.peer s, Slot.best_rank s) with
+      | Some p, Some r -> rank (Node_id.to_int p) = best && r = best
+      | _ -> false)
+
+(* Feeding a batch is the same as feeding it in two pieces: update_sample
+   draws no randomness, so same-seed instances stay comparable. *)
+let prop_update_sample_batch_split =
+  Check.prop ~name:"update_sample batches = sequential feeds" ~count:200
+    ~print:(Print.triple Print.int (Print.list Print.int) Print.int)
+    (Gen.triple (Gen.nat ~max:10_000)
+       (Gen.list ~min_len:1 ~max_len:30 (Gen.nat ~max:100))
+       (Gen.nat ~max:30))
+    (fun (seed, ids, cut) ->
+      let cut = cut mod (List.length ids + 1) in
+      let all = Array.of_list (List.map (fun i -> Node_id.of_int (i + 1)) ids) in
+      let whole = make_node seed in
+      Basalt.update_sample whole all;
+      let split = make_node seed in
+      Basalt.update_sample split (Array.sub all 0 cut);
+      Basalt.update_sample split
+        (Array.sub all cut (Array.length all - cut));
+      Basalt.view whole = Basalt.view split)
+
+(* exclude_self (the default) keeps the node's own identifier out of
+   its view no matter how often it is offered. *)
+let prop_view_excludes_self =
+  Check.prop ~name:"view never contains self" ~count:200
+    ~print:print_seed_ids seed_and_ids
+    (fun (seed, ids) ->
+      let t = make_node seed in
+      (* id 0 is the node itself; feed it alongside everything else. *)
+      let fed = Array.of_list (List.map Node_id.of_int (0 :: ids)) in
+      Basalt.update_sample t fed;
+      not (Array.exists (Node_id.equal (Node_id.of_int 0)) (Basalt.view t)))
 
 let () =
   Alcotest.run "basalt"
@@ -544,7 +601,12 @@ let () =
           Alcotest.test_case "draw" `Quick stream_draw;
           Alcotest.test_case "invalid" `Quick stream_invalid;
         ] );
-      ( "properties",
-        List.map QCheck_alcotest.to_alcotest
-          [ prop_view_subset_of_fed; prop_stream_model ] );
+      Check.suite "properties"
+        [
+          prop_view_subset_of_fed;
+          prop_slot_argmin;
+          prop_update_sample_batch_split;
+          prop_view_excludes_self;
+          prop_stream_model;
+        ];
     ]

@@ -199,9 +199,14 @@ let brahms_sampler_interface () =
   s.Basalt_proto.Rps.on_round ();
   check_int "sends per round" 2 !count
 
+module Check = Basalt_check.Check
+module Gen = Check.Gen
+module Print = Check.Print
+
 let prop_view_never_contains_self =
-  QCheck.Test.make ~name:"brahms view never contains self" ~count:100
-    QCheck.small_int (fun seed ->
+  Check.prop ~name:"brahms view never contains self" ~count:100
+    ~print:Print.int (Gen.nat ~max:10_000)
+    (fun seed ->
       let _, send = ((), fun ~dst:_ _ -> ()) in
       let t =
         Brahms.create
@@ -219,6 +224,36 @@ let prop_view_never_contains_self =
         (Array.exists
            (fun p -> Node_id.to_int p = 0)
            (Brahms.sampler_outputs t)))
+
+(* Min-wise samplers are order-oblivious: two same-seed instances fed
+   the same identifier multiset in different orders expose identical
+   sampler outputs.  [Push_id] handling draws no randomness, so the
+   instances stay stream-aligned. *)
+let prop_samplers_permutation_invariant =
+  Check.prop ~name:"sampler outputs are feed-order invariant" ~count:150
+    ~print:(Print.pair Print.int (Print.list Print.int))
+    (Gen.pair (Gen.nat ~max:10_000)
+       (Gen.list ~min_len:1 ~max_len:40 (Gen.int_range 1 200)))
+    (fun (seed, ids) ->
+      let make () =
+        Brahms.create
+          ~config:(Brahms_config.make ~l:8 ())
+          ~id:(Node_id.of_int 0) ~bootstrap:[||]
+          ~rng:(Basalt_prng.Rng.create ~seed)
+          ~send:(fun ~dst:_ _ -> ())
+          ()
+      in
+      let feed t order =
+        List.iter
+          (fun i ->
+            Brahms.on_message t ~from:(Node_id.of_int i)
+              (Message.Push_id (Node_id.of_int i)))
+          order
+      in
+      let a = make () and b = make () in
+      feed a ids;
+      feed b (List.rev ids);
+      Brahms.sampler_outputs a = Brahms.sampler_outputs b)
 
 let () =
   Alcotest.run "brahms"
@@ -249,6 +284,9 @@ let () =
             brahms_message_budget_knobs;
           Alcotest.test_case "sampler interface" `Quick brahms_sampler_interface;
         ] );
-      ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_view_never_contains_self ] );
+      Check.suite "properties"
+        [
+          prop_view_never_contains_self;
+          prop_samplers_permutation_invariant;
+        ];
     ]

@@ -1,0 +1,237 @@
+(* Self-tests for lib/check: shrinking converges to minimal
+   counterexamples, failures replay bit-identically from their seed, and
+   the environment knobs (BASALT_CHECK_SEED / _COUNT / _DIR) behave. *)
+
+module Check = Basalt_check.Check
+module Gen = Check.Gen
+module Print = Check.Print
+module Rng = Basalt_prng.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let run_expect_fail ?seed p =
+  match Check.run ?seed ~suite:"self" p with
+  | Check.Fail f -> f
+  | Check.Pass _ -> Alcotest.failf "property %S passed unexpectedly" (Check.name p)
+
+(* Temporarily override an environment variable ("" parses as unset for
+   the integer knobs and disables the dump directory). *)
+let with_env var value f =
+  let old = Option.value (Sys.getenv_opt var) ~default:"" in
+  Unix.putenv var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv var old) f
+
+(* --- generators ----------------------------------------------------- *)
+
+let gen_determinism () =
+  let g =
+    Gen.triple (Gen.int_range (-50) 50)
+      (Gen.list ~max_len:10 (Gen.nat ~max:100))
+      Gen.bool
+  in
+  let draw seed = Gen.generate g ~rng:(Rng.create ~seed) in
+  check_bool "same seed, same value" true (draw 42 = draw 42);
+  check_bool "draws depend on the seed" true
+    (List.init 20 draw <> List.init 20 (fun s -> draw (s + 100)))
+
+let gen_ranges () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 500 do
+    let x = Gen.generate (Gen.int_range (-5) 3) ~rng in
+    check_bool "int_range in bounds" true (x >= -5 && x <= 3);
+    let l = Gen.generate (Gen.list ~min_len:2 ~max_len:5 (Gen.nat ~max:9)) ~rng in
+    let n = List.length l in
+    check_bool "list length in bounds" true (n >= 2 && n <= 5)
+  done
+
+let gen_full_int_range () =
+  let rng = Rng.create ~seed:11 in
+  let saw_negative = ref false in
+  for _ = 1 to 200 do
+    let x = Gen.generate (Gen.int_range min_int max_int) ~rng in
+    if x < 0 then saw_negative := true;
+    ignore x
+  done;
+  check_bool "full-range draw covers negatives" true !saw_negative
+
+let gen_such_that () =
+  let rng = Rng.create ~seed:3 in
+  let even = Gen.such_that (fun x -> x mod 2 = 0) (Gen.nat ~max:100) in
+  for _ = 1 to 100 do
+    check_int "filtered" 0 (Gen.generate even ~rng mod 2)
+  done;
+  let impossible = Gen.such_that (fun _ -> false) (Gen.nat ~max:3) in
+  check_bool "exhaustion raises" true
+    (match Gen.generate impossible ~rng with
+    | _ -> false
+    | exception Gen.Generation_failure _ -> true)
+
+let gen_frequency_weights () =
+  let rng = Rng.create ~seed:9 in
+  let g = Gen.frequency [ (9, Gen.return "common"); (1, Gen.return "rare") ] in
+  let common = ref 0 in
+  let n = 2000 in
+  for _ = 1 to n do
+    if Gen.generate g ~rng = "common" then incr common
+  done;
+  (* 9:1 weighting; a fair margin around the 1800 expectation. *)
+  check_bool "weights respected" true (!common > 1600 && !common < 1950)
+
+(* --- shrinking ------------------------------------------------------ *)
+
+let shrink_int_to_boundary () =
+  let p =
+    Check.prop ~name:"ints below 10" ~print:Print.int (Gen.nat ~max:1000)
+      (fun x -> x < 10)
+  in
+  let f = run_expect_fail p in
+  check_string "minimal counterexample" "10" f.Check.counterexample;
+  check_bool "shrinking did some work" true (f.Check.shrink_steps > 0)
+
+let shrink_list_to_minimal () =
+  let p =
+    Check.prop ~name:"short lists" ~print:(Print.list Print.int)
+      (Gen.list ~max_len:20 (Gen.nat ~max:100))
+      (fun l -> List.length l < 3)
+  in
+  let f = run_expect_fail p in
+  check_string "minimal counterexample" "[0; 0; 0]" f.Check.counterexample
+
+let shrink_respects_invariants () =
+  (* Shrinking a mapped generator must stay inside the generator's
+     image: even values stay even while shrinking. *)
+  let p =
+    Check.prop ~name:"small evens" ~print:Print.int
+      (Gen.map (fun x -> 2 * x) (Gen.nat ~max:1000))
+      (fun x -> x < 20)
+  in
+  let f = run_expect_fail p in
+  check_string "minimal even counterexample" "20" f.Check.counterexample
+
+let shrink_pair_component_wise () =
+  let p =
+    Check.prop ~name:"pair bound" ~print:(Print.pair Print.int Print.int)
+      (Gen.pair (Gen.nat ~max:100) (Gen.nat ~max:100))
+      (fun (a, b) -> not (a >= 10 && b >= 10))
+  in
+  let f = run_expect_fail p in
+  (* Each component shrinks to its own boundary independently. *)
+  check_string "boundary pair" "(10, 10)" f.Check.counterexample
+
+(* --- reproducibility ------------------------------------------------ *)
+
+let failing_prop =
+  Check.prop ~name:"replays" ~print:(Print.list Print.int)
+    (Gen.list ~max_len:20 (Gen.nat ~max:1000))
+    (fun l -> List.fold_left ( + ) 0 l < 800)
+
+let failure_replays () =
+  let f1 = run_expect_fail ~seed:123 failing_prop in
+  let f2 = run_expect_fail ~seed:123 failing_prop in
+  check_bool "identical failure record" true (f1 = f2);
+  check_int "replay seed is the base seed" 123 f1.Check.seed;
+  let f3 = run_expect_fail ~seed:321 failing_prop in
+  check_bool "another seed, another case" true
+    (f3.Check.seed <> f1.Check.seed)
+
+let seed_env_respected () =
+  with_env "BASALT_CHECK_SEED" "777" (fun () ->
+      check_int "default_seed reads the env" 777 (Check.default_seed ());
+      let f = run_expect_fail failing_prop in
+      check_int "run uses it" 777 f.Check.seed);
+  with_env "BASALT_CHECK_SEED" "" (fun () ->
+      check_int "unset falls back" Check.default_seed_value
+        (Check.default_seed ()))
+
+let count_env_raises_budget () =
+  (* The env raises budgets and never lowers them, in both normal and
+     -q modes: a property pinned at the env value runs as many cases as
+     one pinned lower. *)
+  with_env "BASALT_CHECK_COUNT" "1000" (fun () ->
+      check_int "raised to the env value" (Check.effective_count 1000)
+        (Check.effective_count 100);
+      check_bool "pinned budgets above the env still win" true
+        (Check.effective_count 5000 > Check.effective_count 100))
+
+let pass_reports_case_count () =
+  let p =
+    Check.prop ~name:"tautology" ~count:37 (Gen.nat ~max:5) (fun _ -> true)
+  in
+  match Check.run ~suite:"self" p with
+  | Check.Pass n -> check_int "ran the effective budget" (Check.effective_count 37) n
+  | Check.Fail f -> Alcotest.fail (Check.failure_report f)
+
+let failure_dumped_to_dir () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "basalt-check-%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      with_env "BASALT_CHECK_DIR" dir (fun () ->
+          let f = run_expect_fail ~seed:5 failing_prop in
+          let expected = Printf.sprintf "self.replays.seed%d.txt" f.Check.seed in
+          check_bool "artifact written" true
+            (Sys.file_exists (Filename.concat dir expected))))
+
+let report_mentions_replay () =
+  let f = run_expect_fail ~seed:5 failing_prop in
+  let report = Check.failure_report f in
+  let contains needle =
+    let nl = String.length needle and hl = String.length report in
+    let rec go i =
+      i + nl <= hl && (String.sub report i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "names the property" true (contains "replays");
+  check_bool "gives the seed" true (contains "BASALT_CHECK_SEED=5")
+
+let generator_exception_is_failure () =
+  let boom : int Gen.t =
+    Gen.bind (Gen.nat ~max:3) (fun _ -> failwith "generator bug")
+  in
+  let p = Check.prop ~name:"boom" ~print:Print.int boom (fun _ -> true) in
+  let f = run_expect_fail p in
+  check_bool "reason carries the exception" true
+    (String.length f.Check.reason > 0)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "determinism" `Quick gen_determinism;
+          Alcotest.test_case "ranges" `Quick gen_ranges;
+          Alcotest.test_case "full int range" `Quick gen_full_int_range;
+          Alcotest.test_case "such_that" `Quick gen_such_that;
+          Alcotest.test_case "frequency weights" `Quick gen_frequency_weights;
+        ] );
+      ( "shrinking",
+        [
+          Alcotest.test_case "int boundary" `Quick shrink_int_to_boundary;
+          Alcotest.test_case "minimal list" `Quick shrink_list_to_minimal;
+          Alcotest.test_case "respects invariants" `Quick
+            shrink_respects_invariants;
+          Alcotest.test_case "pairs component-wise" `Quick
+            shrink_pair_component_wise;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "failures replay" `Quick failure_replays;
+          Alcotest.test_case "seed env" `Quick seed_env_respected;
+          Alcotest.test_case "count env" `Quick count_env_raises_budget;
+          Alcotest.test_case "pass counts cases" `Quick pass_reports_case_count;
+          Alcotest.test_case "failure artifacts" `Quick failure_dumped_to_dir;
+          Alcotest.test_case "report replay line" `Quick report_mentions_replay;
+          Alcotest.test_case "generator exceptions" `Quick
+            generator_exception_is_failure;
+        ] );
+    ]

@@ -1,0 +1,63 @@
+(* Contract tests for the bin/repro command-line driver, run as a real
+   subprocess: automation (CI, the bench harness, shell scripts looping
+   over targets) relies on unknown targets failing loudly with a usage
+   message rather than exiting 0. *)
+
+let repro = "../bin/repro.exe"
+
+(* Runs [repro args], returning (exit_code, stdout, stderr). *)
+let run_repro args =
+  let out_file = Filename.temp_file "repro" ".out" in
+  let err_file = Filename.temp_file "repro" ".err" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s" (Filename.quote repro) args
+      (Filename.quote out_file) (Filename.quote err_file)
+  in
+  let code = Sys.command cmd in
+  let read_all path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Sys.remove path;
+    s
+  in
+  (code, read_all out_file, read_all err_file)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let unknown_target_fails () =
+  let code, _out, err = run_repro "no-such-target -s quick" in
+  Alcotest.(check bool) "non-zero exit" true (code <> 0);
+  Alcotest.(check bool) "usage on stderr" true
+    (contains ~needle:"Usage" err || contains ~needle:"usage" err)
+
+let unknown_option_fails () =
+  let code, _out, err = run_repro "fig2a --no-such-flag" in
+  Alcotest.(check bool) "non-zero exit" true (code <> 0);
+  Alcotest.(check bool) "diagnostic on stderr" true (String.length err > 0)
+
+let help_succeeds () =
+  let code, out, _err = run_repro "--help=plain" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "lists targets" true (contains ~needle:"fig2a" out)
+
+let subcommand_help_succeeds () =
+  let code, _out, _err = run_repro "fig2a --help=plain" in
+  Alcotest.(check int) "exit 0" 0 code
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "repro",
+        [
+          Alcotest.test_case "unknown target fails" `Quick unknown_target_fails;
+          Alcotest.test_case "unknown option fails" `Quick unknown_option_fails;
+          Alcotest.test_case "--help succeeds" `Quick help_succeeds;
+          Alcotest.test_case "subcommand --help succeeds" `Quick
+            subcommand_help_succeeds;
+        ] );
+    ]

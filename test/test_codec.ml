@@ -1,8 +1,19 @@
-(* Tests for basalt.codec: the binary wire format. *)
+(* Tests for basalt.codec: the binary wire format.
 
+   Example-based cases pin the format; the lib/check properties fuzz the
+   decoder (decode must be total: typed Error, never an exception, never
+   a read past the buffer) and check the encode/decode round trip over
+   the full message space.  corpus/wire_corpus.txt replays previously
+   crashing / near-miss inputs on every run. *)
+
+module Check = Basalt_check.Check
+module Gen = Check.Gen
+module Gens = Check.Gens
+module Print = Check.Print
 module Wire = Basalt_codec.Wire
 module Message = Basalt_proto.Message
 module Node_id = Basalt_proto.Node_id
+module Rng = Basalt_prng.Rng
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -78,38 +89,204 @@ let codec_decode_sub () =
     (Invalid_argument "Wire.decode_sub: slice out of bounds") (fun () ->
       ignore (Wire.decode_sub padded ~off:3 ~len:(Bytes.length padded)))
 
+(* Regression: [off + len] used to be computed with a plain addition, so
+   hostile values near max_int wrapped negative, slipped past the slice
+   guard, and crashed inside the Bytes primitives instead of raising the
+   documented Invalid_argument. *)
+let codec_decode_sub_overflow () =
+  let buf = Bytes.create 16 in
+  let cases =
+    [ (max_int, 16); (max_int - 7, 32); (8, max_int); (max_int, max_int) ]
+  in
+  List.iter
+    (fun (off, len) ->
+      Alcotest.check_raises
+        (Printf.sprintf "off=%d len=%d" off len)
+        (Invalid_argument "Wire.decode_sub: slice out of bounds")
+        (fun () -> ignore (Wire.decode_sub buf ~off ~len)))
+    cases
+
 let codec_too_many_ids () =
   Alcotest.check_raises "too many"
     (Invalid_argument "Wire.encode: too many identifiers") (fun () ->
       ignore (Wire.encode (Message.Push (Array.make (Wire.max_ids + 1) (id 0)))))
 
-(* Fuzz: decoding arbitrary bytes must never raise. *)
-let prop_decode_total =
-  QCheck.Test.make ~name:"decode never raises" ~count:2000
-    QCheck.(string_of_size (Gen.int_range 0 64))
-    (fun s ->
-      match Wire.decode (Bytes.of_string s) with
-      | Ok _ | Error _ -> true)
+(* --- corpus replay -------------------------------------------------- *)
 
+let parse_hex name s =
+  if s = "-" then Bytes.create 0
+  else begin
+    if String.length s mod 2 <> 0 then
+      Alcotest.failf "corpus %s: odd hex length" name;
+    Bytes.init
+      (String.length s / 2)
+      (fun i ->
+        match int_of_string_opt ("0x" ^ String.sub s (2 * i) 2) with
+        | Some v -> Char.chr v
+        | None -> Alcotest.failf "corpus %s: bad hex" name)
+  end
+
+let load_corpus path =
+  let ic = open_in path in
+  let rec read acc =
+    match input_line ic with
+    | line -> (
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then read acc
+        else
+          match String.index_opt line ' ' with
+          | None -> Alcotest.failf "corpus: malformed line %S" line
+          | Some i ->
+              let name = String.sub line 0 i in
+              let hex =
+                String.trim (String.sub line i (String.length line - i))
+              in
+              read ((name, parse_hex name hex) :: acc))
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  read []
+
+let codec_corpus () =
+  let entries = load_corpus "corpus/wire_corpus.txt" in
+  check_bool "corpus is non-empty" true (List.length entries >= 20);
+  List.iter
+    (fun (name, buf) ->
+      match Wire.decode buf with
+      | Ok m ->
+          Alcotest.failf "corpus %s: decoded Ok (%a), expected Error" name
+            Message.pp m
+      | Error _ -> ()
+      | exception e ->
+          Alcotest.failf "corpus %s: raised %s" name (Printexc.to_string e))
+    entries
+
+(* --- lib/check properties ------------------------------------------ *)
+
+let print_message m = Format.asprintf "%a" Message.pp m
+
+(* Round trip over the full message space, including 48-bit identifiers
+   (the width the UDP transport packs an address+port into). *)
 let prop_round_trip =
-  QCheck.Test.make ~name:"encode/decode round trip" ~count:500
-    QCheck.(list_of_size (Gen.int_range 0 50) (int_bound ((1 lsl 30) - 1)))
-    (fun ids ->
-      let msg = Message.Push (Array.of_list (List.map Node_id.of_int ids)) in
+  Check.prop ~name:"encode/decode round trip" ~print:print_message
+    (Gens.message ())
+    (fun msg ->
       match Wire.decode (Wire.encode msg) with
       | Ok decoded -> msg_equal msg decoded
       | Error _ -> false)
 
+let prop_encoded_size =
+  Check.prop ~name:"encoded_size = length of encode" ~print:print_message
+    (Gens.message ())
+    (fun msg -> Wire.encoded_size msg = Bytes.length (Wire.encode msg))
+
+(* Totality on arbitrary byte soup: Ok or Error, never an exception. *)
+let prop_decode_total =
+  Check.prop ~name:"decode never raises" ~count:2000
+    ~print:Print.bytes_hex
+    (Gen.bytes ~max_len:64 ())
+    (fun buf -> match Wire.decode buf with Ok _ | Error _ -> true)
+
 (* Flipping any single byte of a valid datagram must either fail to
    decode or decode to a (possibly different) message — never raise. *)
 let prop_bitflip_safe =
-  QCheck.Test.make ~name:"bit flips never raise" ~count:500
-    QCheck.(pair (int_bound 1000) (int_bound 255))
-    (fun (pos, value) ->
-      let buf = Wire.encode (Message.Push (Array.init 20 Node_id.of_int)) in
+  Check.prop ~name:"bit flips never raise"
+    ~print:(Print.triple print_message Print.int Print.int)
+    (Gen.triple
+       (Gens.message ~max_ids:20 ())
+       (Gen.nat ~max:10_000) (Gen.nat ~max:255))
+    (fun (msg, pos, value) ->
+      let buf = Wire.encode msg in
       let pos = pos mod Bytes.length buf in
       Bytes.set_uint8 buf pos value;
       match Wire.decode buf with Ok _ | Error _ -> true)
+
+(* Malformed-by-construction buffers: each mutation strategy guarantees
+   the result is invalid, so decode must return a typed Error (and in
+   particular must not raise).  10k cases per seed — the adversarial
+   hardening bar of DESIGN.md §9. *)
+let malformed_gen =
+  let base = Gens.message ~max_ids:20 () in
+  let mutate =
+    Gen.oneof
+      [
+        (* truncate at least one byte (all messages are >= 6 bytes) *)
+        Gen.map2
+          (fun msg cut ->
+            let b = Wire.encode msg in
+            Bytes.sub b 0 (cut mod Bytes.length b))
+          base (Gen.nat ~max:10_000);
+        (* append trailing garbage *)
+        Gen.map2
+          (fun msg extra ->
+            let b = Wire.encode msg in
+            Bytes.cat b (Bytes.make (1 + extra) '\xee'))
+          base (Gen.nat ~max:16);
+        (* corrupt the magic byte *)
+        Gen.map2
+          (fun msg m ->
+            let b = Wire.encode msg in
+            Bytes.set_uint8 b 0 (if m = 0xB5 then 0 else m);
+            b)
+          base (Gen.nat ~max:255);
+        (* unsupported version *)
+        Gen.map2
+          (fun msg v ->
+            let b = Wire.encode msg in
+            Bytes.set_uint8 b 1 (if v = 1 then 0 else v);
+            b)
+          base (Gen.nat ~max:255);
+        (* unknown tag *)
+        Gen.map2
+          (fun msg t ->
+            let b = Wire.encode msg in
+            Bytes.set_uint8 b 2 (4 + (t mod 252));
+            b)
+          base (Gen.nat ~max:10_000);
+        (* out-of-range identifier: set the sign bit of an id word *)
+        Gen.map
+          (fun ids ->
+            let msg = Message.Push (Array.of_list ids) in
+            let b = Wire.encode msg in
+            Bytes.set_int64_be b 6
+              (Int64.logor 0x8000000000000000L (Bytes.get_int64_be b 6));
+            b)
+          (Gen.list ~min_len:1 ~max_len:20
+             (Gen.map Node_id.of_int (Gen.nat ~max:1000)));
+        (* declared count larger than the payload *)
+        Gen.map2
+          (fun msg bump ->
+            let b = Wire.encode msg in
+            let count = Bytes.get_uint16_be b 4 in
+            Bytes.set_uint16_be b 4 (min 0xFFFF (count + 1 + bump));
+            b)
+          base (Gen.nat ~max:1000);
+      ]
+  in
+  mutate
+
+let prop_malformed_rejected =
+  Check.prop ~name:"malformed buffers are rejected" ~count:10_000
+    ~print:Print.bytes_hex malformed_gen
+    (fun buf ->
+      match Wire.decode buf with
+      | Error _ -> true
+      | Ok _ -> false
+      | exception _ -> false)
+
+(* Any strict prefix of a valid datagram is Truncated (the declared
+   count pins the exact length, so no prefix can re-parse as valid). *)
+let prop_prefix_truncated =
+  Check.prop ~name:"strict prefixes decode to Truncated"
+    ~print:(Print.pair print_message Print.int)
+    (Gen.pair (Gens.message ~max_ids:20 ()) (Gen.nat ~max:10_000))
+    (fun (msg, cut) ->
+      let b = Wire.encode msg in
+      let prefix = Bytes.sub b 0 (cut mod Bytes.length b) in
+      match Wire.decode prefix with
+      | Error Wire.Truncated -> true
+      | Error _ | Ok _ -> false)
 
 let () =
   Alcotest.run "codec"
@@ -122,9 +299,18 @@ let () =
           Alcotest.test_case "rejects negative id" `Quick
             codec_rejects_negative_id;
           Alcotest.test_case "decode_sub" `Quick codec_decode_sub;
+          Alcotest.test_case "decode_sub overflow" `Quick
+            codec_decode_sub_overflow;
           Alcotest.test_case "too many ids" `Quick codec_too_many_ids;
+          Alcotest.test_case "corpus replay" `Quick codec_corpus;
         ] );
-      ( "properties",
-        List.map QCheck_alcotest.to_alcotest
-          [ prop_decode_total; prop_round_trip; prop_bitflip_safe ] );
+      Check.suite "properties"
+        [
+          prop_round_trip;
+          prop_encoded_size;
+          prop_decode_total;
+          prop_bitflip_safe;
+          prop_malformed_rejected;
+          prop_prefix_truncated;
+        ];
     ]

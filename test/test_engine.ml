@@ -66,9 +66,15 @@ let queue_interleaved () =
   in
   drain ()
 
+module Check = Basalt_check.Check
+module Gen = Check.Gen
+module Gens = Check.Gens
+module Print = Check.Print
+
 let prop_queue_sorted =
-  QCheck.Test.make ~name:"pops are sorted by time" ~count:200
-    QCheck.(list (float_bound_inclusive 1000.0))
+  Check.prop ~name:"pops are sorted by time" ~count:200
+    ~print:(Print.list Print.float)
+    (Gen.list ~max_len:60 (Gen.float_range 0.0 1000.0))
     (fun times ->
       let q = Event_queue.create () in
       List.iter (fun t -> Event_queue.push q ~time:t ()) times;
@@ -82,8 +88,9 @@ let prop_queue_sorted =
 (* Model-based test: interleave pushes and pops, comparing against a
    sorted-list reference implementation (stable on ties). *)
 let prop_queue_model =
-  QCheck.Test.make ~name:"queue matches sorted-list reference" ~count:300
-    QCheck.(list (pair bool (int_bound 100)))
+  Check.prop ~name:"queue matches sorted-list reference" ~count:300
+    ~print:(Print.list (Print.pair Print.bool Print.int))
+    (Gen.list ~max_len:60 (Gen.pair Gen.bool (Gen.nat ~max:100)))
     (fun ops ->
       let q = Event_queue.create () in
       (* reference: list of (time, seq, value), kept sorted *)
@@ -282,6 +289,87 @@ let engine_n () =
   let e = fresh_engine 5 in
   check_int "n" 5 (Engine.n e)
 
+(* --- schedule-invariant properties (DESIGN.md §9) --- *)
+
+let print_latency = function
+  | Link.Latency.Zero -> "Zero"
+  | Link.Latency.Constant d -> Printf.sprintf "Constant %g" d
+  | Link.Latency.Uniform { lo; hi } -> Printf.sprintf "Uniform{%g,%g}" lo hi
+
+let print_loss = function
+  | Link.Loss.None -> "None"
+  | Link.Loss.Bernoulli p -> Printf.sprintf "Bernoulli %g" p
+
+let print_schedule (s : Gens.schedule) =
+  Printf.sprintf "{nodes=%d; registered=%s; sends=%s; horizon=%g}" s.Gens.nodes
+    (Print.list Print.bool s.Gens.registered)
+    (Print.list (Print.triple Print.float Print.int Print.int) s.Gens.sends)
+    s.Gens.horizon
+
+let workload_gen =
+  Gen.triple (Gens.schedule ~max_nodes:8 ~max_sends:40) Gens.latency Gens.loss
+
+let print_workload = Print.triple print_schedule print_latency print_loss
+
+(* Replays a generated workload: per-node handlers where [registered],
+   every send submitted from a timer at its scheduled time. *)
+let run_workload ?(on_event = fun _e -> ()) (sched, latency, loss) =
+  let rng = Basalt_prng.Rng.create ~seed:0xC4EC4 in
+  let e : unit Engine.t =
+    Engine.create ~latency ~loss ~rng ~n:sched.Gens.nodes ()
+  in
+  List.iteri
+    (fun i registered ->
+      if registered then Engine.register e i (fun ~from:_ () -> on_event e))
+    sched.Gens.registered;
+  List.iter
+    (fun (t, src, dst) ->
+      Engine.schedule e ~delay:t (fun () ->
+          on_event e;
+          Engine.send e ~src ~dst ()))
+    sched.Gens.sends;
+  Engine.run_until e sched.Gens.horizon;
+  e
+
+(* Message conservation: loss is decided at send time, an arrival
+   without a handler is [ignored], everything else reaches a handler. *)
+let prop_engine_conservation =
+  Check.prop ~name:"sent = delivered + dropped + ignored" ~count:100
+    ~print:print_workload workload_gen
+    (fun ((sched, _, _) as w) ->
+      let e = run_workload w in
+      let s = Engine.stats e in
+      s.Engine.sent = List.length sched.Gens.sends
+      && s.Engine.sent = s.Engine.delivered + s.Engine.dropped + s.Engine.ignored)
+
+(* Event accounting: every executed event is a timer firing or a
+   message arrival (delivered or ignored); drops never consume an
+   event because lost messages are never enqueued. *)
+let prop_engine_event_accounting =
+  Check.prop ~name:"events = timers + delivered + ignored" ~count:100
+    ~print:print_workload workload_gen
+    (fun ((sched, _, _) as w) ->
+      let e = run_workload w in
+      let s = Engine.stats e in
+      let timers = List.length sched.Gens.sends in
+      s.Engine.events = timers + s.Engine.delivered + s.Engine.ignored)
+
+(* The virtual clock never runs backwards across any callback, and
+   [run_until h] leaves the clock exactly at [h]. *)
+let prop_engine_monotone_clock =
+  Check.prop ~name:"clock is monotone and lands on the horizon" ~count:100
+    ~print:print_workload workload_gen
+    (fun ((sched, _, _) as w) ->
+      let last = ref neg_infinity in
+      let monotone = ref true in
+      let e =
+        run_workload w ~on_event:(fun e ->
+            let t = Engine.now e in
+            if t < !last then monotone := false;
+            last := t)
+      in
+      !monotone && Engine.now e = sched.Gens.horizon)
+
 let () =
   Alcotest.run "engine"
     [
@@ -292,8 +380,8 @@ let () =
           Alcotest.test_case "size" `Quick queue_size;
           Alcotest.test_case "peek" `Quick queue_peek;
           Alcotest.test_case "interleaved" `Quick queue_interleaved;
-          QCheck_alcotest.to_alcotest prop_queue_sorted;
-          QCheck_alcotest.to_alcotest prop_queue_model;
+          Check.to_alcotest ~suite:"event_queue" prop_queue_sorted;
+          Check.to_alcotest ~suite:"event_queue" prop_queue_model;
         ] );
       ( "link",
         [
@@ -320,4 +408,10 @@ let () =
           Alcotest.test_case "latency" `Quick engine_latency;
           Alcotest.test_case "n" `Quick engine_n;
         ] );
+      Check.suite "schedule properties"
+        [
+          prop_engine_conservation;
+          prop_engine_event_accounting;
+          prop_engine_monotone_clock;
+        ];
     ]

@@ -249,9 +249,13 @@ let generators_preferential () =
     (Printf.sprintf "heavy tail (pa=%d vs kout=%d)" pa_max ko_max)
     true (pa_max > 2 * ko_max)
 
+module Check = Basalt_check.Check
+
 let prop_scc_refines_weak =
-  QCheck.Test.make ~name:"SCCs refine weak components" ~count:100
-    QCheck.(list_of_size (Gen.int_range 0 30) (pair (int_bound 9) (int_bound 9)))
+  Check.prop ~name:"SCCs refine weak components" ~count:100
+    ~print:
+      Check.Print.(list (pair int int))
+    Check.Gen.(list ~max_len:30 (pair (nat ~max:9) (nat ~max:9)))
     (fun edges ->
       let adj = Array.make 10 [] in
       List.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) edges;
@@ -309,7 +313,7 @@ let () =
           Alcotest.test_case "scc cycle" `Quick scc_cycle;
           Alcotest.test_case "scc dag" `Quick scc_dag;
           Alcotest.test_case "scc mixed" `Quick scc_mixed;
-          QCheck_alcotest.to_alcotest prop_scc_refines_weak;
+          Check.to_alcotest ~suite:"components" prop_scc_refines_weak;
         ] );
       ( "generators",
         [

@@ -250,16 +250,22 @@ let prefix_rank_prepared_agrees () =
       (Rank.rank_prepared s (Rank.prepare prefix_backend id))
   done
 
+module Check = Basalt_check.Check
+module Gen = Check.Gen
+module Print = Check.Print
+
 let prop_rank_prepared_equal =
-  QCheck.Test.make ~name:"rank_prepared = rank (cheap)" ~count:1000
-    QCheck.(pair small_int small_nat)
+  Check.prop ~name:"rank_prepared = rank (cheap)" ~count:1000
+    ~print:(Print.pair Print.int Print.int)
+    Gen.(pair (nat ~max:10_000) (nat ~max:10_000))
     (fun (sv, id) ->
       let seed = Rank.of_int Rank.Cheap sv in
       Rank.rank seed id = Rank.rank_prepared seed (Rank.prepare Rank.Cheap id))
 
 let prop_mix63_nonneg =
-  QCheck.Test.make ~name:"mix63 non-negative" ~count:1000 QCheck.int (fun x ->
-      Mix.mix63 x >= 0)
+  Check.prop ~name:"mix63 non-negative" ~count:1000 ~print:Print.int
+    (Gen.int_range min_int max_int)
+    (fun x -> Mix.mix63 x >= 0)
 
 let () =
   Alcotest.run "hashing"
@@ -304,7 +310,5 @@ let () =
           Alcotest.test_case "prefix-diverse prepared agrees" `Quick
             prefix_rank_prepared_agrees;
         ] );
-      ( "properties",
-        List.map QCheck_alcotest.to_alcotest
-          [ prop_rank_prepared_equal; prop_mix63_nonneg ] );
+      Check.suite "properties" [ prop_rank_prepared_equal; prop_mix63_nonneg ];
     ]

@@ -234,6 +234,90 @@ let render_lists_instruments () =
       check_bool (Printf.sprintf "render mentions %s" needle) true found)
     [ "basalt.rounds"; "basalt.max_msg_bytes"; "basalt.msg_bytes"; "30" ]
 
+(* --- properties: order-independence of commutative instrument ops ---
+
+   Instrument values (and therefore snapshots, renders, and trace
+   columns) must depend only on the multiset of operations applied, not
+   on their interleaving — that is what keeps `-j N` traces
+   bit-identical (DESIGN.md §8).  Operands are integer-valued so float
+   accumulation is exact and the comparison can be byte-for-byte. *)
+
+module Check = Basalt_check.Check
+module Gen = Check.Gen
+module Print = Check.Print
+
+type op = Incr | Add of int | Set_max of int | Observe of int
+
+let print_op = function
+  | Incr -> "Incr"
+  | Add n -> Printf.sprintf "Add %d" n
+  | Set_max n -> Printf.sprintf "Set_max %d" n
+  | Observe n -> Printf.sprintf "Observe %d" n
+
+let op_gen =
+  Gen.oneof
+    [
+      Gen.return Incr;
+      Gen.map (fun n -> Add n) (Gen.nat ~max:100);
+      Gen.map (fun n -> Set_max n) (Gen.nat ~max:1000);
+      Gen.map (fun n -> Observe n) (Gen.nat ~max:1000);
+    ]
+
+let ops_gen = Gen.list ~max_len:40 op_gen
+
+let apply_ops ops =
+  let t = Obs.create () in
+  let c = Obs.counter t "basalt.rounds" in
+  let g = Obs.gauge t "basalt.max_msg_bytes" in
+  let h = Obs.histogram t "basalt.msg_bytes" in
+  List.iter
+    (function
+      | Incr -> Obs.Counter.incr c
+      | Add n -> Obs.Counter.add c n
+      | Set_max n -> Obs.Gauge.set_max g (float_of_int n)
+      | Observe n -> Obs.Histogram.observe h (float_of_int n))
+    ops;
+  ( Obs.render t,
+    Obs.snapshot t,
+    Obs.Histogram.bucket_counts h,
+    Obs.Histogram.sum h )
+
+let prop_snapshot_order_independent =
+  Check.prop ~name:"equal op multisets render byte-identically" ~count:150
+    ~print:(Print.list print_op) ops_gen
+    (fun ops -> apply_ops ops = apply_ops (List.rev ops))
+
+(* Reference model: instrument values are simple folds over the ops. *)
+let prop_snapshot_matches_model =
+  Check.prop ~name:"instrument values match a fold over the ops" ~count:150
+    ~print:(Print.list print_op) ops_gen
+    (fun ops ->
+      let _, snapshot, buckets, _ = apply_ops ops in
+      let counter =
+        List.fold_left
+          (fun acc -> function Incr -> acc + 1 | Add n -> acc + n | _ -> acc)
+          0 ops
+      in
+      let gauge =
+        List.fold_left
+          (fun acc -> function
+            | Set_max n -> Float.max acc (float_of_int n) | _ -> acc)
+          0.0 ops
+      in
+      let observes =
+        List.fold_left
+          (fun acc -> function Observe _ -> acc + 1 | _ -> acc)
+          0 ops
+      in
+      (* snapshot carries counters and gauges; histograms expose their
+         totals through bucket counts. *)
+      snapshot
+      = [
+          ("basalt.rounds", float_of_int counter);
+          ("basalt.max_msg_bytes", gauge);
+        ]
+      && Array.fold_left ( + ) 0 buckets = observes)
+
 let () =
   Alcotest.run "obs"
     [
@@ -275,4 +359,6 @@ let () =
           Alcotest.test_case "lists instruments" `Quick
             render_lists_instruments;
         ] );
+      Check.suite "properties"
+        [ prop_snapshot_order_independent; prop_snapshot_matches_model ];
     ]

@@ -171,6 +171,86 @@ let map_rng_streams_are_independent () =
 let recommended_domains_positive () =
   check_bool "at least one" true (Pool.recommended_domains () >= 1)
 
+(* --- properties: List.map equivalence over randomized batches ---
+
+   Each case spawns its own short-lived pools, so the budgets stay small
+   (a pool spawn is ~1 ms; these remain the cheap end of the suite). *)
+
+module Check = Basalt_check.Check
+module Gen = Check.Gen
+module Print = Check.Print
+
+(* Batch sizes hug the interesting edges: empty, below the domain
+   count, and comfortably above it. *)
+let batch_gen = Gen.list ~max_len:12 (Gen.int_range (-1000) 1000)
+
+let prop_map_domain_count_invariant =
+  Check.prop ~name:"map agrees at j=1 and j=4 (incl. tiny batches)"
+    ~count:30 ~print:(Print.list Print.int) batch_gen
+    (fun xs ->
+      let f x = (x * 31) + 7 in
+      let expected = List.map f xs in
+      let j1 = Pool.with_pool ~domains:1 (fun pool -> Pool.map ~pool f xs) in
+      let j4 = Pool.with_pool ~domains:4 (fun pool -> Pool.map ~pool f xs) in
+      expected = j1 && expected = j4)
+
+let prop_map_rng_domain_count_invariant =
+  Check.prop ~name:"map_rng is bit-identical at j=1 and j=4" ~count:30
+    ~print:(Print.pair Print.int (Print.list Print.int))
+    (Gen.pair (Gen.nat ~max:10_000) batch_gen)
+    (fun (seed, xs) ->
+      let draw rng x = (x, Rng.int rng 1_000_000) in
+      let sequential = Pool.map_rng ~rng:(Rng.create ~seed) draw xs in
+      let parallel =
+        Pool.with_pool ~domains:4 (fun pool ->
+            Pool.map_rng ~pool ~rng:(Rng.create ~seed) draw xs)
+      in
+      sequential = parallel)
+
+(* Nested map_rng: an outer parallel fan-out whose tasks themselves call
+   map_rng (sequential fallback) must equal the fully sequential run. *)
+let prop_nested_map_rng_deterministic =
+  Check.prop ~name:"nested map_rng matches sequential" ~count:20
+    ~print:(Print.pair Print.int (Print.list Print.int))
+    (Gen.pair (Gen.nat ~max:10_000)
+       (Gen.list ~max_len:6 (Gen.nat ~max:50)))
+    (fun (seed, xs) ->
+      let inner rng x = List.init 3 (fun i -> Rng.int rng (x + i + 1)) in
+      let outer pool rng x =
+        Pool.map_rng ?pool ~rng (fun rng y -> inner rng y) [ x; x + 1 ]
+      in
+      let sequential =
+        Pool.map_rng ~rng:(Rng.create ~seed) (outer None) xs
+      in
+      let parallel =
+        Pool.with_pool ~domains:4 (fun pool ->
+            Pool.map_rng ~pool ~rng:(Rng.create ~seed)
+              (outer (Some pool)) xs)
+      in
+      sequential = parallel)
+
+(* The leftmost failing element's exception wins, regardless of where
+   later failures sit in the batch. *)
+let prop_leftmost_exception =
+  Check.prop ~name:"leftmost exception wins" ~count:30
+    ~print:(Print.list Print.bool)
+    (Gen.such_that
+       (List.exists Fun.id)
+       (Gen.list ~min_len:1 ~max_len:12 Gen.bool))
+    (fun flags ->
+      let tagged = List.mapi (fun i fail -> (i, fail)) flags in
+      let expected_idx =
+        fst (List.find (fun (_, fail) -> fail) tagged)
+      in
+      match
+        Pool.with_pool ~domains:4 (fun pool ->
+            Pool.map ~pool
+              (fun (i, fail) -> if fail then raise (Boom i) else i)
+              tagged)
+      with
+      | _ -> false
+      | exception Boom i -> i = expected_idx)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -215,4 +295,11 @@ let () =
           Alcotest.test_case "independent streams" `Quick
             map_rng_streams_are_independent;
         ] );
+      Check.suite "properties"
+        [
+          prop_map_domain_count_invariant;
+          prop_map_rng_domain_count_invariant;
+          prop_nested_map_rng_deterministic;
+          prop_leftmost_exception;
+        ];
     ]

@@ -306,33 +306,64 @@ let zipf_sample_range_and_skew () =
   let p0 = Zipf.probability z 0 in
   check_bool "rank-0 frequency matches" true (Float.abs (freq -. p0) < 0.02)
 
-(* --- QCheck properties --- *)
+(* --- lib/check properties --- *)
+
+module Check = Basalt_check.Check
+module Gen = Check.Gen
+module Print = Check.Print
 
 let prop_int_in_bounds =
-  QCheck.Test.make ~name:"Rng.int always within bounds" ~count:1000
-    QCheck.(pair small_int (int_range 1 1000))
+  Check.prop ~name:"Rng.int always within bounds" ~count:1000
+    ~print:(Print.pair Print.int Print.int)
+    Gen.(pair (nat ~max:10_000) (int_range 1 1000))
     (fun (seed, bound) ->
       let t = Rng.create ~seed in
       let x = Rng.int t bound in
       x >= 0 && x < bound)
 
 let prop_sample_indices_distinct =
-  QCheck.Test.make ~name:"sample_indices always distinct" ~count:300
-    QCheck.(triple small_int (int_range 0 200) (int_range 0 200))
+  Check.prop ~name:"sample_indices always distinct" ~count:300
+    ~print:(Print.triple Print.int Print.int Print.int)
+    Gen.(triple (nat ~max:10_000) (nat ~max:200) (nat ~max:200))
     (fun (seed, k, n) ->
       let t = Rng.create ~seed in
       let s = Rng.sample_indices t ~k ~n in
       distinct_ints s && Array.length s = min k n)
 
 let prop_shuffle_permutation =
-  QCheck.Test.make ~name:"shuffle is a permutation" ~count:300
-    QCheck.(pair small_int (list small_int))
+  Check.prop ~name:"shuffle is a permutation" ~count:300
+    ~print:(Print.pair Print.int (Print.list Print.int))
+    Gen.(pair (nat ~max:10_000) (list ~max_len:40 (int_range (-1000) 1000)))
     (fun (seed, l) ->
       let t = Rng.create ~seed in
       let a = Array.of_list l in
       let before = List.sort Int.compare l in
       Rng.shuffle_in_place t a;
       List.sort Int.compare (Array.to_list a) = before)
+
+(* Distribution sanity for the streams every generator in lib/check
+   draws from: a chi-squared-style bound on bucket counts.  Uses a
+   pinned per-case seed, so the statistic is exact and deterministic. *)
+let prop_int_buckets_balanced =
+  Check.prop ~name:"Rng.int buckets roughly balanced" ~count:20
+    ~print:(Print.pair Print.int Print.int)
+    Gen.(pair (nat ~max:10_000) (int_range 2 16))
+    (fun (seed, buckets) ->
+      let t = Rng.create ~seed:(seed + 7919) in
+      let draws = 4000 in
+      let counts = Array.make buckets 0 in
+      for _ = 1 to draws do
+        let x = Rng.int t buckets in
+        counts.(x) <- counts.(x) + 1
+      done;
+      let expected = float_of_int draws /. float_of_int buckets in
+      Array.for_all
+        (fun c ->
+          let d = Float.abs (float_of_int c -. expected) in
+          (* 6 sigma for a binomial bucket: far beyond test flakiness,
+             still catches a broken generator instantly. *)
+          d < 6.0 *. sqrt expected)
+        counts)
 
 let () =
   Alcotest.run "prng"
@@ -387,7 +418,11 @@ let () =
           Alcotest.test_case "sample range and skew" `Slow
             zipf_sample_range_and_skew;
         ] );
-      ( "properties",
-        List.map QCheck_alcotest.to_alcotest
-          [ prop_int_in_bounds; prop_sample_indices_distinct; prop_shuffle_permutation ] );
+      Check.suite "properties"
+        [
+          prop_int_in_bounds;
+          prop_sample_indices_distinct;
+          prop_shuffle_permutation;
+          prop_int_buckets_balanced;
+        ];
     ]

@@ -114,18 +114,40 @@ let rps_null () =
   check_bool "no samples" true (s.Rps.sample_tick () = []);
   check_int "empty view" 0 (Array.length (s.Rps.current_view ()))
 
+module Check = Basalt_check.Check
+module Gen = Check.Gen
+module Print = Check.Print
+
+let print_ids = Print.list Print.int
+let small_nats = Gen.list ~max_len:40 (Gen.nat ~max:100)
+
 let prop_distinct_is_distinct =
-  QCheck.Test.make ~name:"distinct removes all duplicates" ~count:300
-    QCheck.(list small_nat)
+  Check.prop ~name:"distinct removes all duplicates" ~count:300
+    ~print:print_ids small_nats
     (fun l ->
       let view = Array.of_list (List.map Node_id.of_int l) in
       let d = View_ops.distinct view in
       let ints = Array.to_list (Array.map Node_id.to_int d) in
       List.sort_uniq Int.compare ints = List.sort Int.compare ints)
 
+let prop_distinct_preserves_first_occurrence =
+  Check.prop ~name:"distinct keeps first occurrences in order" ~count:300
+    ~print:print_ids small_nats
+    (fun l ->
+      let view = Array.of_list (List.map Node_id.of_int l) in
+      let d = Array.to_list (Array.map Node_id.to_int (View_ops.distinct view)) in
+      let rec first_occurrences seen = function
+        | [] -> []
+        | x :: rest ->
+            if List.mem x seen then first_occurrences seen rest
+            else x :: first_occurrences (x :: seen) rest
+      in
+      d = first_occurrences [] l)
+
 let prop_subset_members =
-  QCheck.Test.make ~name:"random_subset returns members" ~count:300
-    QCheck.(pair small_int (list small_nat))
+  Check.prop ~name:"random_subset returns members" ~count:300
+    ~print:(Print.pair Print.int print_ids)
+    (Gen.pair (Gen.nat ~max:10_000) small_nats)
     (fun (seed, l) ->
       let rng = Basalt_prng.Rng.create ~seed in
       let view = Array.of_list (List.map Node_id.of_int l) in
@@ -162,7 +184,10 @@ let () =
         ] );
       ( "rps",
         [ Alcotest.test_case "null sampler" `Quick rps_null ] );
-      ( "properties",
-        List.map QCheck_alcotest.to_alcotest
-          [ prop_distinct_is_distinct; prop_subset_members ] );
+      Check.suite "properties"
+        [
+          prop_distinct_is_distinct;
+          prop_distinct_preserves_first_occurrence;
+          prop_subset_members;
+        ];
     ]
