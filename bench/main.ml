@@ -23,6 +23,78 @@ module Sweep = Basalt_sim.Sweep
 
 let scale = Scale.Quick
 
+(* --- CLI -------------------------------------------------------------- *)
+
+(* [--only G1,G2] runs just the micro-benchmark groups whose names start
+   with one of the given prefixes (and skips the part-1 figure
+   regeneration); [--json FILE] additionally writes the measured ns/run
+   numbers in the machine-readable form `tool/bench_gate` consumes. *)
+
+let only : string list option ref = ref None
+let json_path : string option ref = ref None
+let json_acc : (string * (string * float) list) list ref = ref []
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--only" :: spec :: rest ->
+        only := Some (List.map String.trim (String.split_on_char ',' spec));
+        go rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        go rest
+    | arg :: _ ->
+        Printf.eprintf
+          "bench: unknown argument %s\n\
+           usage: bench [--only GROUP,GROUP,...] [--json FILE]\n"
+          arg;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let group_selected name =
+  match !only with
+  | None -> true
+  | Some sels ->
+      List.exists
+        (fun sel ->
+          sel <> ""
+          && String.length name >= String.length sel
+          && String.sub name 0 (String.length sel) = sel)
+        sels
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"unit\": \"ns/run\",\n  \"groups\": {\n";
+  let groups = List.rev !json_acc in
+  List.iteri
+    (fun gi (group, rows) ->
+      Printf.fprintf oc "    \"%s\": {\n" (json_escape group);
+      List.iteri
+        (fun ri (test_name, ns) ->
+          Printf.fprintf oc "      \"%s\": %s%s\n" (json_escape test_name)
+            (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
+            (if ri = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "    }%s\n"
+        (if gi = List.length groups - 1 then "" else ","))
+    groups;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc
+
 (* --- Part 1: paper series ------------------------------------------- *)
 
 let regenerate_figures () =
@@ -45,7 +117,7 @@ let regenerate_figures () =
 
 let ns_of_run = function Some (e :: _) -> e | Some [] | None -> Float.nan
 
-let run_group ~name tests =
+let run_group_now ~name tests =
   let grouped = Test.make_grouped ~name ~fmt:"%s/%s" tests in
   let cfg =
     Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) ~stabilize:false ()
@@ -74,7 +146,11 @@ let run_group ~name tests =
       in
       Printf.printf "   %-48s %s/run\n" test_name human)
     rows;
+  json_acc := (name, rows) :: !json_acc;
   print_newline ()
+
+let run_group ~name tests =
+  if group_selected name then run_group_now ~name tests
 
 (* Micro run: a small but complete simulated experiment (the unit of work
    behind every figure). *)
@@ -236,17 +312,21 @@ let codec_ops () =
    host j=4 is expected to match j=1 (the pool adds little overhead but
    no parallelism); the speedup target lives on multi-core CI. *)
 let sweep_throughput () =
-  let scenario = micro_scenario () in
-  let seeds = List.init 8 (fun i -> i + 1) in
-  let pool = Pool.create ~domains:4 () in
-  run_group ~name:"sweep throughput (8-seed batch)"
-    [
-      Test.make ~name:"j=1"
-        (Staged.stage (fun () -> ignore (Sweep.run_seeds scenario ~seeds)));
-      Test.make ~name:"j=4"
-        (Staged.stage (fun () -> ignore (Sweep.run_seeds ~pool scenario ~seeds)));
-    ];
-  Pool.shutdown pool
+  (* Guarded as a whole so a filtered run never spawns domains. *)
+  if group_selected "sweep throughput (8-seed batch)" then begin
+    let scenario = micro_scenario () in
+    let seeds = List.init 8 (fun i -> i + 1) in
+    let pool = Pool.create ~domains:4 () in
+    run_group ~name:"sweep throughput (8-seed batch)"
+      [
+        Test.make ~name:"j=1"
+          (Staged.stage (fun () -> ignore (Sweep.run_seeds scenario ~seeds)));
+        Test.make ~name:"j=4"
+          (Staged.stage (fun () ->
+               ignore (Sweep.run_seeds ~pool scenario ~seeds)));
+      ];
+    Pool.shutdown pool
+  end
 
 (* Observability overhead (DESIGN.md §8): the same update_sample unit as
    "core ops", once against the disabled sink (the default — instrument
@@ -335,8 +415,11 @@ let ablations () =
     ]
 
 let () =
-  regenerate_figures ();
-  print_endline "=== Part 2: micro-benchmarks (Bechamel, OLS ns/run) ===";
+  parse_args ();
+  if !only = None then begin
+    regenerate_figures ();
+    print_endline "=== Part 2: micro-benchmarks (Bechamel, OLS ns/run) ==="
+  end;
   fig_groups ();
   core_ops ();
   graph_ops ();
@@ -344,4 +427,5 @@ let () =
   sweep_throughput ();
   obs_overhead ();
   ablations ();
+  (match !json_path with Some path -> write_json path | None -> ());
   print_endline "bench: done"

@@ -56,6 +56,32 @@ let report_arg =
     value & opt float 5.0
     & info [ "report-every" ] ~doc:"Status print interval in seconds.")
 
+let loss_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "loss" ] ~docv:"P"
+        ~doc:
+          "Self-inject outgoing datagram loss with probability $(docv) (0 to \
+           1): soak a localhost cluster under packet loss without root or \
+           $(b,tc).")
+
+let delay_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "delay" ] ~docv:"SECONDS"
+        ~doc:
+          "Self-inject a uniform outgoing delay in [0, $(docv)) seconds on \
+           every datagram that survives $(b,--loss).")
+
+let evict_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "evict-after" ] ~docv:"ROUNDS"
+        ~doc:
+          "Evict peers whose pulls stay unanswered for more than $(docv) \
+           rounds (0 disables eviction).  Retransmissions re-record the \
+           probe, so eviction and the retry policy stay coupled.")
+
 let metrics_arg =
   Arg.(
     value & opt float 0.0
@@ -64,18 +90,24 @@ let metrics_arg =
           "Dump the lib/obs instrument registry every $(docv) seconds (0 = \
            only on SIGUSR1 and at exit).")
 
-let main listen peers v tau rho duration seed report_every metrics_every =
+let main listen peers v tau rho duration seed loss delay evict_after
+    report_every metrics_every =
   let seed =
     if seed = 0 then int_of_float (Unix.gettimeofday () *. 1000.0) land 0xFFFFFF
     else seed
   in
-  let config = Basalt_core.Config.make ~v ~tau ~rho () in
+  let config =
+    Basalt_core.Config.make ~v ~tau ~rho
+      ?evict_after_rounds:(if evict_after > 0 then Some evict_after else None)
+      ()
+  in
   let loop = Event_loop.create ~clock:Unix.gettimeofday () in
   (* The daemon is the allowlisted real-clock boundary (lint D2/D8): the
      registry's trace clock is the event loop's wall clock. *)
   let obs = Basalt_obs.Obs.create ~clock:(fun () -> Event_loop.now loop) () in
   let node =
-    Udp_node.create ~config ~obs ~loop ~listen ~bootstrap:peers ~seed ()
+    Udp_node.create ~config ~obs ~inject_loss:loss ~inject_delay:delay ~loop
+      ~listen ~bootstrap:peers ~seed ()
   in
   let dump_metrics () =
     Printf.printf "-- metrics @ %.3f\n%s%!" (Event_loop.now loop)
@@ -85,9 +117,12 @@ let main listen peers v tau rho duration seed report_every metrics_every =
     (Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump_metrics ())));
   if metrics_every > 0.0 then
     Event_loop.every loop ~interval:metrics_every (fun () -> dump_metrics ());
-  Printf.printf "basalt-node listening on %s (v=%d tau=%gs rho=%g seed=%d)\n%!"
+  Printf.printf
+    "basalt-node listening on %s (v=%d tau=%gs rho=%g seed=%d loss=%g \
+     delay=%gs)\n\
+     %!"
     (Endpoint.to_string (Udp_node.endpoint node))
-    v tau rho seed;
+    v tau rho seed loss delay;
   Event_loop.every loop ~interval:report_every (fun () ->
       let stats = Udp_node.stats node in
       let view = Udp_node.view node in
@@ -110,9 +145,9 @@ let main listen peers v tau rho duration seed report_every metrics_every =
       flush stdout);
   Event_loop.run_for loop duration;
   let stats = Udp_node.stats node in
-  Printf.printf "done: %d datagrams in, %d out, %d decode errors\n"
+  Printf.printf "done: %d datagrams in, %d out, %d decode errors, %d retries\n"
     stats.Udp_node.datagrams_in stats.Udp_node.datagrams_out
-    stats.Udp_node.decode_errors;
+    stats.Udp_node.decode_errors stats.Udp_node.retries;
   dump_metrics ();
   Udp_node.close node
 
@@ -124,6 +159,7 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ listen_arg $ peers_arg $ view_size_arg $ tau_arg $ rho_arg
-      $ duration_arg $ seed_arg $ report_arg $ metrics_arg)
+      $ duration_arg $ seed_arg $ loss_arg $ delay_arg $ evict_arg $ report_arg
+      $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -26,9 +26,10 @@ let csv_arg =
 let trace_arg =
   let doc =
     "Write a deterministic JSONL event trace (lib/obs, DESIGN.md \xc2\xa78) to \
-     $(docv).  Supported by $(b,cost) and $(b,timeline), whose tables then \
-     also report instrument-sourced metrics; other targets warn and ignore \
-     the flag (sweeps would record millions of events)."
+     $(docv).  Supported by $(b,cost), $(b,timeline) and \
+     $(b,robustness-net), whose tables then also report \
+     instrument-sourced metrics; other targets warn and ignore the flag \
+     (sweeps would record millions of events)."
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
@@ -51,7 +52,9 @@ let warn_no_trace cmd_name = function
   | None -> ()
   | Some _ ->
       Printf.eprintf
-        "repro %s: --trace is only supported by cost and timeline; ignoring\n%!"
+        "repro %s: --trace is only supported by cost, timeline and \
+         robustness-net; ignoring\n\
+         %!"
         cmd_name
 
 (* jobs = 1 avoids the pool entirely (no domains are ever spawned), so
@@ -119,6 +122,11 @@ let sybil ~scale ~csv_dir ~pool () =
 let robustness ~scale ~csv_dir ~pool () =
   Robustness.print ~scale ?csv:(csv_path csv_dir "robustness") ?pool ()
 
+let robustness_net ~scale ~csv_dir ~trace ~pool () =
+  Robustness_net.print ~scale
+    ?csv:(csv_path csv_dir "robustness_net")
+    ?trace ?pool ()
+
 let uniformity ~scale ~csv_dir ~pool () =
   Uniformity.print ~scale ?csv:(csv_path csv_dir "uniformity") ?pool ()
 
@@ -141,6 +149,7 @@ let extensions ~scale ~csv_dir ~pool () =
   churn ~scale ~csv_dir ~pool ();
   sybil ~scale ~csv_dir ~pool ();
   robustness ~scale ~csv_dir ~pool ();
+  robustness_net ~scale ~csv_dir ~trace:None ~pool ();
   uniformity ~scale ~csv_dir ~pool ();
   dag ~scale ~csv_dir ~pool ()
 
@@ -177,6 +186,11 @@ let cmds =
     cmd "robustness"
       ~doc:"Extension: resilience to message loss and latency jitter"
       (untraced "robustness" robustness);
+    cmd "robustness-net"
+      ~doc:
+        "Extension: convergence under fault plans (burst loss, partitions, \
+         duplication/reordering)"
+      robustness_net;
     cmd "uniformity" ~doc:"Extension: sample-stream diversity statistics"
       (untraced "uniformity" uniformity);
     cmd "dag" ~doc:"Extension: Avalanche DAG consensus with a double-spend"

@@ -160,12 +160,16 @@ let evict_peer t peer =
     t.slots;
   update_sample t snapshot
 
-let run_eviction t limit =
+let run_eviction t ~limit =
+  (* Evicting consumes PRNG draws (slot resets), so the eviction order
+     must not depend on [Hashtbl] iteration order — sort by node id to
+     keep executions a pure function of the protocol history. *)
   let expired =
-    Hashtbl.fold
-      (fun peer probed acc ->
-        if t.rounds - probed > limit then peer :: acc else acc)
-      t.probes []
+    List.sort Int.compare
+      (Hashtbl.fold
+         (fun peer probed acc ->
+           if t.rounds - probed > limit then peer :: acc else acc)
+         t.probes [])
   in
   List.iter
     (fun peer ->
@@ -173,21 +177,22 @@ let run_eviction t limit =
       evict_peer t (Node_id.of_int peer))
     expired
 
+let record_probe t peer =
+  let key = Node_id.to_int peer in
+  if not (Hashtbl.mem t.probes key) then Hashtbl.replace t.probes key t.rounds
+
 let on_round t =
   t.rounds <- t.rounds + 1;
   Obs.Counter.incr t.c_rounds;
   (match t.config.Config.evict_after_rounds with
-  | Some limit -> run_eviction t limit
+  | Some limit -> run_eviction t ~limit
   | None -> ());
   (match select_peer t with
   | Some p ->
       (* Record the probe before sending so that a reply — however fast —
          always clears it. *)
       (match t.config.Config.evict_after_rounds with
-      | Some _ ->
-          let key = Node_id.to_int p in
-          if not (Hashtbl.mem t.probes key) then
-            Hashtbl.replace t.probes key t.rounds
+      | Some _ -> record_probe t p
       | None -> ());
       Obs.Counter.incr t.c_pulls;
       t.send ~dst:p Message.Pull_request

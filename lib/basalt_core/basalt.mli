@@ -87,6 +87,22 @@ val evictions : t -> int
 (** [evictions t] counts slots reset by dead-peer eviction (always 0 when
     [evict_after_rounds] is [None]). *)
 
+val record_probe : t -> Basalt_proto.Node_id.t -> unit
+(** [record_probe t peer] marks the current round as the start of an
+    unanswered pull to [peer], unless an older probe is already pending
+    ({!on_round} does this before each [PULL]; transports with their own
+    retry machinery can record extra probes).  Any message from [peer]
+    clears the mark. *)
+
+val run_eviction : t -> limit:int -> unit
+(** [run_eviction t ~limit] evicts every peer whose oldest unanswered
+    probe is more than [limit] rounds old: all slots holding it are reset
+    and the rest of the view is re-offered to the freed slots.  Expired
+    peers are processed in ascending identifier order so that the PRNG
+    draws consumed by slot resets — and therefore the whole execution —
+    do not depend on hash-table iteration order.  Called by {!on_round}
+    when [evict_after_rounds] is set. *)
+
 val sampler :
   ?config:Config.t -> ?obs:Basalt_obs.Obs.t -> unit -> Basalt_proto.Rps.maker
 (** [sampler ?config ()] packages the protocol for the simulation

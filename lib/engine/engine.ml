@@ -1,14 +1,35 @@
 module Obs = Basalt_obs.Obs
+module Rng = Basalt_prng.Rng
 
 type 'msg event = Deliver of { src : int; dst : int; msg : 'msg } | Timer of (unit -> unit)
 
-type stats = { sent : int; delivered : int; dropped : int; ignored : int; events : int }
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  ignored : int;
+  events : int;
+  dup : int;
+  reordered : int;
+  partition_drops : int;
+}
+
+(* Per-directed-link fault state: a dedicated RNG stream plus the loss
+   model's channel state (Gilbert–Elliott burst phase).  The stream is
+   derived from the engine seed and the (src, dst) pair alone, so the
+   fault schedule of a link is a pure function of the scenario — not of
+   table-creation order or of traffic on other links. *)
+type link_state = { link_rng : Rng.t; loss_state : Link.Loss.state }
 
 type 'msg t = {
   queue : 'msg event Event_queue.t;
   handlers : (from:int -> 'msg -> unit) option array;
   latency : Link.Latency.t;
   loss : Link.Loss.t;
+  fault : Fault.t option;  (* None = legacy single-stream path *)
+  fault_salt : int64;
+  link_states : (int, link_state) Hashtbl.t;
+  legacy_loss_state : Link.Loss.state;
   rng : Basalt_prng.Rng.t;
   obs : Obs.t;
   kind_of : 'msg -> string;
@@ -17,12 +38,18 @@ type 'msg t = {
   c_dropped : Obs.Counter.t;
   c_ignored : Obs.Counter.t;
   c_timer_fires : Obs.Counter.t;
+  c_dup : Obs.Counter.t;
+  c_reordered : Obs.Counter.t;
+  c_partition_drops : Obs.Counter.t;
   mutable clock : float;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
   mutable ignored : int;
   mutable events : int;
+  mutable dup : int;
+  mutable reordered : int;
+  mutable partition_drops : int;
 }
 
 (* A strictly positive delivery delay even for the Zero latency model, so
@@ -30,15 +57,28 @@ type 'msg t = {
    that timer completes but before round [t + tau]. *)
 let min_delay = 1e-6
 
-let create ?(latency = Link.Latency.Zero) ?(loss = Link.Loss.None)
+let create ?(latency = Link.Latency.Zero) ?(loss = Link.Loss.None) ?fault
     ?(obs = Obs.disabled) ?(kind_of = fun _ -> "msg") ~rng ~n () =
   if n < 0 then invalid_arg "Engine.create: negative n";
+  let rng = Basalt_prng.Rng.split rng in
+  let fault =
+    match fault with Some f when not (Fault.is_none f) -> Some f | _ -> None
+  in
+  (* The salt is drawn only when a plan is active, so fault-free engines
+     consume exactly the PRNG stream they always did. *)
+  let fault_salt =
+    match fault with Some _ -> Basalt_prng.Rng.int64 rng | None -> 0L
+  in
   {
     queue = Event_queue.create ();
     handlers = Array.make n None;
     latency;
     loss;
-    rng = Basalt_prng.Rng.split rng;
+    fault;
+    fault_salt;
+    link_states = Hashtbl.create 64;
+    legacy_loss_state = Link.Loss.initial loss;
+    rng;
     obs;
     kind_of;
     c_sent = Obs.counter obs "engine.sent";
@@ -46,12 +86,18 @@ let create ?(latency = Link.Latency.Zero) ?(loss = Link.Loss.None)
     c_dropped = Obs.counter obs "engine.dropped";
     c_ignored = Obs.counter obs "engine.ignored";
     c_timer_fires = Obs.counter obs "engine.timer_fires";
+    c_dup = Obs.counter obs "engine.dup";
+    c_reordered = Obs.counter obs "engine.reordered";
+    c_partition_drops = Obs.counter obs "engine.partition_drops";
     clock = 0.0;
     sent = 0;
     delivered = 0;
     dropped = 0;
     ignored = 0;
     events = 0;
+    dup = 0;
+    reordered = 0;
+    partition_drops = 0;
   }
 
 let n t = Array.length t.handlers
@@ -62,23 +108,103 @@ let register t node handler =
     invalid_arg "Engine.register: node out of range";
   t.handlers.(node) <- Some handler
 
-let trace_msg t ev ~src ~dst msg =
+let trace_msg ?(extra = []) t ev ~src ~dst msg =
   Obs.trace t.obs ~name:ev
-    [ ("src", Obs.Int src); ("dst", Obs.Int dst); ("kind", Obs.Str (t.kind_of msg)) ]
+    (( "src", Obs.Int src)
+     :: ("dst", Obs.Int dst)
+     :: ("kind", Obs.Str (t.kind_of msg))
+     :: extra)
+
+let drop t ~src ~dst msg =
+  t.dropped <- t.dropped + 1;
+  Obs.Counter.incr t.c_dropped;
+  if Obs.tracing t.obs then trace_msg t "engine.drop" ~src ~dst msg
+
+let link_state t ~src ~dst =
+  let key = (src * Array.length t.handlers) + dst in
+  match Hashtbl.find_opt t.link_states key with
+  | Some st -> st
+  | None ->
+      let seed =
+        Int64.to_int
+          (Basalt_prng.Splitmix64.mix
+             (Int64.logxor t.fault_salt (Int64.of_int key)))
+      in
+      let st =
+        {
+          link_rng = Rng.create ~seed;
+          loss_state = Link.Loss.initial Link.Loss.None;
+        }
+      in
+      Hashtbl.replace t.link_states key st;
+      st
+
+let send_faulty t f ~src ~dst msg =
+  let time = t.clock in
+  if
+    Fault.down f ~time ~node:src
+    || Fault.down f ~time ~node:dst
+    || Fault.partitioned f ~time ~src ~dst
+  then begin
+    t.dropped <- t.dropped + 1;
+    t.partition_drops <- t.partition_drops + 1;
+    Obs.Counter.incr t.c_dropped;
+    Obs.Counter.incr t.c_partition_drops;
+    if Obs.tracing t.obs then
+      trace_msg t "engine.drop" ~src ~dst msg
+        ~extra:[ ("cause", Obs.Str "partition") ]
+  end
+  else begin
+    let st = link_state t ~src ~dst in
+    let spec = Fault.link_for f ~src ~dst in
+    let loss =
+      match spec with Some { loss = Some l; _ } -> l | _ -> t.loss
+    in
+    if Link.Loss.drops loss st.loss_state st.link_rng then
+      drop t ~src ~dst msg
+    else begin
+      let latency =
+        match spec with Some { latency = Some l; _ } -> l | _ -> t.latency
+      in
+      let dup, reorder, reorder_window =
+        match spec with
+        | Some s -> (s.Fault.dup, s.Fault.reorder, s.Fault.reorder_window)
+        | None -> (0.0, 0.0, 0.0)
+      in
+      let delay () =
+        let d = min_delay +. Link.Latency.sample latency st.link_rng in
+        if reorder > 0.0 && Rng.bernoulli st.link_rng ~p:reorder then begin
+          t.reordered <- t.reordered + 1;
+          Obs.Counter.incr t.c_reordered;
+          d +. Rng.float st.link_rng reorder_window
+        end
+        else d
+      in
+      Event_queue.push t.queue ~time:(time +. delay ())
+        (Deliver { src; dst; msg });
+      if dup > 0.0 && Rng.bernoulli st.link_rng ~p:dup then begin
+        t.dup <- t.dup + 1;
+        Obs.Counter.incr t.c_dup;
+        if Obs.tracing t.obs then trace_msg t "engine.dup" ~src ~dst msg;
+        Event_queue.push t.queue ~time:(time +. delay ())
+          (Deliver { src; dst; msg })
+      end
+    end
+  end
 
 let send t ~src ~dst msg =
   t.sent <- t.sent + 1;
   Obs.Counter.incr t.c_sent;
   if Obs.tracing t.obs then trace_msg t "engine.send" ~src ~dst msg;
-  if Link.Loss.drops t.loss t.rng then begin
-    t.dropped <- t.dropped + 1;
-    Obs.Counter.incr t.c_dropped;
-    if Obs.tracing t.obs then trace_msg t "engine.drop" ~src ~dst msg
-  end
-  else
-    let delay = min_delay +. Link.Latency.sample t.latency t.rng in
-    Event_queue.push t.queue ~time:(t.clock +. delay)
-      (Deliver { src; dst; msg })
+  match t.fault with
+  | Some f -> send_faulty t f ~src ~dst msg
+  | None ->
+      if Link.Loss.drops t.loss t.legacy_loss_state t.rng then
+        drop t ~src ~dst msg
+      else
+        let delay = min_delay +. Link.Latency.sample t.latency t.rng in
+        Event_queue.push t.queue ~time:(t.clock +. delay)
+          (Deliver { src; dst; msg })
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
@@ -145,4 +271,7 @@ let stats t =
     dropped = t.dropped;
     ignored = t.ignored;
     events = t.events;
+    dup = t.dup;
+    reordered = t.reordered;
+    partition_drops = t.partition_drops;
   }

@@ -17,18 +17,28 @@ type 'msg t
 type stats = {
   sent : int;  (** Messages submitted to {!send}. *)
   delivered : int;  (** Messages handed to a registered handler. *)
-  dropped : int;  (** Messages discarded by the loss model. *)
+  dropped : int;  (** Messages discarded by loss, partition or outage. *)
   ignored : int;
       (** Messages that arrived at a node with no registered handler (a
           crashed or never-spawned destination) — distinct from
           [delivered] so crashed-node traffic is not conflated with real
           deliveries. *)
   events : int;  (** Total events executed (deliveries + timers). *)
+  dup : int;
+      (** Extra deliveries injected by a fault plan's duplication rule;
+          with duplication, [delivered] can exceed [sent]. *)
+  reordered : int;
+      (** Deliveries that received an extra reordering delay (counted per
+          enqueued copy, so a duplicated message can count twice). *)
+  partition_drops : int;
+      (** The subset of [dropped] caused by a partition or outage window
+          rather than by the loss model. *)
 }
 
 val create :
   ?latency:Link.Latency.t ->
   ?loss:Link.Loss.t ->
+  ?fault:Fault.t ->
   ?obs:Basalt_obs.Obs.t ->
   ?kind_of:('msg -> string) ->
   rng:Basalt_prng.Rng.t ->
@@ -40,12 +50,23 @@ val create :
     message sent during round [t] is handled before round [t+1]; [loss]
     defaults to {!Link.Loss.None}.
 
+    [fault] (default: no plan) composes richer misbehaviour on top —
+    per-direction loss/latency overrides, duplication, reordering, timed
+    partitions and node outages (see {!Fault}).  Every fault decision for
+    a directed link is drawn from that link's own PRNG stream, derived
+    from the engine seed and the [(src, dst)] pair, so fault schedules
+    are deterministic and independent across links (DESIGN.md §10).
+    Passing a plan for which {!Fault.is_none} holds is equivalent to
+    passing none at all, including PRNG consumption.
+
     [obs] (default {!Basalt_obs.Obs.disabled}) receives counters
     [engine.sent]/[engine.delivered]/[engine.dropped]/[engine.ignored]/
-    [engine.timer_fires] mirroring {!stats}, and — when the sink is
+    [engine.timer_fires]/[engine.dup]/[engine.reordered]/
+    [engine.partition_drops] mirroring {!stats}, and — when the sink is
     tracing — per-message [engine.send]/[engine.deliver]/[engine.drop]/
-    [engine.ignore] events with [src], [dst] and [kind] fields, where
-    [kind] is computed by [kind_of] (default: constantly ["msg"]).
+    [engine.ignore]/[engine.dup] events with [src], [dst] and [kind]
+    fields, where [kind] is computed by [kind_of] (default: constantly
+    ["msg"]); partition/outage drops carry an extra [cause] field.
     Stamp trace events with virtual time by pointing the sink's clock at
     [now t]. *)
 

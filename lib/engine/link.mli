@@ -3,9 +3,12 @@
     The paper assumes a complete communication network with a weak form of
     synchrony (§2.1): some fraction of messages between correct nodes
     arrive within a bounded delay.  These models let experiments inject
-    constant or jittered latency and independent (non-adversarial) loss;
-    adversarially-biased loss is instead modelled through the attack force
-    [F] (§2.1, §4.1). *)
+    constant or jittered latency and independent or bursty
+    (non-adversarial) loss; adversarially-biased loss is instead modelled
+    through the attack force [F] (§2.1, §4.1).  Richer behaviours —
+    per-direction overrides, duplication, reordering, timed partitions
+    and crash/restart outages — compose on top of these primitives in
+    {!Fault}. *)
 
 module Latency : sig
   type t =
@@ -27,9 +30,31 @@ module Loss : sig
     | None  (** Reliable channels (the paper's default assumption). *)
     | Bernoulli of float  (** Each message dropped independently with
                               the given probability. *)
+    | Gilbert_elliott of {
+        p_gb : float;  (** Per-message good→bad transition probability. *)
+        p_bg : float;  (** Per-message bad→good transition probability. *)
+        good : float;  (** Loss probability while in the good state. *)
+        bad : float;  (** Loss probability while in the bad state. *)
+      }
+        (** Bursty loss: a two-state Gilbert–Elliott Markov chain advanced
+            once per message.  The chain state lives in {!state}, one per
+            directed link, so bursts on one link never perturb another. *)
 
-  val drops : t -> Basalt_prng.Rng.t -> bool
-  (** [drops t rng] is [true] if the message should be discarded. *)
+  type state
+  (** Per-link channel state ({!Gilbert_elliott} burst phase; stateless
+      models ignore it). *)
+
+  val initial : t -> state
+  (** [initial t] is a fresh channel state (Gilbert–Elliott links start
+      in the good state). *)
+
+  val drops : t -> state -> Basalt_prng.Rng.t -> bool
+  (** [drops t state rng] is [true] if the message should be discarded,
+      advancing [state] for the stateful models. *)
+
+  val mean_loss : t -> float
+  (** [mean_loss t] is the long-run per-message drop probability (the
+      stationary loss rate for {!Gilbert_elliott}). *)
 
   val pp : Format.formatter -> t -> unit
   (** Formatter for loss models. *)

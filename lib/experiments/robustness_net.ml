@@ -1,0 +1,233 @@
+module Scenario = Basalt_sim.Scenario
+module Runner = Basalt_sim.Runner
+module Measurements = Basalt_sim.Measurements
+module Report = Basalt_sim.Report
+module Fault = Basalt_engine.Fault
+module Link = Basalt_engine.Link
+module Pool = Basalt_parallel.Pool
+module Obs = Basalt_obs.Obs
+
+type outcome = {
+  time : float option;
+  sample_byz : float;
+  delivered_frac : float;
+}
+
+type row = {
+  condition : string;
+  basalt : outcome;
+  brahms : outcome;
+  sps : outcome;
+}
+
+(* Stationary loss of the burst channel: pi_bad = 0.05/(0.05+0.25) = 1/6,
+   so mean loss = 0.9/6 = 15% — comparable to the robustness experiment's
+   Bernoulli sweep midpoint, but arriving in bursts that starve a node
+   for several exchange rounds at a time. *)
+let burst_loss =
+  Link.Loss.Gilbert_elliott
+    { p_gb = 0.05; p_bg = 0.25; good = 0.0; bad = 0.9 }
+
+(* The four network conditions swept for every protocol.  The partition
+   cuts the first half of the identifier space (all correct nodes at
+   f = 0.1) away from the rest for the second quarter of the run, then
+   heals; dup-reorder stresses the at-most-once/ordering assumptions
+   instead of availability. *)
+let conditions ~n ~steps =
+  [
+    ("clean", None);
+    ("burst-loss", Some (Fault.make ~base:(Fault.link ~loss:burst_loss ()) ()));
+    ( "partition",
+      Some
+        (Fault.make
+           ~partitions:
+             [
+               Fault.partition ~from_time:(steps /. 4.0)
+                 ~until_time:(steps /. 2.0)
+                 (fun i -> i < n / 2);
+             ]
+           ()) );
+    ( "dup-reorder",
+      Some
+        (Fault.make
+           ~base:(Fault.link ~dup:0.2 ~reorder:0.3 ~reorder_window:0.5 ())
+           ()) );
+  ]
+
+let protocols v =
+  [
+    ("basalt", Scenario.Basalt (Basalt_core.Config.make ~v ()));
+    ("brahms", Scenario.Brahms (Basalt_brahms.Brahms_config.make ~l:v ()));
+    ("sps", Scenario.Sps (Basalt_sps.Sps.config ~l:v ()));
+  ]
+
+let median_convergence runs ~optimal ~within =
+  let times =
+    List.map
+      (fun r ->
+        Measurements.convergence_time ~optimal ~within r.Runner.series)
+      runs
+  in
+  let converged = List.filter_map Fun.id times in
+  if 2 * List.length converged < List.length times + 1 then None
+  else begin
+    let sorted = List.sort Float.compare converged in
+    Some (List.nth sorted (List.length sorted / 2))
+  end
+
+let outcome ~f ~within runs =
+  let mean field =
+    List.fold_left (fun acc r -> acc +. field r.Runner.final) 0.0 runs
+    /. float_of_int (List.length runs)
+  in
+  let sum field =
+    List.fold_left (fun acc r -> acc + field r.Runner.transport) 0 runs
+  in
+  let sent = sum (fun (t : Basalt_engine.Engine.stats) -> t.sent) in
+  let delivered =
+    sum (fun (t : Basalt_engine.Engine.stats) -> t.delivered)
+  in
+  {
+    time = median_convergence runs ~optimal:f ~within;
+    sample_byz = mean (fun p -> p.Measurements.sample_byz);
+    delivered_frac = float_of_int delivered /. float_of_int (max 1 sent);
+  }
+
+(* One flat condition × protocol × seed batch so a Pool can fan the whole
+   sweep out; [Pool.map] preserves task order, so regrouping — and the
+   merged trace below — is deterministic at any [-j N]. *)
+let run_tasks ?(scale = Scale.Standard) ?(trace = false) ?pool () =
+  let n = Scale.n scale in
+  let v = Scale.v scale in
+  let steps = Scale.steps scale in
+  let seeds = Scale.seeds scale in
+  let f = 0.1 in
+  let tasks =
+    List.concat_map
+      (fun (condition, fault) ->
+        List.concat_map
+          (fun (proto, protocol) ->
+            List.map
+              (fun seed ->
+                ( condition,
+                  proto,
+                  Scenario.make ~name:"robustness-net" ~n ~f ~force:10.0
+                    ~protocol ~steps ?fault ~seed () ))
+              seeds)
+          (protocols v))
+      (conditions ~n ~steps)
+  in
+  let runs =
+    Pool.map ?pool (fun (_, _, s) -> Runner.run ~obs:trace ~trace s) tasks
+  in
+  (tasks, runs)
+
+let rows_of ~scale runs =
+  let f = 0.1 in
+  let within = 0.25 in
+  let per_group = List.length (Scale.seeds scale) in
+  let rec take k acc rest =
+    if k = 0 then (List.rev acc, rest)
+    else
+      match rest with
+      | r :: tl -> take (k - 1) (r :: acc) tl
+      | [] -> assert false
+  in
+  let rec regroup = function
+    | [] -> []
+    | runs ->
+        let group, rest = take per_group [] runs in
+        group :: regroup rest
+  in
+  let groups = regroup runs in
+  let rec rows conds groups =
+    match (conds, groups) with
+    | [], [] -> []
+    | (condition, _) :: conds, basalt_runs :: brahms_runs :: sps_runs :: groups
+      ->
+        {
+          condition;
+          basalt = outcome ~f ~within basalt_runs;
+          brahms = outcome ~f ~within brahms_runs;
+          sps = outcome ~f ~within sps_runs;
+        }
+        :: rows conds groups
+    | _ -> assert false
+  in
+  rows (conditions ~n:(Scale.n scale) ~steps:(Scale.steps scale)) groups
+
+let run ?(scale = Scale.Standard) ?pool () =
+  let _, runs = run_tasks ~scale ?pool () in
+  rows_of ~scale runs
+
+let write_trace path tasks runs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter2
+        (fun (condition, proto, _) r ->
+          match r.Runner.obs with
+          | Some sink ->
+              output_string oc
+                (Obs.events_to_jsonl
+                   ~extra:
+                     [ ("cond", Obs.Str condition); ("proto", Obs.Str proto) ]
+                   sink)
+          | None -> ())
+        tasks runs)
+
+let time_cell = function
+  | Some t -> Report.float_cell t
+  | None -> "no-convergence"
+
+let columns rows =
+  let arr = Array.of_list rows in
+  ( Array.length arr,
+    [
+      { Report.header = "condition"; cell = (fun i -> arr.(i).condition) };
+      {
+        Report.header = "basalt_time";
+        cell = (fun i -> time_cell arr.(i).basalt.time);
+      };
+      {
+        Report.header = "brahms_time";
+        cell = (fun i -> time_cell arr.(i).brahms.time);
+      };
+      {
+        Report.header = "sps_time";
+        cell = (fun i -> time_cell arr.(i).sps.time);
+      };
+      {
+        Report.header = "basalt_samples_byz";
+        cell = (fun i -> Report.float_cell arr.(i).basalt.sample_byz);
+      };
+      {
+        Report.header = "brahms_samples_byz";
+        cell = (fun i -> Report.float_cell arr.(i).brahms.sample_byz);
+      };
+      {
+        Report.header = "sps_samples_byz";
+        cell = (fun i -> Report.float_cell arr.(i).sps.sample_byz);
+      };
+      {
+        Report.header = "basalt_delivered/sent";
+        cell = (fun i -> Report.float_cell arr.(i).basalt.delivered_frac);
+      };
+    ] )
+
+let print ?(scale = Scale.Standard) ?csv ?trace ?pool () =
+  Printf.printf
+    "== robustness-net: fault plans (n=%d, v=%d, f=0.1, F=10, GE loss %.0f%%)\n"
+    (Scale.n scale) (Scale.v scale)
+    (100.0 *. Link.Loss.mean_loss burst_loss);
+  let tasks, runs =
+    run_tasks ~scale ~trace:(Option.is_some trace) ?pool ()
+  in
+  let rows, cols = columns (rows_of ~scale runs) in
+  Output.emit ?csv ~rows cols;
+  match trace with
+  | None -> ()
+  | Some path ->
+      write_trace path tasks runs;
+      Printf.printf "(trace written to %s)\n" path

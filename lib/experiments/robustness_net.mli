@@ -1,0 +1,55 @@
+(** Extension: convergence under composed network fault plans.
+
+    Where {!Robustness} sweeps independent Bernoulli loss, this
+    experiment drives the engine's fault-plan layer (DESIGN.md §10):
+    Gilbert–Elliott burst loss, a timed network partition cutting half
+    the identifier space for a quarter of the run, and a
+    duplication + reordering link — each against Basalt, Brahms and SPS
+    while flooding continues at F = 10.  Reported per condition: the
+    median convergence time to within 25% of the optimal Byzantine
+    sample fraction (as in Fig. 3), the final sampled Byzantine
+    fraction, and the transport delivery ratio (which exceeds 1 under
+    duplication).  The whole sweep is a flat condition × protocol × seed
+    batch fanned over an optional {!Basalt_parallel.Pool}, so tables and
+    traces are bit-identical at any [-j N]. *)
+
+type outcome = {
+  time : float option;
+      (** Median convergence time across seeds, [None] when a majority of
+          seeds never converged. *)
+  sample_byz : float;  (** Mean final Byzantine fraction among samples. *)
+  delivered_frac : float;
+      (** Messages delivered per message sent ([> 1] under duplication,
+          [< 1] under loss/partition). *)
+}
+
+type row = {
+  condition : string;  (** Fault-plan name (["clean"], ["burst-loss"], …). *)
+  basalt : outcome;
+  brahms : outcome;
+  sps : outcome;
+}
+
+val burst_loss : Basalt_engine.Link.Loss.t
+(** The Gilbert–Elliott channel used by the ["burst-loss"] condition
+    (15% stationary loss arriving in bursts). *)
+
+val run : ?scale:Scale.t -> ?pool:Basalt_parallel.Pool.t -> unit -> row list
+(** [run ()] sweeps every condition × protocol at the scale's base
+    parameters. *)
+
+val columns : row list -> int * Basalt_sim.Report.column list
+(** [columns rows] lays out the report table (key-column count and column
+    specs). *)
+
+val print :
+  ?scale:Scale.t ->
+  ?csv:string ->
+  ?trace:string ->
+  ?pool:Basalt_parallel.Pool.t ->
+  unit ->
+  unit
+(** [print ()] runs the sweep and prints its table; [csv] also writes a
+    CSV file, [trace] dumps the merged deterministic JSONL event trace
+    of every run, tagged with [cond] and [proto] fields, in task order
+    (byte-identical at any [-j N]). *)

@@ -3,12 +3,46 @@ module Config = Basalt_core.Config
 module Sample_stream = Basalt_core.Sample_stream
 module Wire = Basalt_codec.Wire
 module Obs = Basalt_obs.Obs
+module Rng = Basalt_prng.Rng
+module Message = Basalt_proto.Message
+module Node_id = Basalt_proto.Node_id
 
 type stats = {
   datagrams_in : int;
   datagrams_out : int;
   decode_errors : int;
+  retries : int;
 }
+
+type retry = {
+  timeout : float;
+  backoff : float;
+  max_timeout : float;
+  max_attempts : int;
+  jitter : float;
+}
+
+let default_retry =
+  { timeout = 0.25; backoff = 2.0; max_timeout = 2.0; max_attempts = 3;
+    jitter = 0.1 }
+
+let no_retry =
+  { timeout = 1.0; backoff = 1.0; max_timeout = 1.0; max_attempts = 0;
+    jitter = 0.0 }
+
+let check_retry r =
+  if r.timeout <= 0.0 then invalid_arg "Udp_node: retry timeout must be > 0";
+  if r.backoff < 1.0 then invalid_arg "Udp_node: retry backoff must be >= 1";
+  if r.max_timeout < r.timeout then
+    invalid_arg "Udp_node: retry max_timeout must be >= timeout";
+  if r.max_attempts < 0 then
+    invalid_arg "Udp_node: retry max_attempts must be >= 0";
+  if r.jitter < 0.0 then invalid_arg "Udp_node: retry jitter must be >= 0"
+
+(* One in-flight pull awaiting an answer.  [seq] tokens stand in for
+   timer cancellation (the loop has none): every (re)arm takes a fresh
+   token and a firing timer acts only if its token is still current. *)
+type pending = { mutable attempt : int; mutable seq : int }
 
 type t = {
   loop : Event_loop.t;
@@ -20,6 +54,7 @@ type t = {
   datagrams_in : int ref;
   datagrams_out : int ref;
   decode_errors : int ref;
+  retries : int ref;
 }
 
 let bind_socket listen =
@@ -33,30 +68,109 @@ let bind_socket listen =
   | Unix.ADDR_INET (addr, port) -> (socket, { Endpoint.addr; port })
   | Unix.ADDR_UNIX _ -> assert false
 
-let create ?(config = Config.make ~v:16 ~k:4 ()) ?(obs = Obs.disabled) ~loop
+let create ?(config = Config.make ~v:16 ~k:4 ()) ?(obs = Obs.disabled)
+    ?(retry = default_retry) ?(inject_loss = 0.0) ?(inject_delay = 0.0) ~loop
     ~listen ~bootstrap ~seed () =
+  check_retry retry;
+  if inject_loss < 0.0 || inject_loss > 1.0 then
+    invalid_arg "Udp_node: inject_loss must be in [0, 1]";
+  if inject_delay < 0.0 then
+    invalid_arg "Udp_node: inject_delay must be >= 0";
   let socket, endpoint = bind_socket listen in
   let datagrams_in = ref 0 in
   let datagrams_out = ref 0 in
   let decode_errors = ref 0 in
+  let retries = ref 0 in
   let c_in = Obs.counter obs "net.datagrams_in" in
   let c_out = Obs.counter obs "net.datagrams_out" in
   let c_decode_errors = Obs.counter obs "net.decode_errors" in
+  let c_retries = Obs.counter obs "net.retries" in
+  let c_injected = Obs.counter obs "net.injected_drops" in
+  (* All transport-local randomness (backoff jitter, self-injection) comes
+     from streams split off the node's seed, so a soak run is replayable
+     from its command line. *)
+  let root_rng = Rng.create ~seed in
+  let retry_rng = Rng.split root_rng in
+  let inject_rng = Rng.split root_rng in
+  (* Raw transmission, optionally degraded by the self-injection knobs:
+     drop with probability [inject_loss], else postpone by a uniform draw
+     from [0, inject_delay). *)
+  let transmit packet target =
+    let push () =
+      (try ignore (Unix.sendto socket packet 0 (Bytes.length packet) [] target)
+       with Unix.Unix_error _ -> ());
+      incr datagrams_out;
+      Obs.Counter.incr c_out
+    in
+    if inject_loss > 0.0 && Rng.float inject_rng 1.0 < inject_loss then
+      Obs.Counter.incr c_injected
+    else if inject_delay > 0.0 then
+      Event_loop.schedule loop ~delay:(Rng.float inject_rng inject_delay) push
+    else push ()
+  in
+  let pending : (int, pending) Hashtbl.t = Hashtbl.create 16 in
+  let next_seq = ref 0 in
+  let node_cell = ref None in
+  (* Retransmit an unanswered pull with capped exponential backoff:
+     attempt [i] waits [min max_timeout (timeout * backoff^i)], stretched
+     by a seeded jitter draw so a cluster started in lockstep does not
+     retry in lockstep. *)
+  let rec arm_retry ~dst ~key ~packet ~target (p : pending) =
+    let seq = !next_seq in
+    incr next_seq;
+    p.seq <- seq;
+    let base = retry.timeout *. (retry.backoff ** float_of_int p.attempt) in
+    let delay =
+      Float.min retry.max_timeout base
+      *. (1.0 +. (retry.jitter *. Rng.float retry_rng 1.0))
+    in
+    Event_loop.schedule loop ~delay (fun () ->
+        match Hashtbl.find_opt pending key with
+        | Some q when q == p && q.seq = seq ->
+            if p.attempt >= retry.max_attempts then Hashtbl.remove pending key
+            else begin
+              p.attempt <- p.attempt + 1;
+              incr retries;
+              Obs.Counter.incr c_retries;
+              (* Keep the protocol's dead-peer detection honest: a
+                 retransmitted pull is still an unanswered probe. *)
+              (match !node_cell with
+              | Some node
+                when (Basalt.config node).Config.evict_after_rounds <> None ->
+                  Basalt.record_probe node dst
+              | Some _ | None -> ());
+              transmit packet target;
+              arm_retry ~dst ~key ~packet ~target p
+            end
+        | Some _ | None -> ())
+  in
   let send ~dst msg =
     let packet = Wire.encode msg in
     let target = Endpoint.to_sockaddr (Endpoint.of_node_id dst) in
-    (try ignore (Unix.sendto socket packet 0 (Bytes.length packet) [] target)
-     with Unix.Unix_error _ -> ());
-    incr datagrams_out;
-    Obs.Counter.incr c_out
+    transmit packet target;
+    match msg with
+    | Message.Pull_request when retry.max_attempts > 0 ->
+        let key = Node_id.to_int dst in
+        let p =
+          match Hashtbl.find_opt pending key with
+          | Some p ->
+              p.attempt <- 0;
+              p
+          | None ->
+              let p = { attempt = 0; seq = 0 } in
+              Hashtbl.replace pending key p;
+              p
+        in
+        arm_retry ~dst ~key ~packet ~target p
+    | _ -> ()
   in
   let node =
     Basalt.create ~config ~obs
       ~id:(Endpoint.to_node_id endpoint)
       ~bootstrap:(Array.of_list (List.map Endpoint.to_node_id bootstrap))
-      ~rng:(Basalt_prng.Rng.create ~seed)
-      ~send ()
+      ~rng:root_rng ~send ()
   in
+  node_cell := Some node;
   let t =
     {
       loop;
@@ -68,6 +182,7 @@ let create ?(config = Config.make ~v:16 ~k:4 ()) ?(obs = Obs.disabled) ~loop
       datagrams_in;
       datagrams_out;
       decode_errors;
+      retries;
     }
   in
   let receive () =
@@ -79,7 +194,12 @@ let create ?(config = Config.make ~v:16 ~k:4 ()) ?(obs = Obs.disabled) ~loop
           Obs.Counter.incr c_in;
           let from = Endpoint.to_node_id { Endpoint.addr; port } in
           (match Wire.decode_sub t.buffer ~off:0 ~len with
-          | Ok msg -> Basalt.on_message t.node ~from msg
+          | Ok msg ->
+              (* Any decodable traffic from a peer answers its pending
+                 pull, mirroring how {!Basalt.on_message} clears the
+                 eviction probe. *)
+              Hashtbl.remove pending (Node_id.to_int from);
+              Basalt.on_message t.node ~from msg
           | Error _ ->
               incr t.decode_errors;
               Obs.Counter.incr c_decode_errors);
@@ -115,6 +235,7 @@ let stats t =
     datagrams_in = !(t.datagrams_in);
     datagrams_out = !(t.datagrams_out);
     decode_errors = !(t.decode_errors);
+    retries = !(t.retries);
   }
 
 let close t =

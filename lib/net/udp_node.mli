@@ -14,13 +14,39 @@ type stats = {
   datagrams_in : int;
   datagrams_out : int;
   decode_errors : int;
+  retries : int;  (** Pull retransmissions issued by the retry policy. *)
 }
+
+type retry = {
+  timeout : float;  (** Delay before the first retransmission, seconds. *)
+  backoff : float;  (** Multiplier applied per attempt (>= 1). *)
+  max_timeout : float;  (** Cap on the per-attempt delay, seconds. *)
+  max_attempts : int;  (** Retransmissions per pull; [0] disables retries. *)
+  jitter : float;
+      (** Each delay is stretched by [1 + jitter * u] with [u] a seeded
+          uniform draw in [\[0, 1)], de-synchronising lockstep clusters. *)
+}
+(** Retransmission policy for unanswered pulls (DESIGN.md §10): attempt
+    [i] (0-based) is retransmitted after
+    [min max_timeout (timeout * backoff^i)] seconds, stretched by the
+    jitter factor.  All delays are event-loop timers, so under a virtual
+    clock the whole policy is deterministic in virtual time. *)
+
+val default_retry : retry
+(** [default_retry] retries after 0.25 s, doubling up to 2 s, at most 3
+    times, with 10% jitter. *)
+
+val no_retry : retry
+(** [no_retry] never retransmits ([max_attempts = 0]). *)
 
 type t
 
 val create :
   ?config:Basalt_core.Config.t ->
   ?obs:Basalt_obs.Obs.t ->
+  ?retry:retry ->
+  ?inject_loss:float ->
+  ?inject_delay:float ->
   loop:Event_loop.t ->
   listen:Endpoint.t ->
   bootstrap:Endpoint.t list ->
@@ -32,11 +58,27 @@ val create :
     periodic tasks on [loop]: one exchange round every [tau] {e seconds}
     and a sampling tick every [k/rho] seconds.
 
+    [retry] (default {!default_retry}) governs pull retransmission: a
+    [PULL] that stays unanswered is retransmitted with capped exponential
+    backoff until any decodable datagram arrives from the peer (which
+    also clears the protocol's eviction probe) or the attempt budget is
+    spent.  When the configuration enables [evict_after_rounds], each
+    retransmission re-records the probe via {!Basalt_core.Basalt.record_probe},
+    so transport-level persistence and dead-peer eviction stay coupled.
+
+    [inject_loss] / [inject_delay] (defaults 0) degrade the node's {e
+    outgoing} datagrams for soak testing without root or [tc]: each
+    datagram is dropped with probability [inject_loss], otherwise
+    postponed by a uniform draw from [\[0, inject_delay)] seconds.  Both
+    draw from streams split off [seed], so a degraded run is replayable.
+
     [obs] (default disabled) is threaded into the protocol instance and
-    additionally records [net.datagrams_in], [net.datagrams_out] and
-    [net.decode_errors].  This is the one allowlisted boundary where the
-    sink's clock may come from the event loop's real monotonic time
-    (lint D2/D8, DESIGN.md §8).
+    additionally records [net.datagrams_in], [net.datagrams_out],
+    [net.decode_errors], [net.retries] and [net.injected_drops].  This is
+    the one allowlisted boundary where the sink's clock may come from the
+    event loop's real monotonic time (lint D2/D8, DESIGN.md §8).
+    @raise Invalid_argument if [retry] is malformed, [inject_loss] is
+    outside [\[0, 1]] or [inject_delay] is negative.
     @raise Unix.Unix_error if the socket cannot be bound. *)
 
 val endpoint : t -> Endpoint.t

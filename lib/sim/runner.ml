@@ -86,7 +86,8 @@ let run_with_observer ?observer ?(obs = false) ?(trace = false) s =
   let sink = if obs || trace then Obs.create ~trace () else Obs.disabled in
   let engine : Message.t Engine.t =
     Engine.create ~latency:s.Scenario.latency ~loss:s.Scenario.loss
-      ~obs:sink ~kind_of:Message.kind ~rng:engine_rng ~n ()
+      ?fault:s.Scenario.fault ~obs:sink ~kind_of:Message.kind ~rng:engine_rng
+      ~n ()
   in
   Obs.set_clock sink (fun () -> Engine.now engine);
   let malicious_pred id = is_malicious s id in

@@ -21,6 +21,7 @@ type t = {
   churn : Churn.t option;
   latency : Basalt_engine.Link.Latency.t;
   loss : Basalt_engine.Link.Loss.t;
+  fault : Basalt_engine.Fault.t option;
 }
 
 let make ?(name = "base") ?(n = 1000) ?(f = 0.1) ?(force = 10.0)
@@ -29,7 +30,7 @@ let make ?(name = "base") ?(n = 1000) ?(f = 0.1) ?(force = 10.0)
     ?bootstrap_size ?bootstrap_f0 ?(seed = 42) ?(measure_every = 1.0)
     ?(graph_metrics = false) ?(sample_window = 200) ?churn
     ?(latency = Basalt_engine.Link.Latency.Zero)
-    ?(loss = Basalt_engine.Link.Loss.None) () =
+    ?(loss = Basalt_engine.Link.Loss.None) ?fault () =
   let bootstrap_size = Option.value bootstrap_size ~default:(max 10 (n / 20)) in
   let bootstrap_f0 = Option.value bootstrap_f0 ~default:f in
   if n <= 0 then invalid_arg "Scenario.make: n must be positive";
@@ -61,6 +62,7 @@ let make ?(name = "base") ?(n = 1000) ?(f = 0.1) ?(force = 10.0)
     churn;
     latency;
     loss;
+    fault;
   }
 
 let with_seed s seed = { s with seed }

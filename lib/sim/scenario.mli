@@ -29,6 +29,9 @@ type t = private {
   churn : Churn.t option;  (** Continuous node replacement, if any. *)
   latency : Basalt_engine.Link.Latency.t;  (** Message delay model. *)
   loss : Basalt_engine.Link.Loss.t;  (** Non-adversarial message loss. *)
+  fault : Basalt_engine.Fault.t option;
+      (** Richer fault plan — bursty loss, asymmetric links, duplication,
+          reordering, partitions, outages (DESIGN.md §10). *)
 }
 
 val make :
@@ -48,6 +51,7 @@ val make :
   ?churn:Churn.t ->
   ?latency:Basalt_engine.Link.Latency.t ->
   ?loss:Basalt_engine.Link.Loss.t ->
+  ?fault:Basalt_engine.Fault.t ->
   unit ->
   t
 (** [make ()] is the paper's base scenario at reduced scale: [n = 1000],

@@ -389,6 +389,110 @@ let eviction_disabled_by_default () =
   check_bool "silent peers kept (stubbornness)" true
     (Array.length (Basalt.view t) > 0)
 
+let eviction_order_is_deterministic () =
+  (* Regression: a mass eviction used to process peers in [Hashtbl.fold]
+     order, which depends on probe *insertion* order; since every slot
+     reset consumes PRNG draws, two nodes with identical state but
+     different probe histories diverged.  Eviction must be a function of
+     the probe *set*, not its insertion order. *)
+  let node () =
+    let _, send = capture_send () in
+    Basalt.create ~config:eviction_config ~id:(id 0)
+      ~bootstrap:(Array.init 20 (fun i -> id (i + 1)))
+      ~rng:(rng ()) ~send ()
+  in
+  let peers = List.init 12 (fun i -> i + 1) in
+  let run order =
+    let t = node () in
+    List.iter (fun p -> Basalt.record_probe t (id p)) order;
+    (* Three silent rounds push every probe past the limit of 2. *)
+    for _ = 1 to 3 do
+      Basalt.on_round t
+    done;
+    t
+  in
+  let asc = run peers in
+  let desc = run (List.rev peers) in
+  check_bool "evictions fired" true (Basalt.evictions asc > 0);
+  check_int "same eviction count" (Basalt.evictions asc)
+    (Basalt.evictions desc);
+  Alcotest.(check (array int))
+    "identical views regardless of probe insertion order"
+    (Array.map Node_id.to_int (Basalt.view asc))
+    (Array.map Node_id.to_int (Basalt.view desc))
+
+let probe_cleared_on_any_traffic () =
+  (* Any message from a probed peer — here a bare PULL — must clear its
+     pending probe, sparing it from the next eviction pass. *)
+  let _, send = capture_send () in
+  let t =
+    Basalt.create
+      ~config:(Config.make ~v:8 ~k:2 ~evict_after_rounds:100 ())
+      ~id:(id 0)
+      ~bootstrap:[| id 1; id 2; id 3 |]
+      ~rng:(rng ()) ~send ()
+  in
+  Basalt.record_probe t (id 1);
+  Basalt.record_probe t (id 2);
+  Basalt.on_round t;
+  Basalt.on_message t ~from:(id 1) Message.Pull_request;
+  Basalt.run_eviction t ~limit:0;
+  let view = Array.map Node_id.to_int (Basalt.view t) in
+  check_bool "unanswered probe evicted" false (Array.mem 2 view);
+  check_bool "answering peer survives" true (Array.mem 1 view)
+
+let probe_recorded_before_send () =
+  (* The probe is registered before the PULL leaves the node, so even a
+     same-instant reply finds (and clears) it — no lost-wakeup window. *)
+  let t_ref = ref None in
+  let probe_was_pending = ref false in
+  let send ~dst msg =
+    match (msg, !t_ref) with
+    | Basalt_proto.Message.Pull_request, Some t ->
+        (* Evicting with limit -1 expires every pending probe, including
+           one recorded in the current round: the pulled peer vanishes
+           from the view exactly when its probe was already registered. *)
+        let before = Array.mem dst (Basalt.view t) in
+        Basalt.run_eviction t ~limit:(-1);
+        let after = Array.mem dst (Basalt.view t) in
+        if before && not after then probe_was_pending := true
+    | _ -> ()
+  in
+  let t =
+    Basalt.create ~config:eviction_config ~id:(id 0)
+      ~bootstrap:[| id 1; id 2; id 3 |]
+      ~rng:(rng ()) ~send ()
+  in
+  t_ref := Some t;
+  Basalt.on_round t;
+  check_bool "probe visible at send time" true !probe_was_pending
+
+let eviction_resets_slots_and_reoffers () =
+  let _, send = capture_send () in
+  let t =
+    Basalt.create
+      ~config:(Config.make ~v:8 ~k:2 ~evict_after_rounds:100 ())
+      ~id:(id 0)
+      ~bootstrap:[| id 1; id 2 |]
+      ~rng:(rng ()) ~send ()
+  in
+  let held_by_victim =
+    Array.fold_left
+      (fun acc slot -> if slot = Some (id 2) then acc + 1 else acc)
+      0 (Basalt.view_slots t)
+  in
+  check_bool "victim held some slots" true (held_by_victim > 0);
+  Basalt.record_probe t (id 2);
+  Basalt.on_round t;
+  Basalt.run_eviction t ~limit:0;
+  check_int "one reset per held slot" held_by_victim (Basalt.evictions t);
+  let view = Array.map Node_id.to_int (Basalt.view t) in
+  check_bool "victim gone" false (Array.mem 2 view);
+  (* The pre-eviction view minus the victim was re-offered, so the freed
+     slots converge back to the survivor instead of staying empty. *)
+  check_int "every slot refilled from the snapshot" 8 (Array.length view);
+  check_bool "survivor everywhere" true (Array.for_all (Int.equal 1) view)
+
 (* --- Sample_stream --- *)
 
 let stream_basics () =
@@ -526,6 +630,59 @@ let prop_update_sample_batch_split =
         (Array.sub all cut (Array.length all - cut));
       Basalt.view whole = Basalt.view split)
 
+(* Eviction safety: a peer that sent us anything within the last [limit]
+   rounds can never be evicted — its probe (if any) was cleared by that
+   traffic, and any newer probe is younger than [limit].  Ops interleave
+   silent protocol rounds with spontaneous traffic from a small peer
+   pool; since every identifier ever fed was offered to every slot, the
+   view only ever shrinks through eviction, so a recently-heard peer
+   missing from the view is exactly an eviction-safety violation. *)
+let prop_eviction_spares_recent_peers =
+  let limit = 2 in
+  let print_ops =
+    Print.list (fun op -> if op = 0 then "round" else Printf.sprintf "hear(%d)" op)
+  in
+  Check.prop ~name:"eviction never evicts a peer heard within the limit"
+    ~count:200
+    ~print:(Print.pair Print.int print_ops)
+    (Gen.pair (Gen.nat ~max:10_000)
+       (Gen.list ~min_len:1 ~max_len:60 (Gen.nat ~max:6)))
+    (fun (seed, ops) ->
+      let send ~dst:_ _ = () in
+      let t =
+        Basalt.create
+          ~config:(Config.make ~v:6 ~k:2 ~evict_after_rounds:limit ())
+          ~id:(Node_id.of_int 0)
+          ~bootstrap:(Array.init 6 (fun i -> Node_id.of_int (i + 1)))
+          ~rng:(Basalt_prng.Rng.create ~seed)
+          ~send ()
+      in
+      let last_heard = Hashtbl.create 8 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          if op = 0 then begin
+            let before = Basalt.view t in
+            Basalt.on_round t;
+            let after = Basalt.view t in
+            let rounds = Basalt.rounds_executed t in
+            Array.iter
+              (fun p ->
+                match Hashtbl.find_opt last_heard (Node_id.to_int p) with
+                | Some heard when rounds - heard <= limit ->
+                    if not (Array.exists (Node_id.equal p) after) then
+                      ok := false
+                | Some _ | None -> ())
+              before
+          end
+          else begin
+            let p = Node_id.of_int op in
+            Basalt.on_message t ~from:p (Message.Push_id p);
+            Hashtbl.replace last_heard op (Basalt.rounds_executed t)
+          end)
+        ops;
+      !ok)
+
 (* exclude_self (the default) keeps the node's own identifier out of
    its view no matter how often it is offered. *)
 let prop_view_excludes_self =
@@ -591,6 +748,14 @@ let () =
             eviction_spares_responsive_peers;
           Alcotest.test_case "eviction disabled by default" `Quick
             eviction_disabled_by_default;
+          Alcotest.test_case "eviction order deterministic" `Quick
+            eviction_order_is_deterministic;
+          Alcotest.test_case "probe cleared on any traffic" `Quick
+            probe_cleared_on_any_traffic;
+          Alcotest.test_case "probe recorded before send" `Quick
+            probe_recorded_before_send;
+          Alcotest.test_case "eviction resets and re-offers" `Quick
+            eviction_resets_slots_and_reoffers;
         ] );
       ( "sample_stream",
         [
@@ -607,6 +772,7 @@ let () =
           prop_slot_argmin;
           prop_update_sample_batch_split;
           prop_view_excludes_self;
+          prop_eviction_spares_recent_peers;
           prop_stream_model;
         ];
     ]

@@ -145,11 +145,50 @@ let latency_models () =
 
 let loss_models () =
   let rng = Basalt_prng.Rng.create ~seed:2 in
+  let none_st = Link.Loss.initial Link.Loss.None in
+  let all = Link.Loss.Bernoulli 1.0 in
+  let all_st = Link.Loss.initial all in
   for _ = 1 to 50 do
-    check_bool "none never drops" false (Link.Loss.drops Link.Loss.None rng);
-    check_bool "p=1 always drops" true
-      (Link.Loss.drops (Link.Loss.Bernoulli 1.0) rng)
+    check_bool "none never drops" false (Link.Loss.drops Link.Loss.None none_st rng);
+    check_bool "p=1 always drops" true (Link.Loss.drops all all_st rng)
   done
+
+let loss_gilbert_elliott () =
+  let rng = Basalt_prng.Rng.create ~seed:3 in
+  (* Degenerate chains pin the behaviour exactly: a chain stuck in the
+     good state with good=0 never drops; stuck in bad with bad=1 always
+     drops once it transitions (p_gb=1 moves there on the first step). *)
+  let stuck_good =
+    Link.Loss.Gilbert_elliott { p_gb = 0.0; p_bg = 0.0; good = 0.0; bad = 1.0 }
+  in
+  let st = Link.Loss.initial stuck_good in
+  for _ = 1 to 50 do
+    check_bool "stuck-good never drops" false
+      (Link.Loss.drops stuck_good st rng)
+  done;
+  let stuck_bad =
+    Link.Loss.Gilbert_elliott { p_gb = 1.0; p_bg = 0.0; good = 0.0; bad = 1.0 }
+  in
+  let st = Link.Loss.initial stuck_bad in
+  for _ = 1 to 50 do
+    check_bool "stuck-bad always drops" true
+      (Link.Loss.drops stuck_bad st rng)
+  done;
+  (* Stationary loss of a balanced chain: pi_bad = p_gb/(p_gb+p_bg). *)
+  let ge =
+    Link.Loss.Gilbert_elliott
+      { p_gb = 0.1; p_bg = 0.3; good = 0.0; bad = 0.8 }
+  in
+  check_float "mean loss" (0.1 /. 0.4 *. 0.8) (Link.Loss.mean_loss ge);
+  let st = Link.Loss.initial ge in
+  let n = 20_000 in
+  let drops = ref 0 in
+  for _ = 1 to n do
+    if Link.Loss.drops ge st rng then incr drops
+  done;
+  let observed = float_of_int !drops /. float_of_int n in
+  check_bool "empirical loss near stationary" true
+    (Float.abs (observed -. Link.Loss.mean_loss ge) < 0.03)
 
 (* --- Engine --- *)
 
@@ -289,6 +328,212 @@ let engine_n () =
   let e = fresh_engine 5 in
   check_int "n" 5 (Engine.n e)
 
+(* --- fault plans --- *)
+
+let fresh_faulty ?latency ?loss ~fault n : string Engine.t =
+  let rng = Basalt_prng.Rng.create ~seed:7 in
+  Engine.create ?latency ?loss ~fault ~rng ~n ()
+
+let fault_none_is_legacy () =
+  (* [Fault.none] must be indistinguishable from no plan at all, down to
+     PRNG consumption: same seed, same jittered delivery times. *)
+  let run fault =
+    let rng = Basalt_prng.Rng.create ~seed:11 in
+    let e : string Engine.t =
+      Engine.create
+        ~latency:(Link.Latency.Uniform { lo = 0.0; hi = 0.5 })
+        ?fault ~rng ~n:2 ()
+    in
+    let times = ref [] in
+    Engine.register e 1 (fun ~from:_ _ -> times := Engine.now e :: !times);
+    for _ = 1 to 20 do
+      Engine.send e ~src:0 ~dst:1 "x"
+    done;
+    Engine.run_until e 5.0;
+    !times
+  in
+  Alcotest.(check (list (float 0.0)))
+    "identical delivery times" (run None)
+    (run (Some Fault.none))
+
+let fault_partition () =
+  let fault =
+    Fault.make
+      ~partitions:
+        [ Fault.partition ~from_time:1.0 ~until_time:2.0 (fun i -> i = 0) ]
+      ()
+  in
+  let e = fresh_faulty ~fault 2 in
+  let got = ref 0 in
+  Engine.register e 1 (fun ~from:_ _ -> incr got);
+  (* Before, during and after the cut. *)
+  Engine.schedule e ~delay:0.5 (fun () -> Engine.send e ~src:0 ~dst:1 "a");
+  Engine.schedule e ~delay:1.5 (fun () -> Engine.send e ~src:0 ~dst:1 "b");
+  Engine.schedule e ~delay:2.5 (fun () -> Engine.send e ~src:0 ~dst:1 "c");
+  Engine.run_until e 5.0;
+  let s = Engine.stats e in
+  check_int "two crossed outside the window" 2 !got;
+  check_int "one partition drop" 1 s.Engine.partition_drops;
+  check_int "dropped includes the partition drop" 1 s.Engine.dropped
+
+let fault_partition_same_side () =
+  (* Nodes on the same side of the cut keep talking during the window. *)
+  let fault =
+    Fault.make
+      ~partitions:
+        [ Fault.partition ~from_time:0.0 ~until_time:10.0 (fun i -> i < 2) ]
+      ()
+  in
+  let e = fresh_faulty ~fault 4 in
+  let got = ref 0 in
+  Engine.register e 1 (fun ~from:_ _ -> incr got);
+  Engine.register e 3 (fun ~from:_ _ -> incr got);
+  Engine.schedule e ~delay:1.0 (fun () ->
+      Engine.send e ~src:0 ~dst:1 "same side";
+      Engine.send e ~src:2 ~dst:3 "same side";
+      Engine.send e ~src:0 ~dst:3 "across");
+  Engine.run_until e 5.0;
+  check_int "same-side delivered" 2 !got;
+  check_int "cross-cut dropped" 1 (Engine.stats e).Engine.partition_drops
+
+let fault_outage () =
+  let fault =
+    Fault.make ~outages:[ Fault.outage ~node:1 ~from_time:1.0 ~until_time:2.0 ] ()
+  in
+  let e = fresh_faulty ~fault 3 in
+  let got = ref 0 in
+  Engine.register e 1 (fun ~from:_ _ -> incr got);
+  Engine.register e 2 (fun ~from:_ _ -> incr got);
+  Engine.schedule e ~delay:1.5 (fun () ->
+      Engine.send e ~src:0 ~dst:1 "to the downed node";
+      Engine.send e ~src:1 ~dst:2 "from the downed node";
+      Engine.send e ~src:0 ~dst:2 "bystanders");
+  Engine.schedule e ~delay:2.5 (fun () ->
+      Engine.send e ~src:0 ~dst:1 "after restart");
+  Engine.run_until e 5.0;
+  let s = Engine.stats e in
+  check_int "bystander + post-restart delivered" 2 !got;
+  check_int "both directions silenced" 2 s.Engine.partition_drops
+
+let fault_duplication () =
+  let fault = Fault.make ~base:(Fault.link ~dup:1.0 ()) () in
+  let e = fresh_faulty ~fault 2 in
+  let got = ref 0 in
+  Engine.register e 1 (fun ~from:_ _ -> incr got);
+  for _ = 1 to 10 do
+    Engine.send e ~src:0 ~dst:1 "x"
+  done;
+  Engine.run_until e 5.0;
+  let s = Engine.stats e in
+  check_int "sent" 10 s.Engine.sent;
+  check_int "every message duplicated" 10 s.Engine.dup;
+  check_int "delivered twice each" 20 s.Engine.delivered;
+  check_int "handler saw every copy" 20 !got
+
+let fault_reorder () =
+  (* With certain reordering over a window much wider than the base
+     latency, consecutive sends overtake each other. *)
+  let fault =
+    Fault.make ~base:(Fault.link ~reorder:1.0 ~reorder_window:10.0 ()) ()
+  in
+  let e = fresh_faulty ~fault 2 in
+  let order = ref [] in
+  Engine.register e 1 (fun ~from:_ msg -> order := msg :: !order);
+  for i = 1 to 20 do
+    Engine.send e ~src:0 ~dst:1 (string_of_int i)
+  done;
+  Engine.run_until e 20.0;
+  let s = Engine.stats e in
+  check_int "every copy delayed" 20 s.Engine.reordered;
+  check_int "all delivered" 20 s.Engine.delivered;
+  check_bool "at least one overtake" true
+    (List.rev !order <> List.init 20 (fun i -> string_of_int (i + 1)))
+
+let fault_asymmetric () =
+  (* A directed override makes 0→1 lossy while 1→0 stays clean. *)
+  let fault =
+    Fault.make
+      ~directed:(fun ~src ~dst ->
+        if src = 0 && dst = 1 then
+          Some (Fault.link ~loss:(Link.Loss.Bernoulli 1.0) ())
+        else None)
+      ()
+  in
+  let e = fresh_faulty ~fault 2 in
+  let got = ref [] in
+  Engine.register e 0 (fun ~from:_ msg -> got := msg :: !got);
+  Engine.register e 1 (fun ~from:_ msg -> got := msg :: !got);
+  for _ = 1 to 5 do
+    Engine.send e ~src:0 ~dst:1 "lost";
+    Engine.send e ~src:1 ~dst:0 "ok"
+  done;
+  Engine.run_until e 5.0;
+  check_int "only the clean direction delivered" 5 (List.length !got);
+  check_bool "all survivors from 1 to 0" true
+    (List.for_all (String.equal "ok") !got);
+  check_int "lossy direction dropped" 5 (Engine.stats e).Engine.dropped
+
+let fault_link_independence () =
+  (* The fault schedule of link (0,1) is a pure function of the engine
+     seed: injecting extra traffic on an unrelated link must not change
+     which (0,1) messages drop or when the survivors arrive. *)
+  let run ~extra_traffic =
+    let fault =
+      Fault.make
+        ~base:
+          (Fault.link ~loss:(Link.Loss.Bernoulli 0.4)
+             ~latency:(Link.Latency.Uniform { lo = 0.0; hi = 0.3 })
+             ())
+        ()
+    in
+    let rng = Basalt_prng.Rng.create ~seed:42 in
+    let e : string Engine.t = Engine.create ~fault ~rng ~n:4 () in
+    let times = ref [] in
+    Engine.register e 1 (fun ~from:_ _ -> times := Engine.now e :: !times);
+    Engine.register e 3 (fun ~from:_ _ -> ());
+    for _ = 1 to 30 do
+      Engine.send e ~src:0 ~dst:1 "probe";
+      if extra_traffic then Engine.send e ~src:2 ~dst:3 "noise"
+    done;
+    Engine.run_until e 5.0;
+    !times
+  in
+  Alcotest.(check (list (float 0.0)))
+    "(0,1) schedule independent of (2,3) traffic"
+    (run ~extra_traffic:false)
+    (run ~extra_traffic:true)
+
+let fault_gilbert_elliott_burstiness () =
+  (* A bursty channel with the same stationary loss as an independent
+     one produces longer drop runs; check that bursts actually appear
+     (a maximal run well above the i.i.d. expectation). *)
+  let fault =
+    Fault.make
+      ~base:
+        (Fault.link
+           ~loss:
+             (Link.Loss.Gilbert_elliott
+                { p_gb = 0.05; p_bg = 0.2; good = 0.0; bad = 1.0 })
+           ())
+      ()
+  in
+  let e = fresh_faulty ~fault 2 in
+  let outcomes = ref [] in
+  Engine.register e 1 (fun ~from:_ _ -> ());
+  for _ = 1 to 500 do
+    let before = (Engine.stats e).Engine.dropped in
+    Engine.send e ~src:0 ~dst:1 "x";
+    let after = (Engine.stats e).Engine.dropped in
+    outcomes := (after > before) :: !outcomes
+  done;
+  let longest, _ =
+    List.fold_left
+      (fun (best, cur) dropped ->
+        if dropped then (max best (cur + 1), cur + 1) else (best, 0))
+      (0, 0) (List.rev !outcomes)
+  in
+  check_bool "bursts of consecutive drops" true (longest >= 4)
+
 (* --- schedule-invariant properties (DESIGN.md §9) --- *)
 
 let print_latency = function
@@ -299,6 +544,8 @@ let print_latency = function
 let print_loss = function
   | Link.Loss.None -> "None"
   | Link.Loss.Bernoulli p -> Printf.sprintf "Bernoulli %g" p
+  | Link.Loss.Gilbert_elliott { p_gb; p_bg; good; bad } ->
+      Printf.sprintf "GE{%g,%g;%g,%g}" p_gb p_bg good bad
 
 let print_schedule (s : Gens.schedule) =
   Printf.sprintf "{nodes=%d; registered=%s; sends=%s; horizon=%g}" s.Gens.nodes
@@ -387,6 +634,22 @@ let () =
         [
           Alcotest.test_case "latency models" `Quick latency_models;
           Alcotest.test_case "loss models" `Quick loss_models;
+          Alcotest.test_case "gilbert-elliott" `Quick loss_gilbert_elliott;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "none is legacy" `Quick fault_none_is_legacy;
+          Alcotest.test_case "partition" `Quick fault_partition;
+          Alcotest.test_case "partition same side" `Quick
+            fault_partition_same_side;
+          Alcotest.test_case "outage" `Quick fault_outage;
+          Alcotest.test_case "duplication" `Quick fault_duplication;
+          Alcotest.test_case "reorder" `Quick fault_reorder;
+          Alcotest.test_case "asymmetric" `Quick fault_asymmetric;
+          Alcotest.test_case "link independence" `Quick
+            fault_link_independence;
+          Alcotest.test_case "gilbert-elliott bursts" `Quick
+            fault_gilbert_elliott_burstiness;
         ] );
       ( "engine",
         [

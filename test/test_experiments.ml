@@ -149,6 +149,31 @@ let uniformity_of_histogram () =
   check_int "no samples" 0 e.Uniformity.samples;
   check_bool "nan tv" true (Float.is_nan e.Uniformity.tv_distance)
 
+(* --- Robustness under fault plans (DESIGN.md §10) --- *)
+
+let robustness_net_rows () =
+  let rows = Robustness_net.run ~scale:Scale.Quick () in
+  check_int "four conditions" 4 (List.length rows);
+  let find c = List.find (fun r -> r.Robustness_net.condition = c) rows in
+  List.iter
+    (fun r ->
+      (* Basalt must ride out every fault plan at quick scale. *)
+      check_bool (r.Robustness_net.condition ^ ": basalt converges") true
+        (r.Robustness_net.basalt.Robustness_net.time <> None);
+      check_bool
+        (r.Robustness_net.condition ^ ": basalt near optimal")
+        true
+        (r.Robustness_net.basalt.Robustness_net.sample_byz < 0.2))
+    rows;
+  (* The delivery column reflects the injected transport faults. *)
+  let delivered c =
+    (find c).Robustness_net.basalt.Robustness_net.delivered_frac
+  in
+  check_bool "burst loss drops messages" true (delivered "burst-loss" < 1.0);
+  check_bool "duplication delivers extras" true (delivered "dup-reorder" > 1.0);
+  check_bool "partition drops below clean" true
+    (delivered "partition" < delivered "clean")
+
 (* --- Timeline --- *)
 
 let timeline_spec () =
@@ -206,6 +231,8 @@ let () =
         [ Alcotest.test_case "prefix layout" `Quick sybil_prefix_layout ] );
       ( "uniformity",
         [ Alcotest.test_case "of_histogram" `Quick uniformity_of_histogram ] );
+      ( "robustness_net",
+        [ Alcotest.test_case "fault-plan sweep" `Slow robustness_net_rows ] );
       ( "timeline",
         [ Alcotest.test_case "spec and run" `Quick timeline_spec ] );
       ( "live",

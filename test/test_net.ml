@@ -253,6 +253,139 @@ let udp_garbage_counted () =
   check_int "view untouched" 0 (List.length (Udp_node.view node));
   Udp_node.close node
 
+(* --- Pull retry & self-injection --- *)
+
+(* An endpoint that once existed but has nothing listening behind it. *)
+let dead_endpoint () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let ep =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, port) -> localhost port
+    | _ -> assert false
+  in
+  Unix.close sock;
+  ep
+
+(* The retry policy runs on event-loop timers, so under a virtual clock
+   the whole retransmission schedule is deterministic in virtual time:
+   attempt i fires after min(max_timeout, timeout * backoff^i). *)
+let udp_retry_backoff_capped () =
+  let vtime = ref 0.0 in
+  let loop = Event_loop.create ~clock:(fun () -> !vtime) () in
+  let retry =
+    {
+      Udp_node.timeout = 1.0;
+      backoff = 2.0;
+      max_timeout = 8.0;
+      max_attempts = 3;
+      jitter = 0.0;
+    }
+  in
+  let node =
+    Udp_node.create
+      ~config:
+        (Basalt_core.Config.make ~v:4 ~k:1 ~tau:1000.0 ~evict_after_rounds:50
+           ())
+      ~retry ~loop ~listen:(localhost 0)
+      ~bootstrap:[ dead_endpoint () ]
+      ~seed:5 ()
+  in
+  let advance t =
+    vtime := t;
+    Event_loop.run_due_timers loop
+  in
+  let retries () = (Udp_node.stats node).Udp_node.retries in
+  advance 0.5 (* round 1 fires near t=0: one pull + one push *);
+  let out0 = (Udp_node.stats node).Udp_node.datagrams_out in
+  check_int "round sent pull and push" 2 out0;
+  check_int "no retries before the timeout" 0 (retries ());
+  advance 2.0 (* attempt 0: timeout * backoff^0 = 1s after the pull *);
+  check_int "first retransmission" 1 (retries ());
+  advance 5.0 (* attempt 1: +2s *);
+  check_int "second retransmission" 2 (retries ());
+  advance 10.0 (* attempt 2: +4s *);
+  check_int "third retransmission" 3 (retries ());
+  advance 500.0 (* budget spent: the pending pull is abandoned *);
+  check_int "capped at max_attempts" 3 (retries ());
+  check_int "every retry hit the wire" (out0 + 3)
+    (Udp_node.stats node).Udp_node.datagrams_out;
+  Udp_node.close node
+
+let udp_retry_cleared_by_reply () =
+  let loop = Event_loop.create ~clock:Unix.gettimeofday () in
+  let config =
+    Basalt_core.Config.make ~v:8 ~k:2 ~tau:0.04 ~rho:(2.0 /. 0.04) ()
+  in
+  (* Timeouts far beyond the test duration: any retry we observe would
+     have to be a pull whose reply failed to clear the pending entry. *)
+  let retry =
+    { Udp_node.default_retry with timeout = 10.0; max_timeout = 10.0 }
+  in
+  let a =
+    Udp_node.create ~config ~retry ~loop ~listen:(localhost 0) ~bootstrap:[]
+      ~seed:11 ()
+  in
+  let b =
+    Udp_node.create ~config ~retry ~loop ~listen:(localhost 0)
+      ~bootstrap:[ Udp_node.endpoint a ]
+      ~seed:12 ()
+  in
+  Event_loop.run_for loop 0.5;
+  List.iter
+    (fun (name, node) ->
+      let stats = Udp_node.stats node in
+      check_bool (name ^ " exchanged datagrams") true
+        (stats.Udp_node.datagrams_in > 0 && stats.Udp_node.datagrams_out > 0);
+      check_int (name ^ " never retried") 0 stats.Udp_node.retries)
+    [ ("a", a); ("b", b) ];
+  Udp_node.close a;
+  Udp_node.close b
+
+let udp_inject_loss_drops () =
+  let vtime = ref 0.0 in
+  let loop = Event_loop.create ~clock:(fun () -> !vtime) () in
+  let config = Basalt_core.Config.make ~v:4 ~k:1 ~tau:1.0 () in
+  let mk ~inject_loss seed =
+    Udp_node.create ~config ~retry:Udp_node.no_retry ~inject_loss ~loop
+      ~listen:(localhost 0)
+      ~bootstrap:[ dead_endpoint () ]
+      ~seed ()
+  in
+  let silent = mk ~inject_loss:1.0 3 in
+  let noisy = mk ~inject_loss:0.0 3 in
+  List.iter
+    (fun t ->
+      vtime := t;
+      Event_loop.run_due_timers loop)
+    [ 1.1; 2.1; 3.1 ];
+  check_int "loss=1 puts nothing on the wire" 0
+    (Udp_node.stats silent).Udp_node.datagrams_out;
+  check_bool "loss=0 control transmits" true
+    ((Udp_node.stats noisy).Udp_node.datagrams_out > 0);
+  Udp_node.close silent;
+  Udp_node.close noisy
+
+let udp_inject_delay_postpones () =
+  let vtime = ref 0.0 in
+  let loop = Event_loop.create ~clock:(fun () -> !vtime) () in
+  let config = Basalt_core.Config.make ~v:4 ~k:1 ~tau:1000.0 () in
+  let node =
+    Udp_node.create ~config ~retry:Udp_node.no_retry ~inject_delay:5.0 ~loop
+      ~listen:(localhost 0)
+      ~bootstrap:[ dead_endpoint () ]
+      ~seed:7 ()
+  in
+  vtime := 0.5;
+  Event_loop.run_due_timers loop (* round fired; both sends are in flight *);
+  check_int "nothing on the wire yet" 0
+    (Udp_node.stats node).Udp_node.datagrams_out;
+  vtime := 6.0;
+  Event_loop.run_due_timers loop (* every deferred transmission is due *);
+  check_int "transmitted after the injected delay" 2
+    (Udp_node.stats node).Udp_node.datagrams_out;
+  Udp_node.close node
+
 (* Spin up [n] real UDP nodes in one process, bootstrap them in a ring of
    overlapping neighbor lists, run the protocol for a little while of
    wall-clock time, and check that views converge to a rich set of
@@ -358,6 +491,14 @@ let () =
         [
           Alcotest.test_case "garbage datagrams counted" `Quick
             udp_garbage_counted;
+          Alcotest.test_case "retry backoff is capped and deterministic"
+            `Quick udp_retry_backoff_capped;
+          Alcotest.test_case "reply cancels pending retries" `Quick
+            udp_retry_cleared_by_reply;
+          Alcotest.test_case "self-injected loss drops datagrams" `Quick
+            udp_inject_loss_drops;
+          Alcotest.test_case "self-injected delay postpones datagrams" `Quick
+            udp_inject_delay_postpones;
           Alcotest.test_case "overlay converges end-to-end" `Slow
             udp_overlay_converges;
         ] );

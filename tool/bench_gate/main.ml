@@ -1,0 +1,271 @@
+(* bench_gate: compare a `bench --json` run against a committed baseline.
+
+   Usage: bench_gate --baseline FILE --current FILE [--tolerance X]
+
+   Both files use the schema `bench/main.exe --json` writes:
+
+     { "unit": "ns/run", "groups": { GROUP: { TEST: NS, ... }, ... } }
+
+   The gate fails (exit 1) when any benchmark present in the baseline is
+   more than X times slower in the current run, or has disappeared from
+   it (a rename silently shrinking the gate is itself a failure).  The
+   default tolerance of 3x is deliberately loose: shared CI runners are
+   noisy, and the gate exists to catch order-of-magnitude regressions —
+   an accidentally quadratic hot path — not single-digit drift.  The
+   serious before/after comparisons live in BENCH_*.json notes and are
+   made by hand on a quiet host (CLAUDE.md). *)
+
+(* --- Minimal JSON reader (no external dependencies) ------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg =
+    raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos))
+  in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then advance ()
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit v =
+    let len = String.length lit in
+    if !pos + len <= n && String.sub s !pos len = lit then begin
+      pos := !pos + len;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+          advance ();
+          Buffer.contents b
+      | '\\' ->
+          advance ();
+          if !pos >= n then fail "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 4 >= n then fail "bad \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              pos := !pos + 4;
+              (* Benchmark names are ASCII; anything else degrades
+                 harmlessly for display purposes. *)
+              Buffer.add_char b (if code < 0x80 then Char.chr code else '?')
+          | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    if start = !pos then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          items []
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* --- Gate ------------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  content
+
+(* Flatten a bench JSON file into [((group, test), ns)] rows; [null]
+   measurements (Bechamel produced no estimate) are skipped. *)
+let rows_of path =
+  let die msg =
+    prerr_endline ("bench_gate: " ^ path ^ ": " ^ msg);
+    exit 2
+  in
+  match parse (read_file path) with
+  | exception Parse_error msg -> die msg
+  | exception Sys_error msg -> die msg
+  | Obj fields -> (
+      match List.assoc_opt "groups" fields with
+      | Some (Obj groups) ->
+          List.concat_map
+            (fun (group, v) ->
+              match v with
+              | Obj rows ->
+                  List.filter_map
+                    (fun (test, v) ->
+                      match v with
+                      | Num ns -> Some ((group, test), ns)
+                      | _ -> None)
+                    rows
+              | _ -> [])
+            groups
+      | _ -> die "missing \"groups\" object")
+  | _ -> die "top level is not an object"
+
+let () =
+  let baseline = ref "" in
+  let current = ref "" in
+  let tolerance = ref 3.0 in
+  let usage =
+    "usage: bench_gate --baseline FILE --current FILE [--tolerance X]"
+  in
+  let rec parse_args = function
+    | [] -> ()
+    | "--baseline" :: path :: rest ->
+        baseline := path;
+        parse_args rest
+    | "--current" :: path :: rest ->
+        current := path;
+        parse_args rest
+    | "--tolerance" :: x :: rest ->
+        (match float_of_string_opt x with
+        | Some f when f >= 1.0 -> tolerance := f
+        | _ ->
+            prerr_endline "bench_gate: --tolerance must be a float >= 1";
+            exit 2);
+        parse_args rest
+    | arg :: _ ->
+        prerr_endline ("bench_gate: unknown argument " ^ arg);
+        prerr_endline usage;
+        exit 2
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !baseline = "" || !current = "" then begin
+    prerr_endline usage;
+    exit 2
+  end;
+  let base = rows_of !baseline in
+  let cur = rows_of !current in
+  let compared = ref 0 in
+  let regressions = ref 0 in
+  let missing = ref 0 in
+  List.iter
+    (fun (((_, test) as key), base_ns) ->
+      match List.assoc_opt key cur with
+      | None ->
+          incr missing;
+          Printf.printf "MISS %-64s baseline %12.1f, absent from current run\n"
+            test base_ns
+      | Some cur_ns when base_ns > 0.0 ->
+          incr compared;
+          let ratio = cur_ns /. base_ns in
+          let status =
+            if ratio > !tolerance then begin
+              incr regressions;
+              "FAIL"
+            end
+            else "ok"
+          in
+          Printf.printf "%-4s %-64s %12.1f -> %12.1f ns/run (%.2fx)\n" status
+            test base_ns cur_ns ratio
+      | Some _ -> ())
+    base;
+  Printf.printf "bench_gate: %d compared, %d regressions (> %.1fx), %d missing\n"
+    !compared !regressions !tolerance !missing;
+  if !compared = 0 then begin
+    prerr_endline "bench_gate: nothing compared; baseline/current mismatch?";
+    exit 1
+  end;
+  exit (if !regressions > 0 || !missing > 0 then 1 else 0)
