@@ -60,6 +60,9 @@ let create ?(config = Brahms_config.default) ?(obs = Obs.disabled) ~id
            (fun p -> not (Node_id.equal p id))
            (Array.to_list bootstrap))
     in
+    (* lint: allow D10 — bootstrap-time entanglement: samplers and the
+       initial view consume the one creation stream in a fixed order that
+       the pinned Brahms outcomes depend on; a split would change them. *)
     View_ops.random_subset rng ~k:config.Brahms_config.l candidates
   in
   let t =

@@ -1,7 +1,8 @@
-(* Contract tests for the bin/repro command-line driver, run as a real
-   subprocess: automation (CI, the bench harness, shell scripts looping
-   over targets) relies on unknown targets failing loudly with a usage
-   message rather than exiting 0. *)
+(* Contract tests for the bin/repro command-line driver and the
+   basalt-lint CLI, run as real subprocesses: automation (CI, the bench
+   harness, shell scripts looping over targets) relies on exit codes,
+   usage failures, and the machine-readable output schemas staying
+   exactly as pinned here. *)
 
 let repro = "../bin/repro.exe"
 
@@ -49,6 +50,114 @@ let subcommand_help_succeeds () =
   let code, _out, _err = run_repro "fig2a --help=plain" in
   Alcotest.(check int) "exit 0" 0 code
 
+(* --- basalt-lint CLI --- *)
+
+let lint = "../tool/lint/main.exe"
+
+let run_lint args =
+  let out_file = Filename.temp_file "lint" ".out" in
+  let err_file = Filename.temp_file "lint" ".err" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s" (Filename.quote lint) args
+      (Filename.quote out_file) (Filename.quote err_file)
+  in
+  let code = Sys.command cmd in
+  let read_all path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Sys.remove path;
+    s
+  in
+  (code, read_all out_file, read_all err_file)
+
+let fixture name = "../tool/lint/fixtures/" ^ name
+
+let fold_evict_cmt =
+  "../tool/lint/fixtures_typed/.lint_fixtures_typed.objs/byte/\
+   lint_fixtures_typed__D9_fold_evict.cmt"
+
+(* Exit code 0 = clean, 1 = findings, 2 = usage/parse error — scripts
+   branch on the distinction, so each code is pinned separately. *)
+let lint_exit_codes () =
+  let code, out, _ = run_lint ("--rules D2 " ^ fixture "d1_random.ml") in
+  Alcotest.(check int) "clean run exits 0" 0 code;
+  Alcotest.(check string) "clean text output is empty" "" out;
+  let code, _, _ = run_lint (fixture "d1_random.ml") in
+  Alcotest.(check int) "findings exit 1" 1 code;
+  let code, _, err = run_lint "--format bogus" in
+  Alcotest.(check int) "unknown format exits 2" 2 code;
+  Alcotest.(check bool) "diagnostic on stderr" true (String.length err > 0);
+  let code, _, _ = run_lint "--rules D42 ." in
+  Alcotest.(check int) "unknown rule exits 2" 2 code;
+  let code, _, _ = run_lint "--root /nonexistent-basalt" in
+  Alcotest.(check int) "bad root exits 2" 2 code;
+  let code, _, _ = run_lint "--cmt x.cmt foo.ml bar.ml" in
+  Alcotest.(check int) "--cmt without --as exits 2" 2 code
+
+(* The JSON schema is the machine interface CI archives; both the empty
+   and non-empty shapes are pinned byte-for-byte / by fragment. *)
+let lint_json_schema () =
+  let code, out, _ =
+    run_lint ("--format json --rules D2 " ^ fixture "d1_random.ml")
+  in
+  Alcotest.(check int) "clean exits 0" 0 code;
+  Alcotest.(check string) "empty findings shape"
+    "{\n  \"version\": 1,\n  \"findings\": []\n}\n" out;
+  let code, out, _ =
+    run_lint ("--format json --as lib/x.ml " ^ fixture "d1_random.ml")
+  in
+  Alcotest.(check int) "findings still exit 1" 1 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("json contains " ^ needle) true
+        (contains ~needle out))
+    [
+      "\"version\": 1";
+      "\"findings\": [";
+      "{\"file\": \"lib/x.ml\", \"line\": 2, \"rule\": \"D1\", \"message\": \"";
+    ]
+
+let lint_sarif_output () =
+  let code, out, _ =
+    run_lint ("--format sarif --as lib/x.ml " ^ fixture "d1_random.ml")
+  in
+  Alcotest.(check int) "findings exit 1" 1 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("sarif contains " ^ needle) true
+        (contains ~needle out))
+    [
+      "\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\"";
+      "\"version\": \"2.1.0\"";
+      "\"name\": \"basalt-lint\"";
+      "\"id\": \"D9\"";
+      "\"ruleId\": \"D1\"";
+      "\"artifactLocation\": {\"uri\": \"lib/x.ml\"}";
+      "\"region\": {\"startLine\": 2}";
+    ];
+  (* A clean run still emits a structurally valid SARIF document. *)
+  let code, out, _ =
+    run_lint ("--format sarif --rules D2 " ^ fixture "d1_random.ml")
+  in
+  Alcotest.(check int) "clean exits 0" 0 code;
+  Alcotest.(check bool) "empty results array" true
+    (contains ~needle:"\"results\": []" out)
+
+let lint_rules_filtering () =
+  let typed_args rules =
+    Printf.sprintf "--as lib/d9_fold_evict.ml --cmt %s --rules %s %s"
+      fold_evict_cmt rules "../tool/lint/fixtures_typed/d9_fold_evict.ml"
+  in
+  let code, out, _ = run_lint (typed_args "D9,D10") in
+  Alcotest.(check int) "D9 finding reported" 1 code;
+  Alcotest.(check bool) "at the eviction line" true
+    (contains ~needle:"lib/d9_fold_evict.ml:21:D9:" out);
+  let code, out, _ = run_lint (typed_args "D10") in
+  Alcotest.(check int) "D10-only run is clean" 0 code;
+  Alcotest.(check string) "and silent" "" out
+
 let () =
   Alcotest.run "cli"
     [
@@ -59,5 +168,12 @@ let () =
           Alcotest.test_case "--help succeeds" `Quick help_succeeds;
           Alcotest.test_case "subcommand --help succeeds" `Quick
             subcommand_help_succeeds;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "exit codes" `Quick lint_exit_codes;
+          Alcotest.test_case "json schema" `Quick lint_json_schema;
+          Alcotest.test_case "sarif output" `Quick lint_sarif_output;
+          Alcotest.test_case "--rules filtering" `Quick lint_rules_filtering;
         ] );
     ]

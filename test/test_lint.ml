@@ -1,14 +1,23 @@
 (* Tests for the basalt-lint determinism & interface linter (tool/lint).
 
-   Three layers:
+   Five layers:
    - inline fixture snippets per rule D1–D8, asserting the exact
      [file:line:rule] diagnostics (and that clean variants stay clean);
-   - suppression mechanics: `lint: allow` pragmas and the allowlist;
+   - suppression mechanics: `lint: allow` pragmas and the allowlist,
+     including the D11 stale-suppression audit over synthetic trees;
+   - typed-tier rules D9/D10 over the compiled fixtures in
+     tool/lint/fixtures_typed (their .cmt files are dune deps of this
+     test), both through the library and through the CLI;
+   - Basalt_check properties: pragma suppression is line-position
+     sensitive, and verdicts are independent of the order files are
+     linted in (no compiler-libs state leaks between units);
    - a whole-repo run over the real sources (materialised into the build
      sandbox via the dune [deps] of this test) asserting zero findings,
      plus a CLI run over the checked-in fixture files. *)
 
 module Lint = Basalt_lint.Lint
+module Typed = Basalt_lint.Typed
+module Driver = Basalt_lint.Driver
 
 let check = Alcotest.check
 let check_int = Alcotest.(check int)
@@ -221,9 +230,33 @@ let allowlist_parsing () =
     [ ("lib/engine/e.ml", 1, "D6") ]
     (lint ~allow ~rel_path:"lib/engine/e.ml"
        "let f () = print_endline \"x\"\n");
-  Alcotest.check_raises "malformed line rejected"
-    (Failure "allowlist: unknown rule: D9")
-    (fun () -> ignore (Lint.allowlist_of_lines [ "D9 foo.ml" ]))
+  Alcotest.check_raises "unknown rule rejected"
+    (Failure "allowlist: unknown rule: D99")
+    (fun () -> ignore (Lint.allowlist_of_lines [ "D99 foo.ml" ]))
+
+let allowlist_path_normalization () =
+  (* `./`-prefixed and duplicated-slash entries must still match — a
+     suppression that silently never fires is worse than none. *)
+  let allow = Lint.allowlist_of_lines [ "D6 ./lib//sim/" ] in
+  check triples "normalized dir entry covers subtree" []
+    (lint ~allow ~rel_path:"lib/sim/deep.ml" "let f () = print_endline \"x\"\n");
+  let allow = Lint.allowlist_of_lines [ "D2 ./bin/a.ml" ] in
+  check triples "normalized file entry matches" []
+    (lint ~allow ~rel_path:"bin/a.ml" "let t = Unix.time ()\n");
+  check triples "finding path is normalized before comparison too" []
+    (lint ~allow ~rel_path:"./bin//a.ml" "let t = Unix.time ()\n")
+
+let allowlist_rejects_duplicates () =
+  Alcotest.check_raises "exact duplicate rejected"
+    (Failure "allowlist: duplicate entry: D2 bin/a.ml")
+    (fun () ->
+      ignore (Lint.allowlist_of_lines [ "D2 bin/a.ml"; "D2 bin/a.ml" ]));
+  Alcotest.check_raises "duplicate modulo normalization rejected"
+    (Failure "allowlist: duplicate entry: D2 bin/a.ml")
+    (fun () ->
+      ignore (Lint.allowlist_of_lines [ "D2 bin/a.ml"; "D2 ./bin//a.ml" ]));
+  (* Same path under two rules is two distinct entries, not a dup. *)
+  ignore (Lint.allowlist_of_lines [ "D2 bin/a.ml"; "D6 bin/a.ml" ])
 
 let parse_error_reported () =
   match
@@ -245,11 +278,16 @@ let whole_repo_is_clean () =
     Lint.load_allowlist
       (Filename.concat repo_root "tool/lint/allowlist.txt")
   in
-  let findings = Lint.lint_tree ~root:repo_root ~allow in
+  (* Untyped tier + D11 audit: every pragma and allowlist entry for the
+     untyped rules must still be earning its keep. *)
+  let report = Driver.run ~root:repo_root ~allow () in
   List.iter
     (fun f -> Format.eprintf "unexpected: %a@." Lint.pp_finding f)
-    findings;
-  check_int "no findings in the repository" 0 (List.length findings)
+    report.Driver.findings;
+  check_int "no findings in the repository" 0
+    (List.length report.Driver.findings);
+  check Alcotest.bool "scanned a plausible number of files" true
+    (report.Driver.files_scanned > 50)
 
 (* --- the CLI over the checked-in fixture files --- *)
 
@@ -329,6 +367,266 @@ let cli_clean_repo_exits_zero () =
   let code, output = run_cli ("--root " ^ Filename.quote repo_root) in
   if code <> 0 then Alcotest.failf "expected exit 0, got %d:\n%s" code output
 
+(* --- typed tier: D9/D10 over the compiled fixtures --- *)
+
+(* The .cmt files of tool/lint/fixtures_typed are dune deps of this
+   test, so they sit at their build locations inside the sandbox. *)
+let fixture_cmt name =
+  Filename.concat repo_root
+    ("tool/lint/fixtures_typed/.lint_fixtures_typed.objs/byte/\
+      lint_fixtures_typed__" ^ String.capitalize_ascii name ^ ".cmt")
+
+let typed_triples ~rel_path name =
+  List.map
+    (fun (f : Lint.finding) -> (f.file, f.line, Lint.rule_name f.rule))
+    (Typed.lint_cmt ~rel_path (fixture_cmt name))
+
+let d9_flags_fold_evict () =
+  (* The PR 5 run_eviction bug class, pinned to the eviction call line. *)
+  check triples "draw-through-helper under Hashtbl.fold flagged"
+    [ ("lib/d9_fold_evict.ml", 21, "D9") ]
+    (typed_triples ~rel_path:"lib/d9_fold_evict.ml" "d9_fold_evict")
+
+let d9_sorted_version_is_clean () =
+  check triples "collect + sort + evict is clean" []
+    (typed_triples ~rel_path:"lib/d9_sorted_ok.ml" "d9_sorted_ok")
+
+let d9_flags_unsorted_taint () =
+  check triples "unsorted fold result feeding draws flagged"
+    [ ("lib/d9_taint.ml", 21, "D9") ]
+    (typed_triples ~rel_path:"lib/d9_taint.ml" "d9_taint")
+
+let d9_flags_obs_emission () =
+  check triples "telemetry inside fold flagged"
+    [ ("lib/d9_obs_iter.ml", 10, "D9") ]
+    (typed_triples ~rel_path:"lib/d9_obs_iter.ml" "d9_obs_iter")
+
+let d10_flags_two_callees () =
+  check triples "second handoff without split flagged"
+    [ ("lib/d10_alias.ml", 17, "D10") ]
+    (typed_triples ~rel_path:"lib/d10_alias.ml" "d10_alias")
+
+let d10_split_version_is_clean () =
+  check triples "split-per-consumer is clean" []
+    (typed_triples ~rel_path:"lib/d10_split_ok.ml" "d10_split_ok")
+
+let d10_flags_closure_capture () =
+  check triples "closure capture + second consumer flagged"
+    [ ("lib/d10_closure.ml", 17, "D10") ]
+    (typed_triples ~rel_path:"lib/d10_closure.ml" "d10_closure")
+
+let d10_scope_is_lib () =
+  (* The same aliasing outside lib/ (or inside lib/check, whose
+     generators deliberately chain draws) is not D10's business. *)
+  check triples "test/ attribution is out of scope" []
+    (typed_triples ~rel_path:"test/d10_alias.ml" "d10_alias");
+  check triples "lib/check attribution is out of scope" []
+    (typed_triples ~rel_path:"lib/check/d10_alias.ml" "d10_alias")
+
+(* The typed tier reports raw findings; the pragma variants are only
+   clean once the CLI merges source pragmas in — both halves pinned. *)
+let typed_pragmas_need_the_driver () =
+  check triples "raw typed findings ignore pragmas"
+    [ ("lib/d9_pragma.ml", 11, "D9") ]
+    (typed_triples ~rel_path:"lib/d9_pragma.ml" "d9_pragma");
+  check triples "raw D10 pragma fixture still flagged"
+    [ ("lib/d10_pragma.ml", 17, "D10") ]
+    (typed_triples ~rel_path:"lib/d10_pragma.ml" "d10_pragma")
+
+let typed_fixture_source name =
+  Filename.quote
+    (Filename.concat repo_root ("tool/lint/fixtures_typed/" ^ name))
+
+let cli_typed_fixtures () =
+  let run name rules =
+    run_cli
+      (Printf.sprintf "--root %s --as lib/%s.ml --cmt %s --rules %s %s"
+         (Filename.quote repo_root) name
+         (Filename.quote (fixture_cmt name))
+         rules
+         (typed_fixture_source (name ^ ".ml")))
+  in
+  let code, output = run "d9_fold_evict" "D9,D10" in
+  check_int "positive fixture exits 1" 1 code;
+  if not (contains ~sub:"d9_fold_evict.ml:21:D9:" output) then
+    Alcotest.failf "missing D9 finding:\n%s" output;
+  let code, output = run "d9_fold_evict" "D10" in
+  check_int "--rules D10 filters the D9 finding away" 0 code;
+  if String.trim output <> "" then
+    Alcotest.failf "expected no output, got:\n%s" output;
+  let code, _ = run "d9_pragma" "D9,D10" in
+  check_int "pragma-suppressed D9 fixture exits 0" 0 code;
+  let code, _ = run "d10_pragma" "D9,D10" in
+  check_int "pragma-suppressed D10 fixture exits 0" 0 code;
+  let code, output = run "d10_closure" "D9,D10" in
+  check_int "closure fixture exits 1" 1 code;
+  if not (contains ~sub:"d10_closure.ml:17:D10:" output) then
+    Alcotest.failf "missing D10 finding:\n%s" output
+
+(* --- D11: stale-suppression audit over synthetic trees --- *)
+
+let rec mkdirs d =
+  if not (Sys.file_exists d) then begin
+    mkdirs (Filename.dirname d);
+    (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+  end
+
+let rec rm_tree d =
+  if Sys.is_directory d then begin
+    Array.iter (fun e -> rm_tree (Filename.concat d e)) (Sys.readdir d);
+    Sys.rmdir d
+  end
+  else Sys.remove d
+
+let with_temp_tree files f =
+  let dir = Filename.temp_file "basalt_lint_tree" "" in
+  Sys.remove dir;
+  mkdirs dir;
+  Fun.protect
+    ~finally:(fun () -> rm_tree dir)
+    (fun () ->
+      List.iter
+        (fun (path, content) ->
+          let full = Filename.concat dir path in
+          mkdirs (Filename.dirname full);
+          let oc = open_out full in
+          output_string oc content;
+          close_out oc)
+        files;
+      f dir)
+
+(* A well-behaved one-module lib/ tree (documented .mli, no findings)
+   that pragmas and allowlist lines can be grafted onto. *)
+let base_mod body =
+  [
+    ("lib/mod.ml", body);
+    ("lib/mod.mli", "val f : int -> int\n(** Documented. *)\n");
+  ]
+
+let audit_triples ?(allow_lines = []) ?rules ~body () =
+  with_temp_tree (base_mod body) (fun root ->
+      let allow = Lint.allowlist_of_lines allow_lines in
+      let report = Driver.run ?rules ~root ~allow () in
+      List.map
+        (fun (f : Lint.finding) -> (f.file, f.line, Lint.rule_name f.rule))
+        report.Driver.findings)
+
+let d11_flags_stale_pragma () =
+  check triples "pragma that suppresses nothing becomes a finding"
+    [ ("lib/mod.ml", 1, "D11") ]
+    (audit_triples
+       ~body:"(* lint: allow D2 — nothing here reads a clock *)\nlet f x = x + 1\n"
+       ())
+
+let d11_flags_stale_allowlist_entry () =
+  check triples "allowlist entry that suppresses nothing becomes a finding"
+    [ ("tool/lint/allowlist.txt", 2, "D11") ]
+    (audit_triples ~allow_lines:[ "# header"; "D2 bin/ghost.ml" ]
+       ~body:"let f x = x + 1\n" ())
+
+let d11_spares_used_suppressions () =
+  check triples "used pragma and used entry are not stale" []
+    (audit_triples
+       ~allow_lines:[ "D6 lib/mod.ml" ]
+       ~body:
+         "let f x = x + 1\n\
+          (* lint: allow D2 — deliberate: injected clock base *)\n\
+          let now = Unix.time ()\n\
+          let noisy () = print_endline \"x\"\n"
+       ())
+
+let d11_is_tier_aware () =
+  (* A D9 pragma cannot be judged stale by an untyped run: the rule
+     never executed on that file. *)
+  check triples "typed-rule pragma survives an untyped run" []
+    (audit_triples
+       ~body:"(* lint: allow D9 — typed-tier suppression *)\nlet f x = x + 1\n"
+       ())
+
+let d11_is_unsuppressible () =
+  (* Neither a pragma nor an allowlist entry can silence D11 itself;
+     the D11 entry is then stale by construction. *)
+  check triples "D11 cannot be allowlisted away"
+    [ ("lib/mod.ml", 1, "D11"); ("tool/lint/allowlist.txt", 1, "D11") ]
+    (audit_triples ~allow_lines:[ "D11 lib/mod.ml" ]
+       ~body:"(* lint: allow D2 — stale on purpose *)\nlet f x = x + 1\n"
+       ())
+
+let d11_off_when_not_requested () =
+  check triples "omitting D11 from --rules disables the audit" []
+    (audit_triples
+       ~rules:[ Lint.D1; Lint.D2; Lint.D5; Lint.D6 ]
+       ~body:"(* lint: allow D2 — stale on purpose *)\nlet f x = x + 1\n"
+       ())
+
+(* --- Basalt_check properties --- *)
+
+module Check = Basalt_check.Check
+module Gen = Check.Gen
+
+let prop_pragma_position =
+  Check.prop ~name:"pragma suppression is line-position sensitive"
+    ~count:200
+    ~print:(fun (gap, same_line) ->
+      Printf.sprintf "gap=%d same_line=%b" gap same_line)
+    (Gen.pair (Gen.nat ~max:4) Gen.bool)
+    (fun (gap, same_line) ->
+      (* A pragma covers its own lines and the line directly below —
+         nothing further, whatever the gap. *)
+      let source =
+        if same_line then "let f a b = a = b (* lint: allow D4 — t *)\n"
+        else
+          "(* lint: allow D4 — t *)\n"
+          ^ String.concat "" (List.init gap (fun _ -> "\n"))
+          ^ "let f a b = a = b\n"
+      in
+      let findings =
+        Lint.lint_source ~rel_path:"lib/basalt_core/x.ml"
+          ~allow:Lint.empty_allowlist source
+      in
+      (findings = []) = (same_line || gap = 0))
+
+(* Each unit's verdict must be a function of that unit alone: linting
+   leans on compiler-libs (a global lexer comment buffer among other
+   state), so re-linting the same fixtures in a random order and getting
+   identical verdicts pins the isolation. *)
+let shuffle_fixtures =
+  [
+    ("lib/proto/s1.ml", "let f () = Random.int 3\n",
+     [ ("lib/proto/s1.ml", 1, "D1") ]);
+    ("lib/engine/s2.ml", "let t = Unix.time ()\n",
+     [ ("lib/engine/s2.ml", 1, "D2") ]);
+    ("test/s3.ml", "let h x = Hashtbl.hash x\n",
+     [ ("test/s3.ml", 1, "D3") ]);
+    ("lib/basalt_core/s4.ml", "let f a b = a = b\n",
+     [ ("lib/basalt_core/s4.ml", 1, "D4") ]);
+    ("lib/codec/s5.ml", "let f () = print_endline \"x\"\n",
+     [ ("lib/codec/s5.ml", 1, "D6") ]);
+    ("bin/s6.ml", "let c = Atomic.make 0\n",
+     [ ("bin/s6.ml", 1, "D7") ]);
+    ("lib/graph/s7.ml", "module O = Basalt_obs.Obs\n",
+     [ ("lib/graph/s7.ml", 1, "D8") ]);
+    ("lib/sim/s8.ml", "(* lint: allow D7 — t *)\nlet m = Mutex.create ()\n",
+     []);
+    ("lib/analysis/s9.ml", "let x = 1\n", []);
+  ]
+
+let prop_shuffle_invariance =
+  let n = List.length shuffle_fixtures in
+  Check.prop ~name:"verdicts survive fixture shuffling" ~count:100
+    ~print:(fun keys -> String.concat "," (List.map string_of_int keys))
+    (Gen.list_repeat n (Gen.int_range 0 1_000_000))
+    (fun keys ->
+      let order =
+        List.map snd
+          (List.sort compare (List.combine keys (List.init n Fun.id)))
+      in
+      List.for_all
+        (fun i ->
+          let rel_path, source, expected = List.nth shuffle_fixtures i in
+          lint ~rel_path source = expected)
+        order)
+
 let () =
   Alcotest.run "lint"
     [
@@ -358,12 +656,51 @@ let () =
           Alcotest.test_case "D8 exempts lib/obs + allowlist" `Quick
             d8_exempts_lib_obs_and_allowlist;
         ] );
+      ( "typed rules",
+        [
+          Alcotest.test_case "D9 flags the PR 5 fold eviction" `Quick
+            d9_flags_fold_evict;
+          Alcotest.test_case "D9 clean on sorted eviction" `Quick
+            d9_sorted_version_is_clean;
+          Alcotest.test_case "D9 flags unsorted taint" `Quick
+            d9_flags_unsorted_taint;
+          Alcotest.test_case "D9 flags telemetry in fold" `Quick
+            d9_flags_obs_emission;
+          Alcotest.test_case "D10 flags two callees" `Quick
+            d10_flags_two_callees;
+          Alcotest.test_case "D10 clean with splits" `Quick
+            d10_split_version_is_clean;
+          Alcotest.test_case "D10 flags closure capture" `Quick
+            d10_flags_closure_capture;
+          Alcotest.test_case "D10 scoped to lib" `Quick d10_scope_is_lib;
+          Alcotest.test_case "typed findings are raw" `Quick
+            typed_pragmas_need_the_driver;
+          Alcotest.test_case "CLI typed fixtures" `Quick cli_typed_fixtures;
+        ] );
       ( "suppression",
         [
           Alcotest.test_case "pragmas" `Quick pragma_suppresses;
           Alcotest.test_case "allowlist parsing" `Quick allowlist_parsing;
+          Alcotest.test_case "allowlist path normalization" `Quick
+            allowlist_path_normalization;
+          Alcotest.test_case "allowlist rejects duplicates" `Quick
+            allowlist_rejects_duplicates;
           Alcotest.test_case "parse errors" `Quick parse_error_reported;
         ] );
+      ( "stale suppressions (D11)",
+        [
+          Alcotest.test_case "stale pragma flagged" `Quick
+            d11_flags_stale_pragma;
+          Alcotest.test_case "stale allowlist entry flagged" `Quick
+            d11_flags_stale_allowlist_entry;
+          Alcotest.test_case "used suppressions spared" `Quick
+            d11_spares_used_suppressions;
+          Alcotest.test_case "tier-aware" `Quick d11_is_tier_aware;
+          Alcotest.test_case "unsuppressible" `Quick d11_is_unsuppressible;
+          Alcotest.test_case "off when not requested" `Quick
+            d11_off_when_not_requested;
+        ] );
+      Check.suite "properties" [ prop_pragma_position; prop_shuffle_invariance ];
       ( "repository",
         [
           Alcotest.test_case "whole repo clean" `Quick whole_repo_is_clean;

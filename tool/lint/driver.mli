@@ -1,0 +1,43 @@
+(** Whole-tree driver: orchestrates the untyped tier ({!Lint}), the
+    typed tier ({!Typed}), suppression accounting, and the D11
+    stale-suppression audit.
+
+    Parsing stays on the calling domain (compiler-libs lexer state is
+    global); the pure analysis passes fan out over an optional
+    [Basalt_parallel.Pool] with results collected in deterministic path
+    order, so the report is bit-identical at any parallelism degree. *)
+
+type report = {
+  findings : Lint.finding list;
+      (** Final findings — suppressed, rule-filtered, sorted by file /
+          line / rule, D11 audit results included. *)
+  files_scanned : int;  (** Source files the untyped tier covered. *)
+  typed_covered : int;
+      (** Source files the typed tier covered (a matching [.cmt] was
+          found and readable); [0] when the typed tier was off. *)
+}
+
+val run :
+  ?typed:bool ->
+  ?rules:Lint.rule list ->
+  ?build_dir:string ->
+  ?pool:Basalt_parallel.Pool.t ->
+  root:string ->
+  allow:Lint.allowlist ->
+  unit ->
+  report
+(** [run ~root ~allow ()] lints the tree under [root].
+
+    [typed] (default [false]) enables the typed tier: [.cmt] files are
+    discovered under [build_dir] (default [root/_build/default] — run
+    [dune build @check] first to refresh them) and matched to sources by
+    their recorded source path; files without a readable [.cmt] fall
+    back to untyped-only coverage.
+
+    [rules] (default all) filters which rules report; it also scopes the
+    D11 audit — a suppression is only stale with respect to rules that
+    actually ran on its file, so e.g. D9 pragmas are never reported
+    stale by an untyped run.  Omitting [D11] from [rules] disables the
+    audit entirely.
+
+    @raise Lint.Parse_error on the first unparseable source file. *)

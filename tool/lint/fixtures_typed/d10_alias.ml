@@ -1,0 +1,17 @@
+(* D10 positive: one stream handed to two sibling consumers with no
+   split in between — their draw orders entangle through the shared
+   state.  The finding lands on the second handoff. *)
+
+module Rng = Basalt_prng.Rng
+
+module Shuffle = struct
+  let run rng arr = Rng.shuffle_in_place rng arr
+end
+
+module Pick = struct
+  let run rng arr = Rng.pick rng arr
+end
+
+let biased rng arr =
+  Shuffle.run rng arr;
+  ignore (Pick.run rng arr)

@@ -1,0 +1,17 @@
+(* D10 positive (escape): the stream is captured by the per-job closure
+   and then handed to a second consumer, so the closure's draws and the
+   finisher's draws interleave on one stream. *)
+
+module Rng = Basalt_prng.Rng
+
+module Job = struct
+  let run rng j = j + Rng.int rng 4
+end
+
+module Report = struct
+  let finish rng total = total + Rng.int rng 2
+end
+
+let entangled rng jobs =
+  let total = List.fold_left (fun acc j -> acc + Job.run rng j) 0 jobs in
+  Report.finish rng total

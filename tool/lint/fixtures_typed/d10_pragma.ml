@@ -1,0 +1,17 @@
+(* D10 pragma-suppressed: the d10_alias shape with a justified pragma on
+   the reported (second-handoff) line. *)
+
+module Rng = Basalt_prng.Rng
+
+module Shuffle = struct
+  let run rng arr = Rng.shuffle_in_place rng arr
+end
+
+module Pick = struct
+  let run rng arr = Rng.pick rng arr
+end
+
+let biased rng arr =
+  Shuffle.run rng arr;
+  (* lint: allow D10 — fixture: deliberate suppression under test *)
+  ignore (Pick.run rng arr)

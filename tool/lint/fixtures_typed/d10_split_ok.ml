@@ -1,0 +1,19 @@
+(* D10 negative: each consumer gets its own stream split off the parent,
+   so the parent is only ever handed to Rng.split (owner draws/splits
+   are free) and each child has exactly one consumer. *)
+
+module Rng = Basalt_prng.Rng
+
+module Shuffle = struct
+  let run rng arr = Rng.shuffle_in_place rng arr
+end
+
+module Pick = struct
+  let run rng arr = Rng.pick rng arr
+end
+
+let fair rng arr =
+  let r1 = Rng.split rng in
+  Shuffle.run r1 arr;
+  let r2 = Rng.split rng in
+  ignore (Pick.run r2 arr)

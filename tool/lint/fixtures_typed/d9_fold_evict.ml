@@ -1,0 +1,23 @@
+(* D9 positive: the PR 5 run_eviction bug, verbatim in shape — eviction
+   happens inside the Hashtbl.fold callback, so hash-bucket order
+   decides the order of the PRNG draws each eviction performs.
+   test/test_lint.ml pins the finding to the [evict t peer] line. *)
+
+module Rng = Basalt_prng.Rng
+
+type t = {
+  rng : Rng.t;
+  timers : (int, int) Hashtbl.t;
+  mutable view : int;
+}
+
+let evict t peer = t.view <- t.view + peer + Rng.int t.rng 8
+
+let run_eviction t now =
+  Hashtbl.fold
+    (fun peer deadline () ->
+      if deadline <= now then begin
+        Hashtbl.remove t.timers peer;
+        evict t peer
+      end)
+    t.timers ()

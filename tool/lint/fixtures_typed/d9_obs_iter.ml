@@ -1,0 +1,12 @@
+(* D9 positive (telemetry): per-entry counter updates inside Hashtbl.fold
+   make the emission order — and any trace built from it — depend on
+   bucket layout instead of protocol history. *)
+
+module Obs = Basalt_obs.Obs
+
+let tally c tbl =
+  Hashtbl.fold
+    (fun _peer bytes acc ->
+      Obs.Counter.add c bytes;
+      acc + bytes)
+    tbl 0

@@ -1,0 +1,13 @@
+(* D9 pragma-suppressed: same draw-under-iteration shape as
+   d9_fold_evict, silenced by a justified pragma on the line above. *)
+
+module Rng = Basalt_prng.Rng
+
+let jitter rng tbl =
+  Hashtbl.iter
+    (fun key ttl ->
+      if ttl = 0 then begin
+        (* lint: allow D9 — fixture: deliberate suppression under test *)
+        ignore (Rng.int rng (key + 1))
+      end)
+    tbl

@@ -1,0 +1,27 @@
+(* D9 negative: the fixed run_eviction shape — expirations are collected
+   under the fold (no draws there), sorted, and only then evicted, so
+   draw order is a pure function of the key set. *)
+
+module Rng = Basalt_prng.Rng
+
+type t = {
+  rng : Rng.t;
+  timers : (int, int) Hashtbl.t;
+  mutable view : int;
+}
+
+let evict t peer = t.view <- t.view + peer + Rng.int t.rng 8
+
+let run_eviction t now =
+  let expired =
+    List.sort Int.compare
+      (Hashtbl.fold
+         (fun peer deadline acc ->
+           if deadline <= now then peer :: acc else acc)
+         t.timers [])
+  in
+  List.iter
+    (fun peer ->
+      Hashtbl.remove t.timers peer;
+      evict t peer)
+    expired

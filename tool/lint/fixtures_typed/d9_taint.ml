@@ -1,0 +1,21 @@
+(* D9 positive (accumulation taint): the fold itself is draw-free, but
+   its hash-ordered result is never sorted before feeding the evictions
+   — the entanglement just moved one binding downstream. *)
+
+module Rng = Basalt_prng.Rng
+
+type t = {
+  rng : Rng.t;
+  timers : (int, int) Hashtbl.t;
+  mutable view : int;
+}
+
+let evict t peer = t.view <- t.view + peer + Rng.int t.rng 8
+
+let run_eviction t now =
+  let expired =
+    Hashtbl.fold
+      (fun peer deadline acc -> if deadline <= now then peer :: acc else acc)
+      t.timers []
+  in
+  List.iter (fun peer -> evict t peer) expired

@@ -1,4 +1,6 @@
-type rule = D1 | D2 | D3 | D4 | D5 | D6 | D7 | D8
+type rule = D1 | D2 | D3 | D4 | D5 | D6 | D7 | D8 | D9 | D10 | D11
+
+let all_rules = [ D1; D2; D3; D4; D5; D6; D7; D8; D9; D10; D11 ]
 
 let rule_name = function
   | D1 -> "D1"
@@ -9,52 +11,122 @@ let rule_name = function
   | D6 -> "D6"
   | D7 -> "D7"
   | D8 -> "D8"
+  | D9 -> "D9"
+  | D10 -> "D10"
+  | D11 -> "D11"
 
-let rule_of_string = function
-  | "D1" -> Some D1
-  | "D2" -> Some D2
-  | "D3" -> Some D3
-  | "D4" -> Some D4
-  | "D5" -> Some D5
-  | "D6" -> Some D6
-  | "D7" -> Some D7
-  | "D8" -> Some D8
-  | _ -> None
+let rule_of_string s =
+  List.find_opt (fun r -> rule_name r = s) all_rules
+
+(* One-line summaries, used by --format sarif rule metadata and the
+   CLI usage text.  The authoritative prose lives in DESIGN.md §6. *)
+let rule_summary = function
+  | D1 -> "no Random outside lib/prng; randomness flows from seeded \
+           Basalt_prng.Rng streams"
+  | D2 -> "no wall-clock reads outside allowlisted process boundaries"
+  | D3 -> "no polymorphic Hashtbl.hash / seeded_hash / hash_param"
+  | D4 -> "no polymorphic compare/equality in protocol libraries"
+  | D5 -> "every lib module has an .mli and every exported val a doc \
+           comment"
+  | D6 -> "no direct console output in protocol libraries"
+  | D7 -> "concurrency primitives confined to lib/parallel"
+  | D8 -> "Basalt_obs references confined to lib/obs and allowlisted \
+           instrumentation boundaries"
+  | D9 -> "no PRNG draw, trace emit, or PRNG-feeding accumulation under \
+           unordered Hashtbl iteration"
+  | D10 -> "a Basalt_prng.Rng.t stream is owned by one callee at a time; \
+            split before handing it to a second one"
+  | D11 -> "every suppression (pragma or allowlist entry) must suppress \
+            at least one finding per run"
+
+(* The tier each rule runs on: D1-D8 need only the parsetree; D9 and D10
+   resolve identifiers and types on the typed tree (.cmt files); D11 is
+   computed by the driver from suppression-usage accounting. *)
+let untyped_rules = [ D1; D2; D3; D4; D5; D6; D7; D8 ]
+let typed_rules = [ D9; D10 ]
 
 type finding = { file : string; line : int; rule : rule; message : string }
 
 let pp_finding ppf f =
   Format.fprintf ppf "%s:%d:%s: %s" f.file f.line (rule_name f.rule) f.message
 
-type allowlist = (rule * string) list
+let sort_findings fs =
+  List.sort
+    (fun a b ->
+      match String.compare a.file b.file with
+      | 0 -> (
+          match Int.compare a.line b.line with
+          | 0 -> (
+              match String.compare (rule_name a.rule) (rule_name b.rule) with
+              | 0 -> String.compare a.message b.message
+              | c -> c)
+          | c -> c)
+      | c -> c)
+    fs
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist                                                           *)
+
+type allow_entry = { a_rule : rule; a_path : string; a_line : int }
+type allowlist = allow_entry list
 
 let empty_allowlist = []
+let allow_entries a = List.map (fun e -> (e.a_rule, e.a_path, e.a_line)) a
+
+(* Normalises a repo-relative path so that `./lib//sim/` and `lib/sim/`
+   compare equal: drops `.` segments and empty segments (duplicated or
+   leading slashes), preserving the trailing `/` that marks a subtree
+   prefix. *)
+let normalize_path p =
+  let subtree = String.length p > 0 && p.[String.length p - 1] = '/' in
+  let parts =
+    List.filter
+      (fun s -> s <> "" && s <> ".")
+      (String.split_on_char '/' p)
+  in
+  String.concat "/" parts ^ if subtree then "/" else ""
 
 let allowlist_of_lines lines =
-  List.concat_map
-    (fun line ->
-      let line =
-        match String.index_opt line '#' with
-        | Some i -> String.sub line 0 i
-        | None -> line
-      in
-      let line = String.trim line in
-      if line = "" then []
-      else
-        match String.index_opt line ' ' with
-        | None -> failwith ("allowlist: malformed line: " ^ line)
-        | Some i ->
-            let r = String.sub line 0 i in
-            let path =
-              String.trim (String.sub line i (String.length line - i))
-            in
-            let rule =
-              match rule_of_string r with
-              | Some rule -> rule
-              | None -> failwith ("allowlist: unknown rule: " ^ r)
-            in
-            [ (rule, path) ])
-    lines
+  let entries =
+    List.concat
+      (List.mapi
+         (fun i line ->
+           let lineno = i + 1 in
+           let line =
+             match String.index_opt line '#' with
+             | Some j -> String.sub line 0 j
+             | None -> line
+           in
+           let line = String.trim line in
+           if line = "" then []
+           else
+             match String.index_opt line ' ' with
+             | None -> failwith ("allowlist: malformed line: " ^ line)
+             | Some j ->
+                 let r = String.sub line 0 j in
+                 let path =
+                   String.trim (String.sub line j (String.length line - j))
+                 in
+                 let rule =
+                   match rule_of_string r with
+                   | Some rule -> rule
+                   | None -> failwith ("allowlist: unknown rule: " ^ r)
+                 in
+                 [ { a_rule = rule; a_path = normalize_path path;
+                     a_line = lineno } ])
+         lines)
+  in
+  (* Duplicate entries can only hide a stale line, so they are rejected
+     at load time rather than silently tolerated. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let key = rule_name e.a_rule ^ " " ^ e.a_path in
+      if Hashtbl.mem seen key then
+        failwith ("allowlist: duplicate entry: " ^ key);
+      Hashtbl.replace seen key ())
+    entries;
+  entries
 
 let load_allowlist path =
   if not (Sys.file_exists path) then empty_allowlist
@@ -69,17 +141,107 @@ let load_allowlist path =
     close_in ic;
     allowlist_of_lines lines
 
-let allowlisted allow rule path =
-  List.exists
-    (fun (r, prefix) ->
-      r = rule
-      &&
-      if String.length prefix > 0 && prefix.[String.length prefix - 1] = '/'
-      then String.starts_with ~prefix path
-      else String.equal prefix path)
-    allow
+(* Index of the first entry exempting [rule] at [path], if any. *)
+let allow_match allow rule path =
+  let path = normalize_path path in
+  let rec go i = function
+    | [] -> None
+    | e :: rest ->
+        if
+          e.a_rule = rule
+          &&
+          if String.length e.a_path > 0
+             && e.a_path.[String.length e.a_path - 1] = '/'
+          then String.starts_with ~prefix:e.a_path path
+          else String.equal e.a_path path
+        then Some i
+        else go (i + 1) rest
+  in
+  go 0 allow
+
+let allowlisted allow rule path = allow_match allow rule path <> None
+
+(* ------------------------------------------------------------------ *)
+(* Suppression pragmas                                                 *)
+
+type pragma = { p_rule : rule; p_start : int; p_end : int }
 
 exception Parse_error of string * int * string
+
+(* Extracts `lint: allow D<k>` pragmas from one comment body. *)
+let pragmas_of_comment text (loc : Location.t) =
+  let tag = "lint: allow D" in
+  let tl = String.length tag and n = String.length text in
+  let rec digits j = if j < n && text.[j] >= '0' && text.[j] <= '9' then digits (j + 1) else j in
+  let rec scan i acc =
+    if i + tl > n then List.rev acc
+    else if String.sub text i tl = tag then begin
+      let stop = digits (i + tl) in
+      let name = "D" ^ String.sub text (i + tl) (stop - (i + tl)) in
+      let acc =
+        match rule_of_string name with
+        | Some rule ->
+            { p_rule = rule;
+              p_start = loc.loc_start.pos_lnum;
+              p_end = loc.loc_end.pos_lnum }
+            :: acc
+        | None -> acc
+      in
+      scan stop acc
+    end
+    else scan (i + 1) acc
+  in
+  scan 0 []
+
+(* Pragmas are comments, found by lexing: a pragma-shaped string literal
+   (as in the lint test fixtures) is not a suppression.  The source is
+   assumed to lex — callers parse it first. *)
+let collect_pragmas ~rel_path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf rel_path;
+  Lexer.init ();
+  (try
+     let rec drain () =
+       match Lexer.token lexbuf with Parser.EOF -> () | _ -> drain ()
+     in
+     drain ()
+   with _ -> ());
+  List.concat_map
+    (fun (text, loc) -> pragmas_of_comment text loc)
+    (Lexer.comments ())
+
+(* A pragma covers findings on the comment's own lines and the line
+   directly below it. *)
+let pragma_covers p rule line =
+  p.p_rule = rule && p.p_start <= line && line <= p.p_end + 1
+
+(* Applies the allowlist and pragma suppressions to raw findings of one
+   file, also reporting which suppressions fired (for the D11 audit).
+   Both kinds are consulted for every finding so that a pragma shadowed
+   by an allowlist entry still counts as used.  D11 findings are not
+   suppressible: the suppression surface must only shrink. *)
+let suppress ~allow ~pragmas findings =
+  let used_pragmas = ref [] and used_entries = ref [] in
+  let kept =
+    List.filter
+      (fun f ->
+        if f.rule = D11 then true
+        else begin
+          let entry = allow_match allow f.rule f.file in
+          let ps = List.filter (fun p -> pragma_covers p f.rule f.line) pragmas in
+          (match entry with
+          | Some i -> used_entries := i :: !used_entries
+          | None -> ());
+          List.iter
+            (fun p -> used_pragmas := (p.p_start, p.p_rule) :: !used_pragmas)
+            ps;
+          entry = None && ps = []
+        end)
+      findings
+  in
+  ( kept,
+    List.sort_uniq compare !used_pragmas,
+    List.sort_uniq compare !used_entries )
 
 (* ------------------------------------------------------------------ *)
 (* Path scoping                                                        *)
@@ -185,37 +347,18 @@ let rec manifestly_primitive (e : Parsetree.expression) =
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
-(* Per-file lint state                                                 *)
+(* Per-file lint state (raw findings; suppression is applied after)    *)
 
 type state = {
   rel_path : string;
-  lines : string array;  (** 1-based via [line_text]. *)
-  allow : allowlist;
   mutable findings : finding list;
   (* Operator idents already judged as part of an enclosing application
      (keyed by position), so the bare-ident check does not re-flag them. *)
   handled_ops : (int * int, unit) Hashtbl.t;
 }
 
-let line_text st n =
-  if n >= 1 && n <= Array.length st.lines then st.lines.(n - 1) else ""
-
-let contains ~sub s =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  m > 0 && go 0
-
-let pragma_allows st rule line =
-  let tag = "lint: allow " ^ rule_name rule in
-  contains ~sub:tag (line_text st line)
-  || contains ~sub:tag (line_text st (line - 1))
-
 let report st rule line message =
-  if
-    (not (allowlisted st.allow rule st.rel_path))
-    && not (pragma_allows st rule line)
-  then
-    st.findings <- { file = st.rel_path; line; rule; message } :: st.findings
+  st.findings <- { file = st.rel_path; line; rule; message } :: st.findings
 
 (* ------------------------------------------------------------------ *)
 (* Identifier checks (shared by expressions, module refs, opens)       *)
@@ -361,45 +504,43 @@ let make_iterator st =
   { default with expr; module_expr; open_description; signature_item }
 
 (* ------------------------------------------------------------------ *)
-(* Entry points                                                        *)
+(* Untyped tier entry points                                           *)
 
-let sort_findings fs =
-  List.sort
-    (fun a b ->
-      match String.compare a.file b.file with
-      | 0 -> (
-          match Int.compare a.line b.line with
-          | 0 -> String.compare (rule_name a.rule) (rule_name b.rule)
-          | c -> c)
-      | c -> c)
-    fs
+(* Parsing and comment lexing use compiler-libs global state (the lexer's
+   comment buffer, [Location.input_name]), so they must stay on a single
+   domain; [parsed] values are inert data that later analysis phases may
+   consume from any domain (the driver fans them over a Pool). *)
+type parsed =
+  | Impl of Parsetree.structure
+  | Intf of Parsetree.signature
 
-let lint_source ~rel_path ~allow source =
-  let st =
-    {
-      rel_path;
-      lines = Array.of_list (String.split_on_char '\n' source);
-      allow;
-      findings = [];
-      handled_ops = Hashtbl.create 16;
-    }
-  in
+let parse_source ~rel_path source =
   let lexbuf = Lexing.from_string source in
   Location.init lexbuf rel_path;
   Location.input_name := rel_path;
+  let parsed =
+    try
+      if Filename.check_suffix rel_path ".mli" then
+        Intf (Parse.interface lexbuf)
+      else Impl (Parse.implementation lexbuf)
+    with e ->
+      let line =
+        match e with
+        | Syntaxerr.Error err ->
+            (Syntaxerr.location_of_error err).loc_start.pos_lnum
+        | _ -> 0
+      in
+      raise (Parse_error (rel_path, line, Printexc.to_string e))
+  in
+  (parsed, collect_pragmas ~rel_path source)
+
+(* Raw (unsuppressed) findings of the untyped tier; pure. *)
+let analyze_parsed ~rel_path parsed =
+  let st = { rel_path; findings = []; handled_ops = Hashtbl.create 16 } in
   let it = make_iterator st in
-  (try
-     if Filename.check_suffix rel_path ".mli" then
-       it.signature it (Parse.interface lexbuf)
-     else it.structure it (Parse.implementation lexbuf)
-   with e ->
-     let line =
-       match e with
-       | Syntaxerr.Error err ->
-           (Syntaxerr.location_of_error err).loc_start.pos_lnum
-       | _ -> 0
-     in
-     raise (Parse_error (rel_path, line, Printexc.to_string e)));
+  (match parsed with
+  | Impl str -> it.structure it str
+  | Intf sg -> it.signature it sg);
   sort_findings st.findings
 
 let read_file path =
@@ -408,6 +549,12 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+let lint_source ~rel_path ~allow source =
+  let parsed, pragmas = parse_source ~rel_path source in
+  let raw = analyze_parsed ~rel_path parsed in
+  let kept, _, _ = suppress ~allow ~pragmas raw in
+  kept
 
 let lint_file ~root ~rel_path ~allow =
   let path =
@@ -434,7 +581,17 @@ let rec walk root rel acc =
   then rel :: acc
   else acc
 
-let missing_mli_findings ~allow files =
+let source_files ~root =
+  List.sort String.compare
+    (List.fold_left
+       (fun acc dir ->
+         if Sys.file_exists (Filename.concat root dir) then walk root dir acc
+         else acc)
+       [] scanned_dirs)
+
+(* Raw D5 findings for lib modules without an [.mli]; file-level, so the
+   driver routes them through the same suppression machinery. *)
+let missing_mli_findings files =
   let files_set = Hashtbl.create 256 in
   List.iter (fun f -> Hashtbl.replace files_set f ()) files;
   List.filter_map
@@ -442,8 +599,7 @@ let missing_mli_findings ~allow files =
       if
         in_dir "lib" f
         && Filename.check_suffix f ".ml"
-        && (not (Hashtbl.mem files_set (f ^ "i")))
-        && not (allowlisted allow D5 f)
+        && not (Hashtbl.mem files_set (f ^ "i"))
       then
         Some
           {
@@ -457,16 +613,3 @@ let missing_mli_findings ~allow files =
           }
       else None)
     files
-
-let lint_tree ~root ~allow =
-  let files =
-    List.fold_left
-      (fun acc dir ->
-        if Sys.file_exists (Filename.concat root dir) then walk root dir acc
-        else acc)
-      [] scanned_dirs
-  in
-  let findings =
-    List.concat_map (fun rel -> lint_file ~root ~rel_path:rel ~allow) files
-  in
-  sort_findings (missing_mli_findings ~allow files @ findings)

@@ -1,0 +1,114 @@
+(* Output formats for basalt-lint findings.  JSON is hand-rolled (the
+   schema is a dozen lines; a dependency would cost more than it saves)
+   and emitted with sorted, fixed key order so the bytes are stable —
+   test/test_cli.ml pins the schema. *)
+
+type format = Text | Json | Sarif
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "json" -> Some Json
+  | "sarif" -> Some Sarif
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON emission                                               *)
+
+let escape_json s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jstr s = "\"" ^ escape_json s ^ "\""
+
+(* ------------------------------------------------------------------ *)
+(* Formats                                                             *)
+
+let print_text ppf findings =
+  List.iter (fun f -> Format.fprintf ppf "%a@." Lint.pp_finding f) findings
+
+(* {"version":1,"findings":[{"file":…,"line":…,"rule":…,"message":…}]}
+   — key order and field set are part of the CLI contract. *)
+let print_json ppf findings =
+  let item (f : Lint.finding) =
+    Printf.sprintf {|    {"file": %s, "line": %d, "rule": %s, "message": %s}|}
+      (jstr f.Lint.file) f.Lint.line
+      (jstr (Lint.rule_name f.Lint.rule))
+      (jstr f.Lint.message)
+  in
+  Format.fprintf ppf "{@\n";
+  Format.fprintf ppf "  \"version\": 1,@\n";
+  Format.fprintf ppf "  \"findings\": [";
+  (match findings with
+  | [] -> Format.fprintf ppf "]@\n"
+  | fs ->
+      Format.fprintf ppf "@\n%s@\n  ]@\n"
+        (String.concat ",\n" (List.map item fs)));
+  Format.fprintf ppf "}@."
+
+(* SARIF 2.1.0, the minimal subset GitHub code scanning ingests:
+   tool.driver.rules metadata plus one result per finding with a
+   physical location. *)
+let print_sarif ppf findings =
+  let rule_meta r =
+    Printf.sprintf
+      {|        {"id": %s, "shortDescription": {"text": %s}}|}
+      (jstr (Lint.rule_name r))
+      (jstr (Lint.rule_summary r))
+  in
+  let result (f : Lint.finding) =
+    String.concat "\n"
+      [
+        "      {";
+        Printf.sprintf {|        "ruleId": %s,|}
+          (jstr (Lint.rule_name f.Lint.rule));
+        {|        "level": "error",|};
+        Printf.sprintf {|        "message": {"text": %s},|}
+          (jstr f.Lint.message);
+        {|        "locations": [{"physicalLocation": {|};
+        Printf.sprintf {|          "artifactLocation": {"uri": %s},|}
+          (jstr f.Lint.file);
+        Printf.sprintf {|          "region": {"startLine": %d}}}]|}
+          f.Lint.line;
+        "      }";
+      ]
+  in
+  Format.fprintf ppf "{@\n";
+  Format.fprintf ppf
+    "  \"$schema\": \
+     \"https://json.schemastore.org/sarif-2.1.0.json\",@\n";
+  Format.fprintf ppf "  \"version\": \"2.1.0\",@\n";
+  Format.fprintf ppf "  \"runs\": [{@\n";
+  Format.fprintf ppf "    \"tool\": {\"driver\": {@\n";
+  Format.fprintf ppf "      \"name\": \"basalt-lint\",@\n";
+  Format.fprintf ppf
+    "      \"informationUri\": \
+     \"https://github.com/basalt-repro/basalt\",@\n";
+  Format.fprintf ppf "      \"rules\": [@\n%s@\n      ]@\n"
+    (String.concat ",\n" (List.map rule_meta Lint.all_rules));
+  Format.fprintf ppf "    }},@\n";
+  Format.fprintf ppf "    \"results\": [";
+  (match findings with
+  | [] -> Format.fprintf ppf "]@\n"
+  | fs ->
+      Format.fprintf ppf "@\n%s@\n    ]@\n"
+        (String.concat ",\n" (List.map result fs)));
+  Format.fprintf ppf "  }]@\n";
+  Format.fprintf ppf "}@."
+
+let print ppf format findings =
+  match format with
+  | Text -> print_text ppf findings
+  | Json -> print_json ppf findings
+  | Sarif -> print_sarif ppf findings

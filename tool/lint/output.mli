@@ -1,0 +1,15 @@
+(** Finding renderers for the basalt-lint CLI: plain text
+    ([file:line:rule: message]), a stable machine-readable JSON schema
+    (pinned by [test/test_cli.ml]), and SARIF 2.1.0 for GitHub code
+    scanning annotations. *)
+
+type format = Text | Json | Sarif
+
+val format_of_string : string -> format option
+(** Parses ["text"] / ["json"] / ["sarif"]. *)
+
+val print : Format.formatter -> format -> Lint.finding list -> unit
+(** [print ppf fmt findings] renders the findings.  Text emits one line
+    per finding; JSON emits [{"version": 1, "findings": [...]}] with
+    fixed key order; SARIF emits one run with per-rule metadata and one
+    [error]-level result per finding. *)

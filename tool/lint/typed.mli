@@ -1,0 +1,27 @@
+(** Typed tier of [basalt-lint]: the dataflow rules D9 (iteration-order
+    taint) and D10 (RNG stream aliasing), run over the typedtree read
+    back from the [.cmt] files a build leaves in [_build] (refresh them
+    with [dune build @check]).
+
+    On the typedtree, identifiers are resolved [Path.t]s and every
+    expression carries its type, so [Basalt_prng.Rng.t] values are
+    recognized however they are named — through local module aliases
+    ([module Rng = Basalt_prng.Rng]), dune-mangled unit names
+    ([Basalt_prng__Rng]), and [Hashtbl.Make] functor instances.
+
+    Files whose [.cmt] is missing are simply not covered by this tier;
+    the driver records that D9/D10 went unchecked there, which keeps the
+    D11 stale-suppression audit from flagging their pragmas. *)
+
+exception Cmt_error of string * string
+(** [Cmt_error (cmt_path, msg)]: the [.cmt] file could not be read. *)
+
+val lint_cmt : rel_path:string -> string -> Lint.finding list
+(** [lint_cmt ~rel_path cmt_path] reads the [.cmt] at [cmt_path] and
+    returns the raw (unsuppressed) D9/D10 findings for the unit,
+    attributed to [rel_path] and sorted.  A [.cmt] holding anything but
+    an implementation (e.g. an interface [.cmti]) yields no findings.
+    @raise Cmt_error when the file cannot be read. *)
+
+val lint_structure : rel_path:string -> Typedtree.structure -> Lint.finding list
+(** As {!lint_cmt}, over an already-loaded typedtree structure. *)
