@@ -328,6 +328,61 @@ let sweep_throughput () =
     Pool.shutdown pool
   end
 
+(* The broadcast layer's hot path (DESIGN.md §11): publishing (mid
+   allocation, cache insert, local delivery, one eager push per mesh
+   peer), receiving a fresh data frame (dedup miss, cache insert,
+   forward), and rejecting a duplicate (dedup hit — the per-frame cost
+   every relay pays under redundancy). *)
+let gossip_ops () =
+  let peers = Array.init 64 Basalt_proto.Node_id.of_int in
+  let make seed =
+    Basalt_gossip.Gossip.create
+      ~node:(Basalt_proto.Node_id.of_int 9999)
+      ~view:(fun () -> peers)
+      ~rng:(Rng.create ~seed)
+      ~send:(fun ~dst:_ _ -> ())
+      ~deliver:(fun _ _ -> ())
+      ()
+  in
+  let publisher = make 1 in
+  let receiver = make 2 in
+  let dup_receiver = make 3 in
+  (* Fill the meshes the way the protocol does. *)
+  List.iter
+    (fun g ->
+      Basalt_gossip.Gossip.on_samples g (Array.to_list peers);
+      Basalt_gossip.Gossip.heartbeat g)
+    [ publisher; receiver; dup_receiver ];
+  let payload = Bytes.make 32 'x' in
+  let fresh_seqno = ref 0 in
+  let origin = Basalt_proto.Node_id.of_int 17 in
+  let dup_frame =
+    Basalt_proto.Message.Gossip
+      { mid = { origin; seqno = 0 }; hops = 1; payload }
+  in
+  ignore
+    (Basalt_gossip.Gossip.on_message dup_receiver ~from:origin dup_frame);
+  run_group ~name:"gossip ops"
+    [
+      Test.make ~name:"publish (mesh=4, 32-byte payload)"
+        (Staged.stage (fun () ->
+             ignore (Basalt_gossip.Gossip.publish publisher payload)));
+      Test.make ~name:"on_message fresh data"
+        (Staged.stage (fun () ->
+             incr fresh_seqno;
+             ignore
+               (Basalt_gossip.Gossip.on_message receiver ~from:origin
+                  (Basalt_proto.Message.Gossip
+                     { mid = { origin; seqno = !fresh_seqno }; hops = 1; payload }))));
+      Test.make ~name:"on_message duplicate data"
+        (Staged.stage (fun () ->
+             ignore
+               (Basalt_gossip.Gossip.on_message dup_receiver ~from:origin
+                  dup_frame)));
+      Test.make ~name:"heartbeat (64-peer view)"
+        (Staged.stage (fun () -> Basalt_gossip.Gossip.heartbeat receiver));
+    ]
+
 (* Observability overhead (DESIGN.md §8): the same update_sample unit as
    "core ops", once against the disabled sink (the default — instrument
    mutations are dead stores into unregistered dummies) and once against
@@ -425,6 +480,7 @@ let () =
   graph_ops ();
   codec_ops ();
   sweep_throughput ();
+  gossip_ops ();
   obs_overhead ();
   ablations ();
   (match !json_path with Some path -> write_json path | None -> ());

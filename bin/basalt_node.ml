@@ -82,6 +82,21 @@ let evict_arg =
            rounds (0 disables eviction).  Retransmissions re-record the \
            probe, so eviction and the retry policy stay coupled.")
 
+let publish_every_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "publish-every" ] ~docv:"SECONDS"
+        ~doc:
+          "Publish a broadcast message through the gossip layer every \
+           $(docv) seconds (0 = never publish; the node still relays and \
+           delivers other nodes' messages).")
+
+let payload_size_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "payload-size" ] ~docv:"BYTES"
+        ~doc:"Payload size of each published broadcast message.")
+
 let metrics_arg =
   Arg.(
     value & opt float 0.0
@@ -91,7 +106,7 @@ let metrics_arg =
            only on SIGUSR1 and at exit).")
 
 let main listen peers v tau rho duration seed loss delay evict_after
-    report_every metrics_every =
+    publish_every payload_size report_every metrics_every =
   let seed =
     if seed = 0 then int_of_float (Unix.gettimeofday () *. 1000.0) land 0xFFFFFF
     else seed
@@ -105,10 +120,28 @@ let main listen peers v tau rho duration seed loss delay evict_after
   (* The daemon is the allowlisted real-clock boundary (lint D2/D8): the
      registry's trace clock is the event loop's wall clock. *)
   let obs = Basalt_obs.Obs.create ~clock:(fun () -> Event_loop.now loop) () in
-  let node =
-    Udp_node.create ~config ~obs ~inject_loss:loss ~inject_delay:delay ~loop
-      ~listen ~bootstrap:peers ~seed ()
+  let deliver mid payload =
+    Printf.printf "[recv] broadcast %s#%d (%d bytes)\n%!"
+      (Endpoint.to_string (Endpoint.of_node_id mid.Basalt_proto.Message.origin))
+      mid.Basalt_proto.Message.seqno (Bytes.length payload)
   in
+  let node =
+    Udp_node.create ~config ~obs ~inject_loss:loss ~inject_delay:delay
+      ~gossip:Basalt_gossip.Config.default ~deliver ~loop ~listen
+      ~bootstrap:peers ~seed ()
+  in
+  if publish_every > 0.0 then begin
+    let published = ref 0 in
+    (* Phase-shift the first publish a full interval in, so the mesh has
+       had sampler output to graft from. *)
+    Event_loop.every loop ~phase:publish_every ~interval:publish_every
+      (fun () ->
+        let payload =
+          Bytes.make payload_size (Char.chr (65 + (!published mod 26)))
+        in
+        incr published;
+        ignore (Udp_node.publish node payload))
+  end;
   let dump_metrics () =
     Printf.printf "-- metrics @ %.3f\n%s%!" (Event_loop.now loop)
       (Basalt_obs.Obs.render obs)
@@ -133,6 +166,14 @@ let main listen peers v tau rho duration seed loss delay evict_after
         (Endpoint.to_string (Udp_node.endpoint node))
         (List.length view) (List.length distinct)
         stats.Udp_node.datagrams_in stats.Udp_node.datagrams_out;
+      (match Udp_node.gossip_stats node with
+      | Some g when g.Basalt_gossip.Gossip.published > 0 || g.delivered > 0 ->
+          Printf.printf
+            "  gossip: %d published, %d delivered, %d duplicates, mesh \
+             grafts/prunes %d/%d\n"
+            g.Basalt_gossip.Gossip.published g.delivered g.duplicates
+            g.grafts_sent g.prunes_sent
+      | Some _ | None -> ());
       let recent =
         Basalt_core.Sample_stream.recent (Udp_node.samples node) 5
       in
@@ -148,6 +189,11 @@ let main listen peers v tau rho duration seed loss delay evict_after
   Printf.printf "done: %d datagrams in, %d out, %d decode errors, %d retries\n"
     stats.Udp_node.datagrams_in stats.Udp_node.datagrams_out
     stats.Udp_node.decode_errors stats.Udp_node.retries;
+  (match Udp_node.gossip_stats node with
+  | Some g ->
+      Printf.printf "gossip: %d published, %d delivered, %d duplicates\n"
+        g.Basalt_gossip.Gossip.published g.delivered g.duplicates
+  | None -> ());
   dump_metrics ();
   Udp_node.close node
 
@@ -159,7 +205,7 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ listen_arg $ peers_arg $ view_size_arg $ tau_arg $ rho_arg
-      $ duration_arg $ seed_arg $ loss_arg $ delay_arg $ evict_arg $ report_arg
-      $ metrics_arg)
+      $ duration_arg $ seed_arg $ loss_arg $ delay_arg $ evict_arg
+      $ publish_every_arg $ payload_size_arg $ report_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -26,8 +26,8 @@ let csv_arg =
 let trace_arg =
   let doc =
     "Write a deterministic JSONL event trace (lib/obs, DESIGN.md \xc2\xa78) to \
-     $(docv).  Supported by $(b,cost), $(b,timeline) and \
-     $(b,robustness-net), whose tables then also report \
+     $(docv).  Supported by $(b,cost), $(b,timeline), \
+     $(b,robustness-net) and $(b,broadcast), whose tables then also report \
      instrument-sourced metrics; other targets warn and ignore the flag \
      (sweeps would record millions of events)."
   in
@@ -52,8 +52,8 @@ let warn_no_trace cmd_name = function
   | None -> ()
   | Some _ ->
       Printf.eprintf
-        "repro %s: --trace is only supported by cost, timeline and \
-         robustness-net; ignoring\n\
+        "repro %s: --trace is only supported by cost, timeline, \
+         robustness-net and broadcast; ignoring\n\
          %!"
         cmd_name
 
@@ -127,6 +127,9 @@ let robustness_net ~scale ~csv_dir ~trace ~pool () =
     ?csv:(csv_path csv_dir "robustness_net")
     ?trace ?pool ()
 
+let broadcast ~scale ~csv_dir ~trace ~pool () =
+  Broadcast.print ~scale ?csv:(csv_path csv_dir "broadcast") ?trace ?pool ()
+
 let uniformity ~scale ~csv_dir ~pool () =
   Uniformity.print ~scale ?csv:(csv_path csv_dir "uniformity") ?pool ()
 
@@ -151,7 +154,8 @@ let extensions ~scale ~csv_dir ~pool () =
   robustness ~scale ~csv_dir ~pool ();
   robustness_net ~scale ~csv_dir ~trace:None ~pool ();
   uniformity ~scale ~csv_dir ~pool ();
-  dag ~scale ~csv_dir ~pool ()
+  dag ~scale ~csv_dir ~pool ();
+  broadcast ~scale ~csv_dir ~trace:None ~pool ()
 
 let cmds =
   [
@@ -191,6 +195,11 @@ let cmds =
         "Extension: convergence under fault plans (burst loss, partitions, \
          duplication/reordering)"
       robustness_net;
+    cmd "broadcast"
+      ~doc:
+        "Extension: epidemic broadcast (lib/gossip) over each sampler under \
+         flooding and network faults"
+      broadcast;
     cmd "uniformity" ~doc:"Extension: sample-stream diversity statistics"
       (untraced "uniformity" uniformity);
     cmd "dag" ~doc:"Extension: Avalanche DAG consensus with a double-spend"

@@ -45,7 +45,13 @@ let on_message t ~victim_reply ~from ~to_ msg =
   | Message.Pull_request ->
       if victim_reply then
         t.send ~src:to_ ~dst:from (Message.Pull_reply (malicious_view t))
-  | Message.Pull_reply _ | Message.Push _ | Message.Push_id _ -> ()
+  | Message.Pull_reply _ | Message.Push _ | Message.Push_id _
+  (* Broadcast frames are absorbed silently — the worst case for
+     dissemination: a Byzantine mesh member is a black hole that never
+     forwards, repairs, or digests (§4-style adversary for lib/gossip). *)
+  | Message.Gossip _ | Message.Ihave _ | Message.Iwant _ | Message.Graft
+  | Message.Prune ->
+      ()
 
 let push_target t =
   match t.strategy with

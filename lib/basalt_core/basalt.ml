@@ -218,6 +218,11 @@ let on_message t ~from msg =
       update_sample t ids;
       update_sample t [| from |]
   | Message.Push_id id -> update_sample t [| id |]
+  (* Broadcast frames belong to the lib/gossip layer sharing the socket;
+     the sampler only takes the liveness signal above. *)
+  | Message.Gossip _ | Message.Ihave _ | Message.Iwant _ | Message.Graft
+  | Message.Prune ->
+      ()
 
 let sample_tick t =
   let v = Array.length t.slots in

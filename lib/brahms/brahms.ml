@@ -190,6 +190,10 @@ let on_message t ~from msg =
       t.pending_pull <- List.rev_append (Array.to_list ids) t.pending_pull;
       t.got_pull_reply <- true;
       feed_samplers t (Array.to_list ids)
+  (* Broadcast frames are the lib/gossip layer's; samplers ignore them. *)
+  | Message.Gossip _ | Message.Ihave _ | Message.Iwant _ | Message.Graft
+  | Message.Prune ->
+      ()
 
 let sample_tick t =
   let l = Array.length t.samplers in

@@ -256,14 +256,29 @@ module Gens = struct
   let view ?min_len ~max_len ~max_id () =
     Gen.array ?min_len ~max_len (node_id ~max:max_id)
 
+  let mid ?(max_id = (1 lsl 48) - 1) () =
+    Gen.map2
+      (fun origin seqno -> { Message.origin; seqno })
+      (node_id ~max:max_id)
+      (Gen.nat ~max:0xFFFF_FFFF)
+
   let message ?(max_ids = 40) ?(max_id = (1 lsl 48) - 1) () =
     let ids = view ~max_len:max_ids ~max_id () in
+    let mids = Gen.array ~max_len:max_ids (mid ~max_id ()) in
     Gen.oneof
       [
         Gen.return Message.Pull_request;
         Gen.map (fun v -> Message.Pull_reply v) ids;
         Gen.map (fun v -> Message.Push v) ids;
         Gen.map (fun i -> Message.Push_id i) (node_id ~max:max_id);
+        Gen.map2
+          (fun (m, hops) payload -> Message.Gossip { mid = m; hops; payload })
+          (Gen.pair (mid ~max_id ()) (Gen.nat ~max:0xFFFF))
+          (Gen.bytes ~max_len:64 ());
+        Gen.map (fun ms -> Message.Ihave ms) mids;
+        Gen.map (fun ms -> Message.Iwant ms) mids;
+        Gen.return Message.Graft;
+        Gen.return Message.Prune;
       ]
 
   let latency =

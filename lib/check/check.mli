@@ -127,11 +127,18 @@ module Gens : sig
   (** [view ~max_len ~max_id ()] generates an identifier array
       (duplicates allowed, like real views). *)
 
+  val mid : ?max_id:int -> unit -> Basalt_proto.Message.mid Gen.t
+  (** [mid ()] generates a broadcast message identifier with a full-range
+      u32 sequence number and an origin of value at most [max_id]
+      (default [2^48 - 1]). *)
+
   val message : ?max_ids:int -> ?max_id:int -> unit -> Basalt_proto.Message.t Gen.t
-  (** [message ()] generates any of the four wire message kinds;
-      payload arrays hold up to [max_ids] (default 40) identifiers of
-      value at most [max_id] (default [2^48 - 1], exercising the full
-      on-wire width). *)
+  (** [message ()] generates any of the nine wire message kinds
+      (sampler frames and lib/gossip broadcast frames); payload arrays
+      hold up to [max_ids] (default 40) identifiers — or message
+      identifiers — of value at most [max_id] (default [2^48 - 1],
+      exercising the full on-wire width), and [Gossip] payloads up to
+      64 opaque bytes. *)
 
   val latency : Basalt_engine.Link.Latency.t Gen.t
   (** Any latency model with small parameters ([Uniform] bounds are

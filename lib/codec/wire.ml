@@ -21,37 +21,98 @@ let magic = 0xB5
 let version = 1
 let header_size = 6
 let max_ids = 0xFFFF
+let max_payload = 0xFFFF
+let max_seqno = 0xFFFF_FFFF
+let max_hops = 0xFFFF
+
+(* Per-mid wire footprint in Ihave/Iwant digests: u64 origin + u32 seqno. *)
+let mid_size = 12
+
+(* Fixed part of a Gossip frame after the header: u64 origin + u32 seqno
+   + u16 hops. *)
+let gossip_fixed = 14
 
 let tag_of = function
   | Message.Pull_request -> 0
   | Message.Pull_reply _ -> 1
   | Message.Push _ -> 2
   | Message.Push_id _ -> 3
+  | Message.Gossip _ -> 4
+  | Message.Ihave _ -> 5
+  | Message.Iwant _ -> 6
+  | Message.Graft -> 7
+  | Message.Prune -> 8
 
 let ids_of = function
-  | Message.Pull_request -> [||]
+  | Message.Pull_request | Message.Graft | Message.Prune -> [||]
   | Message.Pull_reply ids | Message.Push ids -> ids
   | Message.Push_id id -> [| id |]
+  | Message.Gossip _ | Message.Ihave _ | Message.Iwant _ -> [||]
 
-let encoded_size msg = header_size + (8 * Array.length (ids_of msg))
+let encoded_size msg =
+  match msg with
+  | Message.Gossip { payload; _ } ->
+      header_size + gossip_fixed + Bytes.length payload
+  | Message.Ihave mids | Message.Iwant mids ->
+      header_size + (mid_size * Array.length mids)
+  | _ -> header_size + (8 * Array.length (ids_of msg))
+
+let check_mid (m : Message.mid) =
+  if m.Message.seqno < 0 || m.Message.seqno > max_seqno then
+    invalid_arg "Wire.encode: sequence number out of u32 range"
+
+let put_mid buf off (m : Message.mid) =
+  Bytes.set_int64_be buf off (Int64.of_int (Node_id.to_int m.Message.origin));
+  Bytes.set_int32_be buf (off + 8) (Int32.of_int m.Message.seqno)
 
 let encode msg =
-  let ids = ids_of msg in
-  let count = Array.length ids in
-  if count > max_ids then invalid_arg "Wire.encode: too many identifiers";
-  let buf = Bytes.create (header_size + (8 * count)) in
-  Bytes.set_uint8 buf 0 magic;
-  Bytes.set_uint8 buf 1 version;
-  Bytes.set_uint8 buf 2 (tag_of msg);
-  Bytes.set_uint8 buf 3 0;
-  Bytes.set_uint16_be buf 4 count;
-  Array.iteri
-    (fun i id ->
-      Bytes.set_int64_be buf
-        (header_size + (8 * i))
-        (Int64.of_int (Node_id.to_int id)))
-    ids;
-  buf
+  let header ~tag ~count size =
+    let buf = Bytes.create size in
+    Bytes.set_uint8 buf 0 magic;
+    Bytes.set_uint8 buf 1 version;
+    Bytes.set_uint8 buf 2 tag;
+    Bytes.set_uint8 buf 3 0;
+    Bytes.set_uint16_be buf 4 count;
+    buf
+  in
+  match msg with
+  | Message.Gossip { mid; hops; payload } ->
+      check_mid mid;
+      if hops < 0 || hops > max_hops then
+        invalid_arg "Wire.encode: hop count out of u16 range";
+      let len = Bytes.length payload in
+      if len > max_payload then invalid_arg "Wire.encode: payload too large";
+      let buf =
+        header ~tag:(tag_of msg) ~count:len
+          (header_size + gossip_fixed + len)
+      in
+      put_mid buf header_size mid;
+      Bytes.set_uint16_be buf (header_size + 12) hops;
+      Bytes.blit payload 0 buf (header_size + gossip_fixed) len;
+      buf
+  | Message.Ihave mids | Message.Iwant mids ->
+      let count = Array.length mids in
+      if count > max_ids then invalid_arg "Wire.encode: too many identifiers";
+      Array.iter check_mid mids;
+      let buf =
+        header ~tag:(tag_of msg) ~count (header_size + (mid_size * count))
+      in
+      Array.iteri
+        (fun i m -> put_mid buf (header_size + (mid_size * i)) m)
+        mids;
+      buf
+  | _ ->
+      let ids = ids_of msg in
+      let count = Array.length ids in
+      if count > max_ids then invalid_arg "Wire.encode: too many identifiers";
+      let buf = header ~tag:(tag_of msg) ~count (header_size + (8 * count)) in
+      Array.iteri
+        (fun i id ->
+          Bytes.set_int64_be buf
+            (header_size + (8 * i))
+            (Int64.of_int (Node_id.to_int id)))
+        ids;
+      buf
 
 let decode_sub buf ~off ~len =
   (* [off > length - len] is the overflow-proof form of
@@ -71,17 +132,53 @@ let decode_sub buf ~off ~len =
       else begin
         let tag = Bytes.get_uint8 buf (off + 2) in
         let count = Bytes.get_uint16_be buf (off + 4) in
-        let expected = header_size + (8 * count) in
+        (* Per-tag payload size implied by the declared count. *)
+        let expected =
+          header_size
+          +
+          match tag with
+          | 4 -> gossip_fixed + count
+          | 5 | 6 -> mid_size * count
+          | 7 | 8 -> 0
+          | _ -> 8 * count
+        in
         if len < expected then Error Truncated
         else if len > expected then Error (Trailing_garbage (len - expected))
         else begin
+          let read_id at =
+            let raw = Bytes.get_int64_be buf at in
+            if raw < 0L || raw > Int64.of_int max_int then Error Id_out_of_range
+            else Ok (Node_id.of_int (Int64.to_int raw))
+          in
           let read_ids () =
             let out = Array.make count (Node_id.of_int 0) in
             let ok = ref true in
             for i = 0 to count - 1 do
-              let raw = Bytes.get_int64_be buf (off + header_size + (8 * i)) in
-              if raw < 0L || raw > Int64.of_int max_int then ok := false
-              else out.(i) <- Node_id.of_int (Int64.to_int raw)
+              match read_id (off + header_size + (8 * i)) with
+              | Ok id -> out.(i) <- id
+              | Error _ -> ok := false
+            done;
+            if !ok then Ok out else Error Id_out_of_range
+          in
+          let read_mid at =
+            match read_id at with
+            | Error e -> Error e
+            | Ok origin ->
+                let seqno =
+                  Int32.to_int (Bytes.get_int32_be buf (at + 8)) land max_seqno
+                in
+                Ok { Message.origin; seqno }
+          in
+          let read_mids () =
+            let out =
+              Array.make count
+                { Message.origin = Node_id.of_int 0; seqno = 0 }
+            in
+            let ok = ref true in
+            for i = 0 to count - 1 do
+              match read_mid (off + header_size + (mid_size * i)) with
+              | Ok m -> out.(i) <- m
+              | Error _ -> ok := false
             done;
             if !ok then Ok out else Error Id_out_of_range
           in
@@ -96,6 +193,21 @@ let decode_sub buf ~off ~len =
               | Ok [| id |] -> Ok (Message.Push_id id)
               | Ok _ -> Error (Bad_tag tag)
               | Error e -> Error e)
+          | 4 -> (
+              match read_mid (off + header_size) with
+              | Error e -> Error e
+              | Ok mid ->
+                  let hops = Bytes.get_uint16_be buf (off + header_size + 12) in
+                  let payload =
+                    Bytes.sub buf (off + header_size + gossip_fixed) count
+                  in
+                  Ok (Message.Gossip { mid; hops; payload }))
+          | 5 -> Result.map (fun mids -> Message.Ihave mids) (read_mids ())
+          | 6 -> Result.map (fun mids -> Message.Iwant mids) (read_mids ())
+          | 7 | 8 ->
+              if count <> 0 then Error (Trailing_garbage count)
+              else if tag = 7 then Ok Message.Graft
+              else Ok Message.Prune
           | t -> Error (Bad_tag t)
         end
       end

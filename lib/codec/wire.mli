@@ -1,4 +1,4 @@
-(** Binary wire format for RPS messages.
+(** Binary wire format for RPS and broadcast messages.
 
     A compact, versioned datagram encoding used by the real UDP transport
     ({!Basalt_net}):
@@ -7,11 +7,25 @@
       offset  size  field
       0       1     magic        (0xB5)
       1       1     version      (1)
-      2       1     tag          (0 pull, 1 pull-reply, 2 push, 3 push-id)
+      2       1     tag          (0 pull, 1 pull-reply, 2 push, 3 push-id,
+                                  4 gossip, 5 ihave, 6 iwant,
+                                  7 graft, 8 prune)
       3       1     reserved     (0)
-      4       2     count        (big-endian u16, number of identifiers)
-      6       8*c   identifiers  (big-endian u64 each)
+      4       2     count        (big-endian u16; see below)
+      6       ...   payload      (per tag)
     v}
+
+    For the sampler frames (tags 0–3) [count] is the number of
+    identifiers and the payload is [count] big-endian u64 identifiers.
+    For the broadcast frames of [lib/gossip] (DESIGN.md §11):
+
+    - tag 4 ([Gossip]): [count] is the opaque payload length; the frame
+      body is origin (u64), seqno (u32), hops (u16), then [count]
+      payload bytes;
+    - tags 5/6 ([Ihave]/[Iwant]): [count] message identifiers of
+      12 bytes each — origin (u64) then seqno (u32);
+    - tags 7/8 ([Graft]/[Prune]): [count] must be 0 and the frame is
+      header-only.
 
     Identifiers are 64-bit on the wire (the UDP transport packs an IPv4
     address and port into one identifier; simulators use small ints).
@@ -34,7 +48,11 @@ val pp_error : Format.formatter -> error -> unit
 (** Formatter for decode errors. *)
 
 val encode : Basalt_proto.Message.t -> bytes
-(** [encode msg] serialises a message. *)
+(** [encode msg] serialises a message.
+    @raise Invalid_argument on a message the format cannot carry: more
+    than {!max_ids} identifiers, a broadcast payload longer than
+    {!max_payload}, a sequence number outside [\[0, max_seqno\]], or a
+    hop count outside [\[0, max_hops\]]. *)
 
 val decode : bytes -> (Basalt_proto.Message.t, error) result
 (** [decode b] parses a whole datagram. *)
@@ -50,6 +68,15 @@ val decode_sub : bytes -> off:int -> len:int -> (Basalt_proto.Message.t, error) 
 
 val max_ids : int
 (** Maximum identifier count a datagram may carry (65535). *)
+
+val max_payload : int
+(** Maximum broadcast payload length in bytes (65535). *)
+
+val max_seqno : int
+(** Maximum broadcast sequence number (the u32 range, [2^32 - 1]). *)
+
+val max_hops : int
+(** Maximum hop count a [Gossip] frame can carry (65535). *)
 
 val encoded_size : Basalt_proto.Message.t -> int
 (** [encoded_size msg] is [Bytes.length (encode msg)] without encoding. *)

@@ -1,0 +1,61 @@
+(** Extension: epidemic broadcast over the sampled overlay.
+
+    The application-level payoff of a Byzantine-tolerant sampler: the
+    [lib/gossip] eager/lazy-push broadcast layer (DESIGN.md §11) runs
+    on top of Basalt, Brahms, SPS and the non-tolerant classic
+    baseline while the §4 flooding adversary attacks the sampling
+    layer — Byzantine nodes additionally black-hole every broadcast
+    frame.  Because the eager mesh is replenished from the sampler's
+    output, the dissemination tree inherits the sample stream's
+    Byzantine fraction: samplers that bound it (Basalt) keep messages
+    flowing, poisoned ones (classic) lose them.
+
+    Swept: network condition (clean / Gilbert–Elliott burst loss / a
+    timed half-space partition) × flooding force × protocol.  A batch
+    of messages is published from rotating correct publishers after a
+    warmup; reported per cell: the delivered fraction of
+    (message, correct node) pairs, the median time for a message to
+    reach 99% of correct nodes, and the redundancy (duplicate data
+    frames per delivery).  The whole sweep is a flat task list fanned
+    over an optional {!Basalt_parallel.Pool}; tables and traces are
+    bit-identical at any [-j N]. *)
+
+type outcome = {
+  delivered : float;  (** Mean delivered fraction across seeds. *)
+  t99 : float option;
+      (** Median time-to-99% across seeds' medians, [None] when a
+          majority of messages never got there. *)
+  redundancy : float;  (** Duplicate data frames per delivery. *)
+}
+
+type row = {
+  condition : string;  (** Network condition name. *)
+  force : float;  (** Flooding force F. *)
+  basalt : outcome;
+  brahms : outcome;
+  sps : outcome;
+  classic : outcome;
+}
+
+val publish_count : int
+(** Messages published per run (10). *)
+
+val run :
+  ?scale:Scale.t -> ?pool:Basalt_parallel.Pool.t -> unit -> row list
+(** [run ()] sweeps condition × force × protocol at the scale's base
+    parameters ([f = 0.1]). *)
+
+val columns : row list -> int * Basalt_sim.Report.column list
+(** [columns rows] lays out the report table. *)
+
+val print :
+  ?scale:Scale.t ->
+  ?csv:string ->
+  ?trace:string ->
+  ?pool:Basalt_parallel.Pool.t ->
+  unit ->
+  unit
+(** [print ()] runs the sweep and prints its table; [csv] also writes
+    a CSV file, [trace] dumps the merged deterministic JSONL event
+    trace of every run, tagged with [cond], [force] and [proto]
+    fields, in task order (byte-identical at any [-j N]). *)

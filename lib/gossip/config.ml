@@ -1,0 +1,34 @@
+type t = {
+  degree : int;
+  degree_lo : int;
+  degree_hi : int;
+  lazy_fanout : int;
+  history : int;
+  cache_capacity : int;
+  iwant_timeout : int;
+  iwant_retries : int;
+}
+
+let make ?(degree = 4) ?(degree_lo = 2) ?(degree_hi = 8) ?(lazy_fanout = 6)
+    ?(history = 3) ?(cache_capacity = 512) ?(iwant_timeout = 1)
+    ?(iwant_retries = 3) () =
+  if degree_lo <= 0 || degree < degree_lo || degree_hi < degree then
+    invalid_arg "Gossip.Config.make: need 0 < degree_lo <= degree <= degree_hi";
+  if lazy_fanout < 0 then invalid_arg "Gossip.Config.make: lazy_fanout < 0";
+  if history < 1 then invalid_arg "Gossip.Config.make: history < 1";
+  if cache_capacity < 1 then
+    invalid_arg "Gossip.Config.make: cache_capacity < 1";
+  if iwant_timeout < 1 then invalid_arg "Gossip.Config.make: iwant_timeout < 1";
+  if iwant_retries < 0 then invalid_arg "Gossip.Config.make: iwant_retries < 0";
+  {
+    degree;
+    degree_lo;
+    degree_hi;
+    lazy_fanout;
+    history;
+    cache_capacity;
+    iwant_timeout;
+    iwant_retries;
+  }
+
+let default = make ()

@@ -1,0 +1,52 @@
+(** Parameters of the epidemic broadcast layer (DESIGN.md §11).
+
+    The protocol keeps an {e eager} mesh of [degree] peers receiving
+    full messages immediately, bounded within [\[degree_lo, degree_hi\]]
+    by graft/prune repair, and serves everyone else lazily through
+    [IHave] digests — the Plumtree / gossipsub split between the
+    spanning-tree payload path and the gossip repair path. *)
+
+type t = private {
+  degree : int;  (** Target eager-push degree D. *)
+  degree_lo : int;
+      (** Lower mesh bound — the churn floor: the heartbeat's
+          mesh rotation never demotes below it, and the top-up grafts
+          back towards [degree]. *)
+  degree_hi : int;
+      (** Upper mesh bound: incoming grafts beyond it are refused and
+          the heartbeat prunes back down to it. *)
+  lazy_fanout : int;
+      (** Non-mesh peers receiving an [IHave] digest each heartbeat. *)
+  history : int;
+      (** Heartbeats a message identifier stays advertised in digests. *)
+  cache_capacity : int;
+      (** Messages retained for deduplication and for serving [IWant]
+          requests; the oldest entry is evicted first. *)
+  iwant_timeout : int;
+      (** Heartbeats to wait for an announced-but-missing message
+          before grafting towards another advertiser and re-requesting. *)
+  iwant_retries : int;
+      (** Recovery attempts per missing message before giving up. *)
+}
+
+val make :
+  ?degree:int ->
+  ?degree_lo:int ->
+  ?degree_hi:int ->
+  ?lazy_fanout:int ->
+  ?history:int ->
+  ?cache_capacity:int ->
+  ?iwant_timeout:int ->
+  ?iwant_retries:int ->
+  unit ->
+  t
+(** [make ()] is the default configuration: [degree = 4] within
+    [\[2, 8\]], [lazy_fanout = 6], [history = 3], [cache_capacity =
+    512], one-heartbeat recovery timeout with 3 retries.
+    @raise Invalid_argument unless
+    [0 < degree_lo <= degree <= degree_hi], [lazy_fanout >= 0],
+    [history >= 1], [cache_capacity >= 1], [iwant_timeout >= 1] and
+    [iwant_retries >= 0]. *)
+
+val default : t
+(** [default] is [make ()]. *)

@@ -1,0 +1,325 @@
+module Message = Basalt_proto.Message
+module Node_id = Basalt_proto.Node_id
+module Rps = Basalt_proto.Rps
+module Rng = Basalt_prng.Rng
+module Wire = Basalt_codec.Wire
+module Obs = Basalt_obs.Obs
+
+(* Sampler outputs retained as mesh replenishment candidates. *)
+let sample_buffer_cap = 32
+
+type stats = {
+  published : int;
+  delivered : int;
+  duplicates : int;
+  ihave_sent : int;
+  iwant_sent : int;
+  grafts_sent : int;
+  prunes_sent : int;
+}
+
+type t = {
+  config : Config.t;
+  node : Node_id.t;
+  view : unit -> Node_id.t array;
+  rng : Rng.t;
+  send : Rps.send;
+  deliver : Message.mid -> bytes -> unit;
+  cache : Mcache.t;
+  mesh : Mesh.t;
+  wanted : Wanted.t;
+  mutable seqno : int;
+  mutable samples : Node_id.t list;  (* newest first, no self, no dups *)
+  (* plain mirrors of the obs counters *)
+  mutable published : int;
+  mutable delivered : int;
+  mutable duplicates : int;
+  mutable ihave_sent : int;
+  mutable iwant_sent : int;
+  mutable grafts_sent : int;
+  mutable prunes_sent : int;
+  c_published : Obs.Counter.t;
+  c_delivered : Obs.Counter.t;
+  c_duplicates : Obs.Counter.t;
+  c_ihave : Obs.Counter.t;
+  c_iwant : Obs.Counter.t;
+  c_grafts : Obs.Counter.t;
+  c_prunes : Obs.Counter.t;
+  h_hops : Obs.Histogram.t;
+}
+
+let hop_edges = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 8.0; 10.0; 12.0; 16.0; 24.0 |]
+
+let create ?(config = Config.default) ?(obs = Obs.disabled) ~node ~view ~rng
+    ~send ~deliver () =
+  {
+    config;
+    node;
+    view;
+    rng;
+    send;
+    deliver;
+    cache =
+      Mcache.create ~capacity:config.Config.cache_capacity
+        ~history:config.Config.history;
+    mesh = Mesh.create ();
+    wanted =
+      Wanted.create ~timeout:config.Config.iwant_timeout
+        ~retries:config.Config.iwant_retries ();
+    seqno = 0;
+    samples = [];
+    published = 0;
+    delivered = 0;
+    duplicates = 0;
+    ihave_sent = 0;
+    iwant_sent = 0;
+    grafts_sent = 0;
+    prunes_sent = 0;
+    c_published = Obs.counter obs "gossip.published";
+    c_delivered = Obs.counter obs "gossip.delivered";
+    c_duplicates = Obs.counter obs "gossip.duplicates";
+    c_ihave = Obs.counter obs "gossip.ihave";
+    c_iwant = Obs.counter obs "gossip.iwant";
+    c_grafts = Obs.counter obs "gossip.grafts";
+    c_prunes = Obs.counter obs "gossip.prunes";
+    h_hops = Obs.histogram ~edges:hop_edges obs "gossip.hops";
+  }
+
+let of_rps ?config ?obs ~rps ~rng ~send ~deliver () =
+  create ?config ?obs ~node:rps.Rps.node ~view:rps.Rps.current_view ~rng ~send
+    ~deliver ()
+
+let node t = t.node
+let eager_peers t = Mesh.peers t.mesh
+let eager_degree t = Mesh.degree t.mesh
+
+let stats t =
+  {
+    published = t.published;
+    delivered = t.delivered;
+    duplicates = t.duplicates;
+    ihave_sent = t.ihave_sent;
+    iwant_sent = t.iwant_sent;
+    grafts_sent = t.grafts_sent;
+    prunes_sent = t.prunes_sent;
+  }
+
+let send_prune t ~dst =
+  t.prunes_sent <- t.prunes_sent + 1;
+  Obs.Counter.incr t.c_prunes;
+  t.send ~dst Message.Prune
+
+let send_graft t ~dst =
+  t.grafts_sent <- t.grafts_sent + 1;
+  Obs.Counter.incr t.c_grafts;
+  t.send ~dst Message.Graft
+
+let send_iwant t ~dst mids =
+  t.iwant_sent <- t.iwant_sent + 1;
+  Obs.Counter.incr t.c_iwant;
+  t.send ~dst (Message.Iwant mids)
+
+let deliver t mid ~hops payload =
+  t.delivered <- t.delivered + 1;
+  Obs.Counter.incr t.c_delivered;
+  Obs.Histogram.observe t.h_hops (float_of_int hops);
+  t.deliver mid payload
+
+let eager_push t ~mid ~hops ~payload ~skip =
+  let frame = Message.Gossip { mid; hops; payload } in
+  List.iter
+    (fun p ->
+      if
+        (not (Node_id.equal p t.node))
+        && (not (Node_id.equal p mid.Message.origin))
+        && not (List.exists (Node_id.equal p) skip)
+      then t.send ~dst:p frame)
+    (Mesh.peers t.mesh)
+
+let publish t payload =
+  if Bytes.length payload > Wire.max_payload then
+    invalid_arg "Gossip.publish: payload too large";
+  let mid = { Message.origin = t.node; seqno = t.seqno } in
+  t.seqno <- t.seqno + 1;
+  t.published <- t.published + 1;
+  Obs.Counter.incr t.c_published;
+  Mcache.add t.cache mid ~hops:0 payload;
+  deliver t mid ~hops:0 payload;
+  (* The frame carries the hop distance at receipt: direct mesh peers
+     receive it one hop away. *)
+  eager_push t ~mid ~hops:1 ~payload ~skip:[];
+  mid
+
+let on_data t ~from mid hops payload =
+  if Mcache.seen t.cache mid then begin
+    t.duplicates <- t.duplicates + 1;
+    Obs.Counter.incr t.c_duplicates;
+    (* Plumtree: a redundant eager link is demoted to lazy — but never
+       below the target degree, so loss cannot collapse the mesh. *)
+    if Mesh.mem t.mesh from && Mesh.degree t.mesh > t.config.Config.degree
+    then begin
+      Mesh.remove t.mesh from;
+      send_prune t ~dst:from
+    end
+  end
+  else begin
+    Mcache.add t.cache mid ~hops payload;
+    Wanted.received t.wanted mid;
+    deliver t mid ~hops payload;
+    (* The peer that got a new message to us first is a good eager
+       neighbour. *)
+    if Mesh.degree t.mesh < t.config.Config.degree_hi then
+      ignore (Mesh.add t.mesh from);
+    let hops' = min (hops + 1) Wire.max_hops in
+    eager_push t ~mid ~hops:hops' ~payload ~skip:[ from ]
+  end
+
+let on_ihave t ~from mids =
+  let fresh =
+    Array.to_list mids
+    |> List.filter (fun mid ->
+           (not (Mcache.seen t.cache mid))
+           && Wanted.note t.wanted mid ~holder:from)
+  in
+  match fresh with
+  | [] -> ()
+  | _ :: _ -> send_iwant t ~dst:from (Array.of_list fresh)
+
+let on_iwant t ~from mids =
+  Array.iter
+    (fun mid ->
+      match Mcache.find t.cache mid with
+      | None -> ()
+      | Some (payload, hops) ->
+          let hops' = min (hops + 1) Wire.max_hops in
+          t.send ~dst:from (Message.Gossip { mid; hops = hops'; payload }))
+    mids
+
+let on_graft t ~from =
+  if not (Mesh.mem t.mesh from) then begin
+    if Mesh.degree t.mesh < t.config.Config.degree_hi then
+      ignore (Mesh.add t.mesh from)
+    else send_prune t ~dst:from
+  end
+
+let on_message t ~from msg =
+  match msg with
+  | Message.Gossip { mid; hops; payload } ->
+      on_data t ~from mid hops payload;
+      true
+  | Message.Ihave mids ->
+      on_ihave t ~from mids;
+      true
+  | Message.Iwant mids ->
+      on_iwant t ~from mids;
+      true
+  | Message.Graft ->
+      on_graft t ~from;
+      true
+  | Message.Prune ->
+      Mesh.remove t.mesh from;
+      true
+  | Message.Pull_request | Message.Pull_reply _ | Message.Push _
+  | Message.Push_id _ ->
+      false
+
+let on_samples t ps =
+  List.iter
+    (fun p ->
+      if not (Node_id.equal p t.node) then begin
+        let without = List.filter (fun q -> not (Node_id.equal p q)) t.samples in
+        t.samples <- p :: without
+      end)
+    ps;
+  let rec truncate n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: truncate (n - 1) tl
+  in
+  t.samples <- truncate sample_buffer_cap t.samples
+
+(* Replenishment candidates: fresh samples first (the secure stream is
+   what bounds Byzantine mesh membership), then the raw view; each block
+   shuffled so repeated heartbeats don't always pick the same peers. *)
+let mesh_candidates t =
+  let samples = Array.of_list t.samples in
+  Rng.shuffle_in_place t.rng samples;
+  let view =
+    Array.of_list
+      (List.filter
+         (fun p -> not (Node_id.equal p t.node))
+         (Array.to_list (t.view ())))
+  in
+  Rng.shuffle_in_place t.rng view;
+  Array.append samples view
+
+(* Distinct non-mesh peers from the view — the lazy-digest audience. *)
+let lazy_candidates t =
+  let out = ref [] in
+  Array.iter
+    (fun p ->
+      if
+        (not (Node_id.equal p t.node))
+        && (not (Mesh.mem t.mesh p))
+        && not (List.exists (Node_id.equal p) !out)
+      then out := p :: !out)
+    (t.view ());
+  let arr = Array.of_list (List.rev !out) in
+  Rng.shuffle_in_place t.rng arr;
+  arr
+
+let heartbeat t =
+  (* 1. Recover announced-but-missing messages: graft towards the next
+     advertiser and re-request. *)
+  List.iter
+    (fun (mid, holder) ->
+      if not (Node_id.equal holder t.node) then begin
+        if Mesh.degree t.mesh < t.config.Config.degree_hi then
+          ignore (Mesh.add t.mesh holder);
+        send_graft t ~dst:holder;
+        send_iwant t ~dst:holder [| mid |]
+      end)
+    (Wanted.tick t.wanted);
+  (* 2. Opportunistic mesh churn: demote the oldest eager peer (never
+     below the churn floor) so mesh membership keeps tracking the
+     {e current} sample stream — a poisoned sampler degrades the mesh,
+     a secure one keeps replenishing it with correct peers. *)
+  (match Mesh.peers t.mesh with
+  | oldest :: _ when Mesh.degree t.mesh > t.config.Config.degree_lo ->
+      Mesh.remove t.mesh oldest;
+      send_prune t ~dst:oldest
+  | _ -> ());
+  (* 3. Top the mesh back up to the target degree. *)
+  if Mesh.degree t.mesh < t.config.Config.degree then begin
+    let cands = mesh_candidates t in
+    let i = ref 0 in
+    while
+      Mesh.degree t.mesh < t.config.Config.degree && !i < Array.length cands
+    do
+      let p = cands.(!i) in
+      incr i;
+      if Mesh.add t.mesh p then send_graft t ~dst:p
+    done
+  end;
+  (* 4. Prune overshoot back down to the upper bound. *)
+  while Mesh.degree t.mesh > t.config.Config.degree_hi do
+    let arr = Array.of_list (Mesh.peers t.mesh) in
+    let p = Rng.pick t.rng arr in
+    Mesh.remove t.mesh p;
+    send_prune t ~dst:p
+  done;
+  (* 5. Advertise the recent windows to a few lazy peers. *)
+  (match Mcache.window t.cache with
+  | [] -> ()
+  | wnd ->
+      if t.config.Config.lazy_fanout > 0 then begin
+        let digest = Message.Ihave (Array.of_list wnd) in
+        let cands = lazy_candidates t in
+        let k = min t.config.Config.lazy_fanout (Array.length cands) in
+        for i = 0 to k - 1 do
+          t.ihave_sent <- t.ihave_sent + 1;
+          Obs.Counter.incr t.c_ihave;
+          t.send ~dst:cands.(i) digest
+        done
+      end);
+  Mcache.shift t.cache

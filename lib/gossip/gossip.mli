@@ -1,0 +1,115 @@
+(** The epidemic broadcast node (DESIGN.md §11).
+
+    An eager/lazy-push dissemination layer in the Plumtree / gossipsub
+    family, running {e on top of} any random peer sampling service:
+    full messages are pushed immediately along a small eager mesh
+    (degree kept within the {!Config.t} bounds by graft/prune repair),
+    while every other known peer receives periodic [IHave] digests and
+    pulls missing messages with [IWant].  The mesh is replenished from
+    the sampler's output, so a sampler that bounds Byzantine
+    over-representation (Basalt) keeps the dissemination tree mostly
+    correct even under attack — the application-level payoff measured
+    by the [broadcast] experiment.
+
+    The layer shares the sampler's transport: its five wire frames
+    ([Gossip]/[IHave]/[IWant]/[Graft]/[Prune],
+    {!Basalt_proto.Message.is_broadcast}) ride the same
+    {!Basalt_proto.Rps.send} callback, and the host (simulation runner
+    or UDP event loop) routes inbound broadcast frames here via
+    {!on_message} and everything else to the sampler.
+
+    Determinism: all randomness is drawn from the [rng] handed to
+    {!create} — split it from the per-concern master stream, never
+    share it with another consumer (lint rule D10).  Telemetry goes
+    through the optional [obs] registry and observes only
+    deterministic quantities (counts and hop distances). *)
+
+type t
+
+type stats = {
+  published : int;  (** Messages published locally. *)
+  delivered : int;
+      (** [deliver] callbacks fired (one per unique message, local
+          publishes included). *)
+  duplicates : int;  (** Redundant data frames received. *)
+  ihave_sent : int;  (** [IHave] digest frames sent. *)
+  iwant_sent : int;  (** [IWant] request frames sent. *)
+  grafts_sent : int;  (** [Graft] frames sent. *)
+  prunes_sent : int;  (** [Prune] frames sent. *)
+}
+(** Plain counters mirroring the [gossip.*] instruments, readable
+    without an enabled registry. *)
+
+val create :
+  ?config:Config.t ->
+  ?obs:Basalt_obs.Obs.t ->
+  node:Basalt_proto.Node_id.t ->
+  view:(unit -> Basalt_proto.Node_id.t array) ->
+  rng:Basalt_prng.Rng.t ->
+  send:Basalt_proto.Rps.send ->
+  deliver:(Basalt_proto.Message.mid -> bytes -> unit) ->
+  unit ->
+  t
+(** [create ~node ~view ~rng ~send ~deliver ()] builds one node's
+    broadcast layer.  [view] exposes the sampler's current neighbour
+    set (the lazy-digest audience; an empty view — e.g.
+    {!Basalt_proto.Rps.null} — is tolerated and simply mutes the
+    layer).  [deliver] is invoked exactly once per message the node
+    receives (or publishes), in receipt order.  [obs] (default
+    disabled, free) registers the [gossip.published / delivered /
+    duplicates / ihave / iwant / grafts / prunes] counters and the
+    [gossip.hops] histogram of hop distances at delivery. *)
+
+val of_rps :
+  ?config:Config.t ->
+  ?obs:Basalt_obs.Obs.t ->
+  rps:Basalt_proto.Rps.t ->
+  rng:Basalt_prng.Rng.t ->
+  send:Basalt_proto.Rps.send ->
+  deliver:(Basalt_proto.Message.mid -> bytes -> unit) ->
+  unit ->
+  t
+(** [of_rps ~rps …] is {!create} over the sampler's own identifier and
+    view. *)
+
+val node : t -> Basalt_proto.Node_id.t
+(** [node t] is the local identifier (the origin of published
+    messages). *)
+
+val publish : t -> bytes -> Basalt_proto.Message.mid
+(** [publish t payload] originates a message: assigns the next
+    sequence number, delivers it locally, and eager-pushes it to the
+    mesh.  Returns the message identifier.
+    @raise Invalid_argument if the payload exceeds
+    {!Basalt_codec.Wire.max_payload} bytes. *)
+
+val on_message : t -> from:Basalt_proto.Node_id.t -> Basalt_proto.Message.t -> bool
+(** [on_message t ~from msg] processes one inbound frame.  Returns
+    [true] when the frame was a broadcast frame (consumed here),
+    [false] for sampler frames the host should route to the RPS
+    layer. *)
+
+val on_samples : t -> Basalt_proto.Node_id.t list -> unit
+(** [on_samples t ps] feeds fresh sampler output; the most recent
+    identifiers are kept as mesh replenishment candidates (preferred
+    over the raw view, since the secure sample stream is what bounds
+    Byzantine mesh membership). *)
+
+val heartbeat : t -> unit
+(** [heartbeat t] runs one maintenance round: retries missing
+    messages (graft + re-request towards the next advertiser), rotates
+    the oldest eager peer out (never below [degree_lo], so the mesh
+    keeps tracking the {e current} sample stream quality), tops the
+    mesh back up to the target degree, prunes it down to [degree_hi]
+    when grafts overshot, and sends the [IHave] digest of the recent
+    windows to [lazy_fanout] non-mesh peers.  Call it at the sampler's
+    round cadence. *)
+
+val eager_peers : t -> Basalt_proto.Node_id.t list
+(** [eager_peers t] is the current mesh, in insertion order. *)
+
+val eager_degree : t -> int
+(** [eager_degree t] is [List.length (eager_peers t)]. *)
+
+val stats : t -> stats
+(** [stats t] reads the plain counters. *)

@@ -1,0 +1,17 @@
+module Node_id = Basalt_proto.Node_id
+
+type t = { mutable peers : Node_id.t list }
+
+let create () = { peers = [] }
+let mem t p = List.exists (Node_id.equal p) t.peers
+
+let add t p =
+  if mem t p then false
+  else begin
+    t.peers <- t.peers @ [ p ];
+    true
+  end
+
+let remove t p = t.peers <- List.filter (fun q -> not (Node_id.equal p q)) t.peers
+let degree t = List.length t.peers
+let peers t = t.peers

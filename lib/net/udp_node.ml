@@ -6,6 +6,7 @@ module Obs = Basalt_obs.Obs
 module Rng = Basalt_prng.Rng
 module Message = Basalt_proto.Message
 module Node_id = Basalt_proto.Node_id
+module Gossip = Basalt_gossip.Gossip
 
 type stats = {
   datagrams_in : int;
@@ -50,6 +51,7 @@ type t = {
   endpoint : Endpoint.t;
   node : Basalt.t;
   stream : Sample_stream.t;
+  gossip : Gossip.t option;
   buffer : bytes;
   datagrams_in : int ref;
   datagrams_out : int ref;
@@ -69,8 +71,8 @@ let bind_socket listen =
   | Unix.ADDR_UNIX _ -> assert false
 
 let create ?(config = Config.make ~v:16 ~k:4 ()) ?(obs = Obs.disabled)
-    ?(retry = default_retry) ?(inject_loss = 0.0) ?(inject_delay = 0.0) ~loop
-    ~listen ~bootstrap ~seed () =
+    ?(retry = default_retry) ?(inject_loss = 0.0) ?(inject_delay = 0.0) ?gossip
+    ?(deliver = fun _ _ -> ()) ~loop ~listen ~bootstrap ~seed () =
   check_retry retry;
   if inject_loss < 0.0 || inject_loss > 1.0 then
     invalid_arg "Udp_node: inject_loss must be in [0, 1]";
@@ -92,6 +94,10 @@ let create ?(config = Config.make ~v:16 ~k:4 ()) ?(obs = Obs.disabled)
   let root_rng = Rng.create ~seed in
   let retry_rng = Rng.split root_rng in
   let inject_rng = Rng.split root_rng in
+  (* Gossip-less nodes draw exactly the streams they always did. *)
+  let gossip_rng =
+    match gossip with None -> None | Some _ -> Some (Rng.split root_rng)
+  in
   (* Raw transmission, optionally degraded by the self-injection knobs:
      drop with probability [inject_loss], else postpone by a uniform draw
      from [0, inject_delay). *)
@@ -171,6 +177,19 @@ let create ?(config = Config.make ~v:16 ~k:4 ()) ?(obs = Obs.disabled)
       ~rng:root_rng ~send ()
   in
   node_cell := Some node;
+  (* The broadcast layer shares the sampler's socket and retry-free send
+     path; its mesh replenishes from the same sample stream the
+     application reads. *)
+  let glayer =
+    match (gossip, gossip_rng) with
+    | Some gconfig, Some grng ->
+        Some
+          (Gossip.create ~config:gconfig ~obs
+             ~node:(Endpoint.to_node_id endpoint)
+             ~view:(fun () -> Basalt.view node)
+             ~rng:grng ~send ~deliver ())
+    | _ -> None
+  in
   let t =
     {
       loop;
@@ -178,6 +197,7 @@ let create ?(config = Config.make ~v:16 ~k:4 ()) ?(obs = Obs.disabled)
       endpoint;
       node;
       stream = Sample_stream.create ~capacity:1024;
+      gossip = glayer;
       buffer = Bytes.create 65536;
       datagrams_in;
       datagrams_out;
@@ -199,7 +219,12 @@ let create ?(config = Config.make ~v:16 ~k:4 ()) ?(obs = Obs.disabled)
                  pull, mirroring how {!Basalt.on_message} clears the
                  eviction probe. *)
               Hashtbl.remove pending (Node_id.to_int from);
-              Basalt.on_message t.node ~from msg
+              let handled =
+                match t.gossip with
+                | Some g -> Gossip.on_message g ~from msg
+                | None -> false
+              in
+              if not handled then Basalt.on_message t.node ~from msg
           | Error _ ->
               incr t.decode_errors;
               Obs.Counter.incr c_decode_errors);
@@ -217,9 +242,16 @@ let create ?(config = Config.make ~v:16 ~k:4 ()) ?(obs = Obs.disabled)
   let tau = config.Config.tau in
   let phase = 0.01 +. (float_of_int (seed land 0xF) /. 500.0) in
   Event_loop.every loop ~phase ~interval:tau (fun () ->
-      Basalt.on_round t.node);
+      Basalt.on_round t.node;
+      match t.gossip with
+      | Some g -> Gossip.heartbeat g
+      | None -> ());
   Event_loop.every loop ~interval:(Config.refresh_interval config) (fun () ->
-      Sample_stream.push_list t.stream (Basalt.sample_tick t.node));
+      let fresh = Basalt.sample_tick t.node in
+      Sample_stream.push_list t.stream fresh;
+      match t.gossip with
+      | Some g -> Gossip.on_samples g fresh
+      | None -> ());
   t
 
 let endpoint t = t.endpoint
@@ -229,6 +261,13 @@ let view t =
   Array.to_list (Array.map Endpoint.of_node_id (Basalt.view t.node))
 
 let samples t = t.stream
+
+let publish t payload =
+  match t.gossip with
+  | Some g -> Gossip.publish g payload
+  | None -> invalid_arg "Udp_node.publish: gossip layer not enabled"
+
+let gossip_stats t = Option.map Gossip.stats t.gossip
 
 let stats t =
   {

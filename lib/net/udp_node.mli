@@ -47,6 +47,8 @@ val create :
   ?retry:retry ->
   ?inject_loss:float ->
   ?inject_delay:float ->
+  ?gossip:Basalt_gossip.Config.t ->
+  ?deliver:(Basalt_proto.Message.mid -> bytes -> unit) ->
   loop:Event_loop.t ->
   listen:Endpoint.t ->
   bootstrap:Endpoint.t list ->
@@ -72,9 +74,19 @@ val create :
     postponed by a uniform draw from [\[0, inject_delay)] seconds.  Both
     draw from streams split off [seed], so a degraded run is replayable.
 
+    [gossip] enables the {!Basalt_gossip.Gossip} epidemic broadcast
+    layer (DESIGN.md §11) with the given configuration: inbound
+    broadcast frames are routed to it instead of the sampler, its
+    heartbeat rides the exchange-round timer, its mesh replenishes from
+    each sampling tick, and [deliver] (default a no-op) fires exactly
+    once per received or published message.  Without [gossip] the node
+    draws exactly the PRNG streams it always did, and inbound broadcast
+    frames fall through to the sampler, which ignores them.
+
     [obs] (default disabled) is threaded into the protocol instance and
     additionally records [net.datagrams_in], [net.datagrams_out],
-    [net.decode_errors], [net.retries] and [net.injected_drops].  This is
+    [net.decode_errors], [net.retries] and [net.injected_drops] (plus
+    the [gossip.*] instruments when [gossip] is enabled).  This is
     the one allowlisted boundary where the sink's clock may come from the
     event loop's real monotonic time (lint D2/D8, DESIGN.md §8).
     @raise Invalid_argument if [retry] is malformed, [inject_loss] is
@@ -92,6 +104,16 @@ val view : t -> Endpoint.t list
 
 val samples : t -> Basalt_core.Sample_stream.t
 (** [samples t] is the service's output stream. *)
+
+val publish : t -> bytes -> Basalt_proto.Message.mid
+(** [publish t payload] originates a broadcast message through the
+    gossip layer and returns its identifier.
+    @raise Invalid_argument if {!create} was not given [gossip], or the
+    payload exceeds {!Basalt_codec.Wire.max_payload} bytes. *)
+
+val gossip_stats : t -> Basalt_gossip.Gossip.stats option
+(** [gossip_stats t] reads the broadcast layer's counters ([None] when
+    the layer is disabled). *)
 
 val stats : t -> stats
 (** [stats t] returns the transport counters so far. *)

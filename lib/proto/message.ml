@@ -1,21 +1,57 @@
+type mid = { origin : Node_id.t; seqno : int }
+
+let mid_equal a b = Node_id.equal a.origin b.origin && Int.equal a.seqno b.seqno
+
+let mid_compare a b =
+  let c = Node_id.compare a.origin b.origin in
+  if c <> 0 then c else Int.compare a.seqno b.seqno
+
+let pp_mid ppf m = Format.fprintf ppf "%a#%d" Node_id.pp m.origin m.seqno
+
 type t =
   | Pull_request
   | Pull_reply of Node_id.t array
   | Push of Node_id.t array
   | Push_id of Node_id.t
+  | Gossip of { mid : mid; hops : int; payload : bytes }
+  | Ihave of mid array
+  | Iwant of mid array
+  | Graft
+  | Prune
 
 let kind = function
   | Pull_request -> "pull"
   | Pull_reply _ -> "pull-reply"
   | Push _ -> "push"
   | Push_id _ -> "push-id"
+  | Gossip _ -> "gossip"
+  | Ihave _ -> "ihave"
+  | Iwant _ -> "iwant"
+  | Graft -> "graft"
+  | Prune -> "prune"
+
+let is_broadcast = function
+  | Gossip _ | Ihave _ | Iwant _ | Graft | Prune -> true
+  | Pull_request | Pull_reply _ | Push _ | Push_id _ -> false
 
 let payload_ids = function
   | Pull_request -> 0
   | Pull_reply view | Push view -> Array.length view
   | Push_id _ -> 1
+  | Gossip _ -> 1
+  | Ihave mids | Iwant mids -> Array.length mids
+  | Graft | Prune -> 0
 
-let bytes_on_wire ?(id_size = 4) m = 4 + (id_size * payload_ids m)
+(* The §4.3 budget model: a 4-byte header, [id_size] bytes per
+   identifier, 4 bytes per sequence number, 2 bytes for the hop
+   counter, and the broadcast payload verbatim. *)
+let bytes_on_wire ?(id_size = 4) m =
+  match m with
+  | Pull_request | Pull_reply _ | Push _ | Push_id _ ->
+      4 + (id_size * payload_ids m)
+  | Gossip { payload; _ } -> 4 + id_size + 4 + 2 + Bytes.length payload
+  | Ihave mids | Iwant mids -> 4 + (Array.length mids * (id_size + 4))
+  | Graft | Prune -> 4
 
 let pp ppf m =
   match m with
@@ -23,3 +59,10 @@ let pp ppf m =
   | Pull_reply view -> Format.fprintf ppf "PULL-REPLY[%d ids]" (Array.length view)
   | Push view -> Format.fprintf ppf "PUSH[%d ids]" (Array.length view)
   | Push_id id -> Format.fprintf ppf "PUSH-ID[%a]" Node_id.pp id
+  | Gossip { mid; hops; payload } ->
+      Format.fprintf ppf "GOSSIP[%a hops=%d %dB]" pp_mid mid hops
+        (Bytes.length payload)
+  | Ihave mids -> Format.fprintf ppf "IHAVE[%d mids]" (Array.length mids)
+  | Iwant mids -> Format.fprintf ppf "IWANT[%d mids]" (Array.length mids)
+  | Graft -> Format.fprintf ppf "GRAFT"
+  | Prune -> Format.fprintf ppf "PRUNE"

@@ -39,4 +39,8 @@ type maker =
 
 val null : Node_id.t -> t
 (** [null id] is a sampler that does nothing and emits nothing — a crashed
-    node, useful in churn experiments and tests. *)
+    node, useful in churn experiments and tests.  Its [current_view] is
+    the empty array and [sample_tick] the empty list, permanently;
+    layers built on top of a sampler (e.g. the [basalt.gossip]
+    broadcast layer via [Gossip.of_rps]) must tolerate that shape — an empty
+    view mutes dissemination but must not raise. *)

@@ -10,6 +10,33 @@ module Metrics = Basalt_graph.Metrics
 module Isolation = Basalt_graph.Isolation
 module Obs = Basalt_obs.Obs
 
+type app_node = {
+  app_deliver : from:Node_id.t -> Message.t -> bool;
+  app_tick : Node_id.t list -> unit;
+  app_round : unit -> unit;
+}
+
+type app_ctx = {
+  app_q : int;
+  app_n : int;
+  app_rng : Rng.t;
+  app_obs : Obs.t;
+  app_now : unit -> float;
+  app_send : src:int -> dst:Node_id.t -> Message.t -> unit;
+  app_schedule : delay:float -> (unit -> unit) -> unit;
+  app_alive : int -> bool;
+  app_view : int -> Node_id.t array;
+}
+
+type app = app_ctx -> int -> app_node
+
+let null_app_node =
+  {
+    app_deliver = (fun ~from:_ _ -> false);
+    app_tick = (fun _ -> ());
+    app_round = (fun () -> ());
+  }
+
 type node_outcome = {
   node_view_byz : float;
   node_sample_byz : float;
@@ -70,13 +97,17 @@ let bootstrap_sample s rng ~self =
   if num_byz > 0 then draw num_byz q byz_count;
   Array.of_list !out
 
-let run_with_observer ?observer ?(obs = false) ?(trace = false) s =
+let run_with_observer ?observer ?app ?(obs = false) ?(trace = false) s =
   let master = Rng.create ~seed:s.Scenario.seed in
   let engine_rng = Rng.split master in
   let node_rng = Rng.split master in
   let adversary_rng = Rng.split master in
   let bootstrap_rng = Rng.split master in
   let metric_rng = Rng.split master in
+  (* The application stream is split only when an app is present, so
+     app-less runs draw exactly the streams they always did (the pinned
+     regression outcomes depend on it). *)
+  let app_rng = match app with None -> None | Some _ -> Some (Rng.split master) in
   let n = s.Scenario.n in
   let q = Scenario.num_correct s in
   let num_byz = Scenario.num_byzantine s in
@@ -118,6 +149,33 @@ let run_with_observer ?observer ?(obs = false) ?(trace = false) s =
   in
   let sample_histogram = Array.make n 0 in
   let alive = Array.make q true in
+  (* --- Application layer (e.g. lib/gossip broadcast) --- *)
+  let apps = Array.make q null_app_node in
+  let app_make =
+    match app with
+    | None -> None
+    | Some f ->
+        let ctx =
+          {
+            app_q = q;
+            app_n = n;
+            app_rng = Option.get app_rng;
+            app_obs = sink;
+            app_now = (fun () -> Engine.now engine);
+            app_send =
+              (fun ~src ~dst msg ->
+                meter ~from_adversary:false msg;
+                Engine.send engine ~src ~dst:(Node_id.to_int dst) msg);
+            app_schedule = (fun ~delay k -> Engine.schedule engine ~delay k);
+            app_alive = (fun i -> i >= 0 && i < q && alive.(i));
+            app_view =
+              (fun i ->
+                if i >= 0 && i < q then samplers.(i).Rps.current_view ()
+                else [||]);
+          }
+        in
+        Some (f ctx)
+  in
   (* [spawn i] (re)creates node [i]'s protocol instance; handlers and
      timers go through the array so churn can replace instances live. *)
   let spawn i =
@@ -127,12 +185,17 @@ let run_with_observer ?observer ?(obs = false) ?(trace = false) s =
       Engine.send engine ~src:i ~dst:(Node_id.to_int dst) msg
     in
     let bootstrap = bootstrap_sample s bootstrap_rng ~self:i in
-    samplers.(i) <- maker ~id ~bootstrap ~rng:node_rng ~send
+    samplers.(i) <- maker ~id ~bootstrap ~rng:node_rng ~send;
+    match app_make with Some f -> apps.(i) <- f i | None -> ()
   in
   for i = 0 to q - 1 do
     spawn i;
+    (* Broadcast frames are consumed by the app layer; everything else
+       falls through to the sampler. *)
     Engine.register engine i (fun ~from msg ->
-        samplers.(i).Rps.on_message ~from:(Node_id.of_int from) msg)
+        let from = Node_id.of_int from in
+        if not (apps.(i).app_deliver ~from msg) then
+          samplers.(i).Rps.on_message ~from msg)
   done;
   (* --- Adversary --- *)
   let adversary =
@@ -169,7 +232,8 @@ let run_with_observer ?observer ?(obs = false) ?(trace = false) s =
   for i = 0 to q - 1 do
     let phase = Rng.float node_rng tau in
     Engine.every engine ~phase ~interval:tau (fun () ->
-        samplers.(i).Rps.on_round ());
+        samplers.(i).Rps.on_round ();
+        apps.(i).app_round ());
     let sample_phase = phase +. Rng.float node_rng refresh in
     Engine.every engine ~phase:sample_phase ~interval:refresh (fun () ->
         let samples = samplers.(i).Rps.sample_tick () in
@@ -179,7 +243,8 @@ let run_with_observer ?observer ?(obs = false) ?(trace = false) s =
             if idx < n then
               sample_histogram.(idx) <- sample_histogram.(idx) + 1)
           samples;
-        Sample_stream.push_list streams.(i) samples)
+        Sample_stream.push_list streams.(i) samples;
+        apps.(i).app_tick samples)
   done;
   (match adversary with
   | Some adv -> Engine.every engine ~phase:tau ~interval:tau (fun () ->
@@ -207,6 +272,7 @@ let run_with_observer ?observer ?(obs = false) ?(trace = false) s =
               | Churn.Crash ->
                   (* Fail-stop: the node goes silent forever. *)
                   samplers.(i) <- Rps.null (Node_id.of_int i);
+                  apps.(i) <- null_app_node;
                   alive.(i) <- false);
               streams.(i) <-
                 Sample_stream.create ~capacity:s.Scenario.sample_window;
@@ -318,4 +384,4 @@ let run_with_observer ?observer ?(obs = false) ?(trace = false) s =
     obs = (if Obs.enabled sink then Some sink else None);
   }
 
-let run ?obs ?trace s = run_with_observer ?obs ?trace s
+let run ?app ?obs ?trace s = run_with_observer ?app ?obs ?trace s

@@ -10,6 +10,44 @@
     [\[0, Q)], Byzantine nodes [\[Q, n)].  The ranking hash makes the
     numbering irrelevant to the protocols. *)
 
+type app_node = {
+  app_deliver : from:Basalt_proto.Node_id.t -> Basalt_proto.Message.t -> bool;
+      (** Inbound-frame filter, tried {e before} the sampler: return
+          [true] to consume the frame (broadcast frames), [false] to
+          let it fall through to [Rps.on_message]. *)
+  app_tick : Basalt_proto.Node_id.t list -> unit;
+      (** Invoked with the fresh output of every [sample_tick]. *)
+  app_round : unit -> unit;
+      (** Invoked right after the node's [on_round] — the app's
+          heartbeat, at the exchange cadence τ. *)
+}
+(** One correct node's application-layer hooks. *)
+
+type app_ctx = {
+  app_q : int;  (** Number of correct nodes. *)
+  app_n : int;  (** Total nodes. *)
+  app_rng : Basalt_prng.Rng.t;
+      (** Stream dedicated to the application, split from the run's
+          master only when an app is installed — app-less runs draw
+          exactly the streams they always did.  Split it further per
+          node (lint rule D10). *)
+  app_obs : Basalt_obs.Obs.t;  (** The run's registry (or disabled). *)
+  app_now : unit -> float;  (** Virtual time. *)
+  app_send : src:int -> dst:Basalt_proto.Node_id.t -> Basalt_proto.Message.t -> unit;
+      (** Metered transport send (counted in the bandwidth totals). *)
+  app_schedule : delay:float -> (unit -> unit) -> unit;
+      (** One-shot virtual-time timer (e.g. a publish schedule). *)
+  app_alive : int -> bool;  (** Whether a correct node is alive. *)
+  app_view : int -> Basalt_proto.Node_id.t array;
+      (** A correct node's current view ([[||]] out of range). *)
+}
+(** What the runner exposes to an application layer. *)
+
+type app = app_ctx -> int -> app_node
+(** An application is instantiated once with the run context, then once
+    per correct node (and again when churn respawns the node; a crashed
+    node's hooks are replaced by inert ones). *)
+
 type node_outcome = {
   node_view_byz : float;  (** Final Byzantine proportion in the view. *)
   node_sample_byz : float;
@@ -54,8 +92,15 @@ type result = {
 val is_malicious : Scenario.t -> Basalt_proto.Node_id.t -> bool
 (** [is_malicious s id] under the deterministic layout. *)
 
-val run : ?obs:bool -> ?trace:bool -> Scenario.t -> result
+val run : ?app:app -> ?obs:bool -> ?trace:bool -> Scenario.t -> result
 (** [run s] executes the scenario to completion.
+
+    [app] installs an application layer on every correct node (see
+    {!app}) — e.g. the [lib/gossip] broadcast layer driven by the
+    [broadcast] experiment.  Installing an app never perturbs the
+    sampler-level streams: the app's PRNG stream is split from the
+    master only when present, and app hooks piggyback on the existing
+    round/sample timers rather than drawing new phases.
 
     [obs] (default [false]) creates a per-run instrument registry — its
     snapshots appear in each measurement point's [metrics] field and the
@@ -67,6 +112,7 @@ val run : ?obs:bool -> ?trace:bool -> Scenario.t -> result
 
 val run_with_observer :
   ?observer:(time:float -> views:(int -> Basalt_proto.Node_id.t array) -> unit) ->
+  ?app:app ->
   ?obs:bool ->
   ?trace:bool ->
   Scenario.t ->

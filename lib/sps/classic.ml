@@ -108,6 +108,10 @@ let on_message t ~from msg =
   | Message.Push ids -> receive t ids (Some from)
   | Message.Pull_reply ids -> receive t ids None
   | Message.Push_id id -> receive t [| id |] (Some from)
+  (* Broadcast frames are the lib/gossip layer's; samplers ignore them. *)
+  | Message.Gossip _ | Message.Ihave _ | Message.Iwant _ | Message.Graft
+  | Message.Prune ->
+      ()
 
 let sample t k =
   let rec draw acc remaining =

@@ -86,7 +86,11 @@ let on_message t ~from msg =
   | Message.Pull_request -> ()
   | Message.Push ids | Message.Pull_reply ids ->
       inspect t (Array.append ids [| from |])
-  | Message.Push_id id -> inspect t [| id; from |]);
+  | Message.Push_id id -> inspect t [| id; from |]
+  (* Broadcast frames are the lib/gossip layer's; samplers ignore them. *)
+  | Message.Gossip _ | Message.Ihave _ | Message.Iwant _ | Message.Graft
+  | Message.Prune ->
+      ());
   if not (blacklisted t from) then Classic.on_message t.base ~from msg
 
 let on_round t =

@@ -27,6 +27,12 @@ let msg_equal a b =
       Array.length x = Array.length y
       && Array.for_all2 Node_id.equal x y
   | Message.Push_id x, Message.Push_id y -> Node_id.equal x y
+  | ( Message.Gossip { mid = m1; hops = h1; payload = p1 },
+      Message.Gossip { mid = m2; hops = h2; payload = p2 } ) ->
+      Message.mid_equal m1 m2 && h1 = h2 && Bytes.equal p1 p2
+  | Message.Ihave x, Message.Ihave y | Message.Iwant x, Message.Iwant y ->
+      Array.length x = Array.length y && Array.for_all2 Message.mid_equal x y
+  | Message.Graft, Message.Graft | Message.Prune, Message.Prune -> true
   | _ -> false
 
 let round_trip msg =
@@ -41,6 +47,53 @@ let codec_round_trips () =
   round_trip (Message.Push (Array.init 200 id));
   round_trip (Message.Push_id (id 0));
   round_trip (Message.Push_id (id ((1 lsl 48) - 1)))
+
+let mid origin seqno = { Message.origin = id origin; seqno }
+
+(* One pinned round trip per broadcast frame constructor (the lib/check
+   property below covers the full space). *)
+let codec_broadcast_round_trips () =
+  round_trip (Message.Gossip { mid = mid 7 0; hops = 0; payload = Bytes.empty });
+  round_trip
+    (Message.Gossip
+       { mid = mid ((1 lsl 48) - 1) 0xFFFF_FFFF;
+         hops = 0xFFFF;
+         payload = Bytes.of_string "rumor" });
+  round_trip (Message.Ihave [||]);
+  round_trip (Message.Ihave [| mid 1 2; mid 3 0xFFFF_FFFF |]);
+  round_trip (Message.Iwant [| mid 42 7 |]);
+  round_trip Message.Graft;
+  round_trip Message.Prune
+
+let codec_broadcast_sizes () =
+  let g = Message.Gossip { mid = mid 1 2; hops = 3; payload = Bytes.create 10 } in
+  check_int "gossip size" (6 + 14 + 10) (Bytes.length (Wire.encode g));
+  check_int "gossip encoded_size agrees" (Bytes.length (Wire.encode g))
+    (Wire.encoded_size g);
+  let ih = Message.Ihave [| mid 1 2; mid 3 4 |] in
+  check_int "ihave size" (6 + 24) (Bytes.length (Wire.encode ih));
+  check_int "graft is header only" 6 (Bytes.length (Wire.encode Message.Graft));
+  check_int "prune encoded_size" 6 (Wire.encoded_size Message.Prune)
+
+(* The format cannot carry out-of-range broadcast fields; encode must
+   refuse rather than truncate silently. *)
+let codec_broadcast_encode_guards () =
+  let check name expected msg =
+    Alcotest.check_raises name (Invalid_argument expected) (fun () ->
+        ignore (Wire.encode msg))
+  in
+  check "seqno too large" "Wire.encode: sequence number out of u32 range"
+    (Message.Gossip
+       { mid = mid 1 (Wire.max_seqno + 1); hops = 0; payload = Bytes.empty });
+  check "negative seqno in digest"
+    "Wire.encode: sequence number out of u32 range"
+    (Message.Ihave [| mid 1 (-1) |]);
+  check "hops too large" "Wire.encode: hop count out of u16 range"
+    (Message.Gossip
+       { mid = mid 1 0; hops = Wire.max_hops + 1; payload = Bytes.empty });
+  check "payload too large" "Wire.encode: payload too large"
+    (Message.Gossip
+       { mid = mid 1 0; hops = 0; payload = Bytes.create (Wire.max_payload + 1) })
 
 let codec_size () =
   check_int "pull is header only" 6
@@ -66,8 +119,8 @@ let codec_rejects_garbage () =
   Bytes.set_uint8 bad_version 1 9;
   expect_error "bad version" bad_version (Wire.Bad_version 9);
   let bad_tag = Bytes.copy good in
-  Bytes.set_uint8 bad_tag 2 7;
-  expect_error "bad tag" bad_tag (Wire.Bad_tag 7);
+  Bytes.set_uint8 bad_tag 2 9;
+  expect_error "bad tag" bad_tag (Wire.Bad_tag 9);
   let truncated = Bytes.sub good 0 (Bytes.length good - 1) in
   expect_error "truncated payload" truncated Wire.Truncated;
   let trailing = Bytes.cat good (Bytes.make 2 'x') in
@@ -237,11 +290,11 @@ let malformed_gen =
             Bytes.set_uint8 b 1 (if v = 1 then 0 else v);
             b)
           base (Gen.nat ~max:255);
-        (* unknown tag *)
+        (* unknown tag (9..255 — tags 4-8 are the broadcast frames) *)
         Gen.map2
           (fun msg t ->
             let b = Wire.encode msg in
-            Bytes.set_uint8 b 2 (4 + (t mod 252));
+            Bytes.set_uint8 b 2 (9 + (t mod 247));
             b)
           base (Gen.nat ~max:10_000);
         (* out-of-range identifier: set the sign bit of an id word *)
@@ -302,6 +355,11 @@ let () =
           Alcotest.test_case "decode_sub overflow" `Quick
             codec_decode_sub_overflow;
           Alcotest.test_case "too many ids" `Quick codec_too_many_ids;
+          Alcotest.test_case "broadcast round trips" `Quick
+            codec_broadcast_round_trips;
+          Alcotest.test_case "broadcast sizes" `Quick codec_broadcast_sizes;
+          Alcotest.test_case "broadcast encode guards" `Quick
+            codec_broadcast_encode_guards;
           Alcotest.test_case "corpus replay" `Quick codec_corpus;
         ] );
       Check.suite "properties"
