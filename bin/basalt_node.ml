@@ -105,8 +105,38 @@ let metrics_arg =
           "Dump the lib/obs instrument registry every $(docv) seconds (0 = \
            only on SIGUSR1 and at exit).")
 
+let metrics_addr_arg =
+  Arg.(
+    value
+    & opt (some endpoint_conv) None
+    & info [ "metrics-addr" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Serve the instrument registry as Prometheus text over HTTP at \
+           $(docv) (port 0 = OS-assigned; the bound address is printed at \
+           startup).  Scrape it with $(b,curl) or Prometheus while the node \
+           runs.")
+
+let metrics_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-file" ] ~docv:"PATH"
+        ~doc:
+          "Atomically rewrite $(docv) with the registry's Prometheus text at \
+           every $(b,--metrics-every) tick and at exit (written to a \
+           temporary file, then renamed) — the no-open-port variant of \
+           $(b,--metrics-addr) for file-based collectors.")
+
+let write_metrics_file path text =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc text;
+  close_out oc;
+  Sys.rename tmp path
+
 let main listen peers v tau rho duration seed loss delay evict_after
-    publish_every payload_size report_every metrics_every =
+    publish_every payload_size report_every metrics_every metrics_addr
+    metrics_file =
   let seed =
     if seed = 0 then int_of_float (Unix.gettimeofday () *. 1000.0) land 0xFFFFFF
     else seed
@@ -144,12 +174,28 @@ let main listen peers v tau rho duration seed loss delay evict_after
   end;
   let dump_metrics () =
     Printf.printf "-- metrics @ %.3f\n%s%!" (Event_loop.now loop)
-      (Basalt_obs.Obs.render obs)
+      (Basalt_obs.Obs.render obs);
+    match metrics_file with
+    | Some path -> write_metrics_file path (Basalt_obs.Obs.render_prometheus obs)
+    | None -> ()
   in
   ignore
     (Sys.signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump_metrics ())));
   if metrics_every > 0.0 then
     Event_loop.every loop ~interval:metrics_every (fun () -> dump_metrics ());
+  let metrics_server =
+    Option.map
+      (fun addr ->
+        let srv =
+          Basalt_net.Metrics_server.serve ~loop ~listen:addr
+            ~render:(fun () -> Basalt_obs.Obs.render_prometheus obs)
+            ()
+        in
+        Printf.printf "metrics exposition on http://%s/metrics\n%!"
+          (Endpoint.to_string (Basalt_net.Metrics_server.endpoint srv));
+        srv)
+      metrics_addr
+  in
   Printf.printf
     "basalt-node listening on %s (v=%d tau=%gs rho=%g seed=%d loss=%g \
      delay=%gs)\n\
@@ -195,6 +241,7 @@ let main listen peers v tau rho duration seed loss delay evict_after
         g.Basalt_gossip.Gossip.published g.delivered g.duplicates
   | None -> ());
   dump_metrics ();
+  Option.iter Basalt_net.Metrics_server.close metrics_server;
   Udp_node.close node
 
 let cmd =
@@ -206,6 +253,7 @@ let cmd =
     Term.(
       const main $ listen_arg $ peers_arg $ view_size_arg $ tau_arg $ rho_arg
       $ duration_arg $ seed_arg $ loss_arg $ delay_arg $ evict_arg
-      $ publish_every_arg $ payload_size_arg $ report_arg $ metrics_arg)
+      $ publish_every_arg $ payload_size_arg $ report_arg $ metrics_arg
+      $ metrics_addr_arg $ metrics_file_arg)
 
 let () = exit (Cmd.eval cmd)

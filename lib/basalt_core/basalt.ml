@@ -27,6 +27,9 @@ type t = {
   c_samples : Obs.Counter.t;
   c_slot_resets : Obs.Counter.t;
   c_evictions : Obs.Counter.t;
+  (* Pull-exchange lifecycle: request time and span per outstanding pull,
+     feeding the run-wide "basalt.pull_rtt" sketch (DESIGN.md §8). *)
+  rtt : Obs.rtt;
 }
 
 let config t = t.config
@@ -75,6 +78,7 @@ let create ?(config = Config.default) ?(obs = Obs.disabled) ~id ~bootstrap
       c_samples = Obs.counter obs "basalt.samples_emitted";
       c_slot_resets = Obs.counter obs "basalt.slot_resets";
       c_evictions = Obs.counter obs "basalt.evictions";
+      rtt = Obs.rtt obs ~name:"basalt.pull";
     }
   in
   update_sample t bootstrap;
@@ -195,6 +199,8 @@ let on_round t =
       | Some _ -> record_probe t p
       | None -> ());
       Obs.Counter.incr t.c_pulls;
+      Obs.rtt_start t.rtt ~node:(Node_id.to_int t.id)
+        ~peer:(Node_id.to_int p);
       t.send ~dst:p Message.Pull_request
   | None -> ());
   match select_peer t with
@@ -213,8 +219,12 @@ let on_message t ~from msg =
     Hashtbl.remove t.probes (Node_id.to_int from);
   match msg with
   | Message.Pull_request -> t.send ~dst:from (Message.Pull_reply (view t))
-  | Message.Pull_reply ids | Message.Push ids ->
+  | Message.Pull_reply ids ->
+      Obs.rtt_finish t.rtt ~peer:(Node_id.to_int from);
       (* Alg. 1 line 13: the sender itself is a candidate too. *)
+      update_sample t ids;
+      update_sample t [| from |]
+  | Message.Push ids ->
       update_sample t ids;
       update_sample t [| from |]
   | Message.Push_id id -> update_sample t [| id |]

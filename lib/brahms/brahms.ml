@@ -28,6 +28,9 @@ type t = {
   c_samples : Obs.Counter.t;
   c_slot_resets : Obs.Counter.t;
   c_view_rebuilds : Obs.Counter.t;
+  (* Pull-exchange lifecycle, feeding the run-wide "brahms.pull_rtt"
+     sketch (DESIGN.md §8). *)
+  rtt : Obs.rtt;
 }
 
 let config t = t.config
@@ -87,6 +90,7 @@ let create ?(config = Brahms_config.default) ?(obs = Obs.disabled) ~id
       c_samples = Obs.counter obs "brahms.samples_emitted";
       c_slot_resets = Obs.counter obs "brahms.slot_resets";
       c_view_rebuilds = Obs.counter obs "brahms.view_rebuilds";
+      rtt = Obs.rtt obs ~name:"brahms.pull";
     }
   in
   feed_samplers t (Array.to_list bootstrap);
@@ -165,6 +169,8 @@ let on_round t =
     match View_ops.random_member t.rng t.view with
     | Some q ->
         Obs.Counter.incr t.c_pulls;
+        Obs.rtt_start t.rtt ~node:(Node_id.to_int t.id)
+          ~peer:(Node_id.to_int q);
         t.send ~dst:q Message.Pull_request
     | None -> ()
   done
@@ -187,6 +193,7 @@ let on_message t ~from msg =
       t.pending_push_count <- t.pending_push_count + 1;
       feed_samplers t [ from ]
   | Message.Pull_reply ids ->
+      Obs.rtt_finish t.rtt ~peer:(Node_id.to_int from);
       t.pending_pull <- List.rev_append (Array.to_list ids) t.pending_pull;
       t.got_pull_reply <- true;
       feed_samplers t (Array.to_list ids)

@@ -319,6 +319,45 @@ module Gens = struct
             { nodes; registered; sends; horizon = 10_000. })
           (Gen.list_repeat nodes Gen.bool)
           (Gen.list ~max_len:max_sends send))
+
+  (* --- trace events --- *)
+
+  module Obs = Basalt_obs.Obs
+
+  (* Dyadic rationals (2m+1) / 2^(e+1): at most 12 significant decimal
+     digits, so the registry's fixed %.12g rendering is lossless and
+     JSON round-trips compare with (=). *)
+  let dyadic =
+    Gen.map2
+      (fun m e -> (float_of_int m +. 0.5) /. float_of_int (1 lsl e))
+      (Gen.nat ~max:4096) (Gen.nat ~max:8)
+
+  let obs_string =
+    (* Full byte range: escape_json covers control chars and quotes. *)
+    Gen.map
+      (fun codes ->
+        String.init (List.length codes) (fun i -> Char.chr (List.nth codes i)))
+      (Gen.list ~max_len:12 (Gen.int_range 0 255))
+
+  let obs_value =
+    Gen.oneof
+      [
+        Gen.map (fun n -> Obs.Int n) (Gen.int_range (-100_000) 100_000);
+        Gen.map (fun x -> Obs.Float x) dyadic;
+        Gen.map (fun s -> Obs.Str s) obs_string;
+      ]
+
+  let obs_event ?(max_fields = 8) () =
+    let field =
+      Gen.pair
+        (* "k" prefix keeps generated keys off the reserved "t"/"ev". *)
+        (Gen.map (fun s -> "k" ^ s) obs_string)
+        obs_value
+    in
+    Gen.map2
+      (fun (time, name) fields -> { Obs.time; name; fields })
+      (Gen.pair dyadic obs_string)
+      (Gen.list ~max_len:max_fields field)
 end
 
 (* ------------------------------------------------------------------ *)

@@ -159,6 +159,14 @@ module Gens : sig
   val schedule : max_nodes:int -> max_sends:int -> schedule Gen.t
   (** [schedule ~max_nodes ~max_sends] generates a workload with send
       times in [\[0, 100)] and a horizon safely beyond them. *)
+
+  val obs_event : ?max_fields:int -> unit -> Basalt_obs.Obs.event Gen.t
+  (** [obs_event ()] generates trace events for JSON round-trip
+      properties: full-byte-range names, keys and string values (kept
+      off the reserved ["t"]/["ev"] keys), and times/float fields that
+      are dyadic rationals so the fixed [%.12g] rendering is lossless
+      and parsed events compare structurally equal to their source.
+      Up to [max_fields] (default 8) fields per event. *)
 end
 
 (** Counterexample printers for failure reports. *)

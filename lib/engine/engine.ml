@@ -1,7 +1,14 @@
 module Obs = Basalt_obs.Obs
 module Rng = Basalt_prng.Rng
 
-type 'msg event = Deliver of { src : int; dst : int; msg : 'msg } | Timer of (unit -> unit)
+(* A queued delivery carries its send time and an open "engine.flight"
+   span, so delivery can observe the flight latency and close the span
+   without a side table.  Dropped messages abandon their span (spans
+   emit only on [span_end]), so only completed flights appear in the
+   trace. *)
+type 'msg event =
+  | Deliver of { src : int; dst : int; msg : 'msg; sent : float; span : Obs.span }
+  | Timer of (unit -> unit)
 
 type stats = {
   sent : int;
@@ -41,6 +48,7 @@ type 'msg t = {
   c_dup : Obs.Counter.t;
   c_reordered : Obs.Counter.t;
   c_partition_drops : Obs.Counter.t;
+  s_flight : Obs.Sketch.t;
   mutable clock : float;
   mutable sent : int;
   mutable delivered : int;
@@ -89,6 +97,7 @@ let create ?(latency = Link.Latency.Zero) ?(loss = Link.Loss.None) ?fault
     c_dup = Obs.counter obs "engine.dup";
     c_reordered = Obs.counter obs "engine.reordered";
     c_partition_drops = Obs.counter obs "engine.partition_drops";
+    s_flight = Obs.sketch obs "engine.flight_latency";
     clock = 0.0;
     sent = 0;
     delivered = 0;
@@ -114,6 +123,18 @@ let trace_msg ?(extra = []) t ev ~src ~dst msg =
      :: ("dst", Obs.Int dst)
      :: ("kind", Obs.Str (t.kind_of msg))
      :: extra)
+
+(* One flight span per queued copy (a duplicated datagram gets its own),
+   opened at send so its causal id orders spans by submission. *)
+let flight_span t ~src ~dst msg =
+  if Obs.tracing t.obs then
+    Obs.span t.obs ~name:"engine.flight"
+      [
+        ("src", Obs.Int src);
+        ("dst", Obs.Int dst);
+        ("kind", Obs.Str (t.kind_of msg));
+      ]
+  else Obs.no_span
 
 let drop t ~src ~dst msg =
   t.dropped <- t.dropped + 1;
@@ -181,13 +202,14 @@ let send_faulty t f ~src ~dst msg =
         else d
       in
       Event_queue.push t.queue ~time:(time +. delay ())
-        (Deliver { src; dst; msg });
+        (Deliver { src; dst; msg; sent = time; span = flight_span t ~src ~dst msg });
       if dup > 0.0 && Rng.bernoulli st.link_rng ~p:dup then begin
         t.dup <- t.dup + 1;
         Obs.Counter.incr t.c_dup;
         if Obs.tracing t.obs then trace_msg t "engine.dup" ~src ~dst msg;
         Event_queue.push t.queue ~time:(time +. delay ())
-          (Deliver { src; dst; msg })
+          (Deliver
+             { src; dst; msg; sent = time; span = flight_span t ~src ~dst msg })
       end
     end
   end
@@ -204,7 +226,14 @@ let send t ~src ~dst msg =
       else
         let delay = min_delay +. Link.Latency.sample t.latency t.rng in
         Event_queue.push t.queue ~time:(t.clock +. delay)
-          (Deliver { src; dst; msg })
+          (Deliver
+             {
+               src;
+               dst;
+               msg;
+               sent = t.clock;
+               span = flight_span t ~src ~dst msg;
+             })
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
@@ -225,7 +254,7 @@ let execute t event =
   | Timer f ->
       Obs.Counter.incr t.c_timer_fires;
       f ()
-  | Deliver { src; dst; msg } -> (
+  | Deliver { src; dst; msg; sent; span } -> (
       let handler =
         if dst >= 0 && dst < Array.length t.handlers then t.handlers.(dst)
         else None
@@ -234,11 +263,14 @@ let execute t event =
       | Some handler ->
           t.delivered <- t.delivered + 1;
           Obs.Counter.incr t.c_delivered;
+          Obs.Sketch.add t.s_flight (t.clock -. sent);
+          Obs.span_end ~fields:[ ("outcome", Obs.Str "deliver") ] t.obs span;
           if Obs.tracing t.obs then trace_msg t "engine.deliver" ~src ~dst msg;
           handler ~from:src msg
       | None ->
           t.ignored <- t.ignored + 1;
           Obs.Counter.incr t.c_ignored;
+          Obs.span_end ~fields:[ ("outcome", Obs.Str "ignore") ] t.obs span;
           if Obs.tracing t.obs then trace_msg t "engine.ignore" ~src ~dst msg)
 
 let step t =

@@ -67,6 +67,11 @@ val create :
     [engine.ignore]/[engine.dup] events with [src], [dst] and [kind]
     fields, where [kind] is computed by [kind_of] (default: constantly
     ["msg"]); partition/outage drops carry an extra [cause] field.
+    The virtual-time latency of every completed delivery feeds the
+    [engine.flight_latency] quantile sketch, and under tracing each
+    queued copy opens an [engine.flight] span at send time, closed at
+    delivery with an [outcome] field ([deliver]/[ignore]) — dropped
+    messages abandon their span, so only completed flights appear.
     Stamp trace events with virtual time by pointing the sink's clock at
     [now t]. *)
 

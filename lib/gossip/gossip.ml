@@ -24,6 +24,7 @@ type t = {
   view : unit -> Node_id.t array;
   rng : Rng.t;
   send : Rps.send;
+  obs : Obs.t;
   deliver : Message.mid -> bytes -> unit;
   cache : Mcache.t;
   mesh : Mesh.t;
@@ -58,6 +59,7 @@ let create ?(config = Config.default) ?(obs = Obs.disabled) ~node ~view ~rng
     view;
     rng;
     send;
+    obs;
     deliver;
     cache =
       Mcache.create ~capacity:config.Config.cache_capacity
@@ -119,10 +121,26 @@ let send_iwant t ~dst mids =
   Obs.Counter.incr t.c_iwant;
   t.send ~dst (Message.Iwant mids)
 
+(* A broadcast's identity doubles as its trace id: every event of one
+   dissemination carries the same "origin#seqno" string, so the offline
+   analyzer can reconstruct per-message hop counts and time-to-delivery
+   without protocol knowledge (DESIGN.md §8). *)
+let trace_id mid =
+  Printf.sprintf "%d#%d"
+    (Node_id.to_int mid.Message.origin)
+    mid.Message.seqno
+
 let deliver t mid ~hops payload =
   t.delivered <- t.delivered + 1;
   Obs.Counter.incr t.c_delivered;
   Obs.Histogram.observe t.h_hops (float_of_int hops);
+  if Obs.tracing t.obs then
+    Obs.trace t.obs ~name:"gossip.deliver"
+      [
+        ("trace", Obs.Str (trace_id mid));
+        ("node", Obs.Int (Node_id.to_int t.node));
+        ("hops", Obs.Int hops);
+      ];
   t.deliver mid payload
 
 let eager_push t ~mid ~hops ~payload ~skip =
@@ -143,6 +161,13 @@ let publish t payload =
   t.seqno <- t.seqno + 1;
   t.published <- t.published + 1;
   Obs.Counter.incr t.c_published;
+  if Obs.tracing t.obs then
+    Obs.trace t.obs ~name:"gossip.publish"
+      [
+        ("trace", Obs.Str (trace_id mid));
+        ("node", Obs.Int (Node_id.to_int t.node));
+        ("bytes", Obs.Int (Bytes.length payload));
+      ];
   Mcache.add t.cache mid ~hops:0 payload;
   deliver t mid ~hops:0 payload;
   (* The frame carries the hop distance at receipt: direct mesh peers

@@ -103,6 +103,110 @@ module Histogram : sig
   val bucket_counts : t -> int array
   (** [bucket_counts h] has length [Array.length (edges h) + 1]; the
       last cell counts overflow observations. *)
+
+  val quantile : t -> float -> float
+  (** [quantile h q] is the interpolated [q]-quantile estimate
+      ([0. <= q <= 1.]): walk the cumulative counts to the bucket
+      holding rank [q * count], then interpolate linearly between that
+      bucket's edges.  The overflow bucket clamps to the last edge;
+      an empty histogram reads [0.].  Pure fold, hence deterministic.
+      @raise Invalid_argument if [q] is outside [[0, 1]]. *)
+end
+
+(** Mergeable log-bucketed quantile sketches (DDSketch-style).
+
+    Values map to fixed buckets [ceil (log_gamma x)] with
+    [gamma = 1.04], so quantile estimates carry a bounded relative
+    error (~2%) at a fixed memory footprint, independent of the number
+    of observations.  Because the bucket mapping is a global constant,
+    {!merge} is plain bucket-wise integer addition — exactly
+    associative and commutative, which lets per-shard sketches from a
+    parallel fan-out combine into the same result in any order. *)
+module Sketch : sig
+  type t
+  (** A sketch cell. *)
+
+  val make : unit -> t
+  (** [make ()] is a fresh empty sketch (a fixed-size bucket array
+      covering [1e-9 .. 1e15]; values at or below the low cutoff,
+      zeros and negatives included, land in a dedicated cell that
+      reads back as [0.]). *)
+
+  val relative_error : float
+  (** The worst-case relative error of {!quantile} for in-range
+      values: [(gamma - 1) / (gamma + 1)]. *)
+
+  val add : t -> float -> unit
+  (** [add s x] records one observation. *)
+
+  val count : t -> int
+  (** [count s] is the number of observations. *)
+
+  val sum : t -> float
+  (** [sum s] is the exact sum of observed values. *)
+
+  val vmin : t -> float
+  (** [vmin s] is the exact minimum observed value ([0.] when empty). *)
+
+  val vmax : t -> float
+  (** [vmax s] is the exact maximum observed value ([0.] when empty). *)
+
+  val quantile : t -> float -> float
+  (** [quantile s q] estimates the [q]-quantile within
+      {!relative_error}, clamped into the observed [[vmin, vmax]]
+      range.  [0.] when empty.
+      @raise Invalid_argument if [q] is outside [[0, 1]]. *)
+
+  val merge : t -> t -> t
+  (** [merge a b] is a fresh sketch holding both inputs' observations:
+      bucket-wise addition, exactly associative and commutative.
+      Neither input is mutated. *)
+
+  val buckets : t -> (int * int) list
+  (** [buckets s] is the nonzero [(cell_index, count)] pairs in
+      ascending cell order — the serialization-friendly raw view. *)
+end
+
+(** Windowed per-round accumulators.
+
+    A series accumulates observations into a current window
+    (count/sum/min/max); {!roll} closes the window and starts a fresh
+    one.  The driver calls {!roll_series} once per simulation round, so
+    a series is a per-round trajectory recorded in O(rounds) space no
+    matter how many observations each round makes. *)
+module Series : sig
+  type t
+  (** A series cell. *)
+
+  type window = {
+    w_count : int;  (** observations in the window *)
+    w_sum : float;  (** their sum *)
+    w_min : float;  (** minimum ([infinity] when the window is empty) *)
+    w_max : float;  (** maximum ([neg_infinity] when empty) *)
+  }
+  (** One closed window's summary. *)
+
+  val observe : t -> float -> unit
+  (** [observe s x] records [x] into the current (open) window. *)
+
+  val roll : t -> unit
+  (** [roll s] closes the current window (appending its summary) and
+      opens an empty one.  Usually reached via {!roll_series}. *)
+
+  val windows : t -> window list
+  (** [windows s] is every closed window, oldest first. *)
+
+  val window_count : t -> int
+  (** [window_count s] is the number of closed windows. *)
+
+  val total : t -> int
+  (** [total s] counts every observation ever made, open window
+      included. *)
+
+  val grand_sum : t -> float
+  (** [grand_sum s] sums every observation ever made, open window
+      included, folding in a fixed order so the float is
+      bit-stable. *)
 end
 
 val counter : t -> string -> Counter.t
@@ -123,6 +227,27 @@ val histogram : ?edges:float array -> t -> string -> Histogram.t
     returned and [edges] is ignored.  @raise Invalid_argument on bad
     [edges] or an instrument-kind clash. *)
 
+val sketch : t -> string -> Sketch.t
+(** [sketch t name] gets or creates the quantile sketch [name] (dummy
+    on {!disabled}).  @raise Invalid_argument on an instrument-kind
+    clash. *)
+
+val series : t -> string -> Series.t
+(** [series t name] gets or creates the windowed series [name] (dummy
+    on {!disabled}).  @raise Invalid_argument on an instrument-kind
+    clash. *)
+
+val roll_series : t -> unit
+(** [roll_series t] closes the current window of every registered
+    series — the per-round tick, called by the simulation driver at
+    each measurement boundary.  No-op on {!disabled}. *)
+
+val now : t -> float
+(** [now t] reads the registry clock ([0.] on {!disabled}).  Lets
+    instrumented code compute durations (e.g. a pull RTT) in the same
+    virtual timebase that stamps trace events, without holding its own
+    clock. *)
+
 (** {1 Trace events} *)
 
 type value = Int of int | Float of float | Str of string
@@ -141,6 +266,55 @@ val events : t -> event list
 
 val event_count : t -> int
 (** [event_count t] is [List.length (events t)], without the list. *)
+
+(** {1 Spans}
+
+    A span is a scoped region of virtual time.  {!span} opens it,
+    {!span_end} closes it and emits a single trace event carrying the
+    span's causal id ([sid]), start time ([t0]) and duration ([dur])
+    alongside the fields given at either end.  Ids come from a
+    per-registry counter allocated in open order; since each run owns
+    its registry and opens spans in a deterministic order, ids are
+    bit-identical across [-j N] (DESIGN.md §8).  An unfinished span
+    emits nothing. *)
+
+type span
+(** An open span handle (or the no-op {!no_span}). *)
+
+val no_span : span
+(** The span that never emits — what {!span} returns when tracing is
+    off, so handles can be stored unconditionally. *)
+
+val span : t -> name:string -> (string * value) list -> span
+(** [span t ~name fields] opens a span stamped with the current clock.
+    Returns {!no_span} unless {!tracing}, making the disabled cost one
+    branch. *)
+
+val span_end : ?fields:(string * value) list -> t -> span -> unit
+(** [span_end t sp] closes [sp], emitting one event named after the
+    span with fields [sid], [t0], [dur], then the open-time fields,
+    then [fields].  No-op on {!no_span}. *)
+
+type rtt
+(** A request/response round-trip tracker: one pending table per
+    protocol instance, one shared RTT sketch per registry.  Built for
+    the samplers' pull exchanges (DESIGN.md §8). *)
+
+val rtt : t -> name:string -> rtt
+(** [rtt t ~name] makes a tracker whose completed round trips feed the
+    quantile sketch [name ^ "_rtt"] and, under tracing, emit spans
+    named [name] with [node]/[peer] fields.  On {!disabled}, a dummy
+    whose operations reduce to one branch. *)
+
+val rtt_start : rtt -> node:int -> peer:int -> unit
+(** [rtt_start r ~node ~peer] records that [node] sent [peer] a
+    request now.  A second start to the same peer supersedes the first
+    (the superseded span emits nothing, like a lost request). *)
+
+val rtt_finish : rtt -> peer:int -> unit
+(** [rtt_finish r ~peer] completes the pending round trip to [peer],
+    if any: observes [now - start] into the sketch and closes the
+    span.  No-op when no request to [peer] is pending. *)
 
 (** {1 Rendering}
 
@@ -167,17 +341,37 @@ val event_of_json : string -> event option
 val events_to_csv : t -> string
 (** [events_to_csv t] renders events as CSV with header
     [time,event,fields]; the fields column packs [k=v] pairs separated
-    by [';']. *)
+    by [';'].  A key or value containing a pack metacharacter ([';'],
+    ['='], [','], ['"'] or a newline) is quoted with doubled inner
+    quotes, and any whole cell containing [','], ['"'] or a newline is
+    RFC 4180-quoted, so arbitrary string fields round-trip. *)
 
 val snapshot : t -> (string * float) list
 (** [snapshot t] is every counter (as float) and gauge, in
     registration order — the stable order that makes reports
-    bit-identical across [-j N].  Histograms are excluded; see
-    {!histograms}. *)
+    bit-identical across [-j N].  Histograms, sketches and series are
+    excluded; see {!histograms}, {!sketches}, {!all_series}. *)
 
 val histograms : t -> (string * Histogram.t) list
 (** [histograms t] is every histogram, in registration order. *)
 
+val sketches : t -> (string * Sketch.t) list
+(** [sketches t] is every quantile sketch, in registration order. *)
+
+val all_series : t -> (string * Series.t) list
+(** [all_series t] is every windowed series, in registration order. *)
+
 val render : t -> string
 (** [render t] is a human-readable dump of every instrument (the
-    SIGUSR1 output of [bin/basalt_node]). *)
+    SIGUSR1 output of [bin/basalt_node]); histograms and sketches
+    include interpolated p50/p90/p99 lines when non-empty. *)
+
+val render_prometheus : t -> string
+(** [render_prometheus t] renders every instrument in Prometheus text
+    exposition format (version 0.0.4): counters and gauges as-is,
+    histograms as cumulative [_bucket{le="..."}] lines plus
+    [_sum]/[_count], sketches as summaries with
+    [quantile="0.5"|"0.9"|"0.99"] lines, series as [_total]/[_windows]
+    gauge pairs (Prometheus has no windowed type; scrapes [rate()]
+    them).  Instrument names are sanitized to [[a-zA-Z0-9_:]].  Served
+    by [bin/basalt_node --metrics-addr]. *)

@@ -459,6 +459,81 @@ let udp_overlay_converges () =
     nodes;
   Array.iter Udp_node.close nodes
 
+(* --- Metrics exposition --- *)
+
+module Obs = Basalt_obs.Obs
+module Metrics_server = Basalt_net.Metrics_server
+
+let ep s =
+  match Endpoint.of_string s with Ok e -> e | Error m -> Alcotest.fail m
+
+let read_all fd =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let metrics_server_serves_prometheus () =
+  let loop = Event_loop.create ~clock:Unix.gettimeofday () in
+  let obs = Obs.create () in
+  let c = Obs.counter obs "net.datagrams_in" in
+  Obs.Counter.add c 7;
+  let srv =
+    Metrics_server.serve ~loop ~listen:(ep "127.0.0.1:0")
+      ~render:(fun () -> Obs.render_prometheus obs)
+      ()
+  in
+  let addr = Metrics_server.endpoint srv in
+  let client = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect client (Endpoint.to_sockaddr addr);
+  let req = "GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n" in
+  ignore (Unix.write_substring client req 0 (String.length req));
+  Event_loop.run_for loop 0.1;
+  let response = read_all client in
+  Unix.close client;
+  check_bool "status line" true
+    (contains ~needle:"HTTP/1.0 200 OK" response);
+  check_bool "content type" true
+    (contains ~needle:"text/plain; version=0.0.4" response);
+  check_bool "counter exposed" true
+    (contains ~needle:"net_datagrams_in 7\n" response);
+  check_int "one request served" 1 (Metrics_server.requests srv);
+  (* A second scrape observes the updated value: render runs at scrape
+     time, not at serve time. *)
+  Obs.Counter.add c 5;
+  let client2 = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect client2 (Endpoint.to_sockaddr addr);
+  ignore (Unix.write_substring client2 req 0 (String.length req));
+  Event_loop.run_for loop 0.1;
+  let response2 = read_all client2 in
+  Unix.close client2;
+  check_bool "updated counter" true
+    (contains ~needle:"net_datagrams_in 12\n" response2);
+  check_int "two requests served" 2 (Metrics_server.requests srv);
+  Metrics_server.close srv
+
+let metrics_server_close_is_idempotent () =
+  let loop = Event_loop.create ~clock:Unix.gettimeofday () in
+  let srv =
+    Metrics_server.serve ~loop ~listen:(ep "127.0.0.1:0")
+      ~render:(fun () -> "x")
+      ()
+  in
+  Metrics_server.close srv;
+  Metrics_server.close srv
+
 let () =
   Alcotest.run "net"
     [
@@ -506,5 +581,12 @@ let () =
         [
           Alcotest.test_case "overlay converges end-to-end" `Slow
             tcp_overlay_converges;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "serves prometheus text" `Quick
+            metrics_server_serves_prometheus;
+          Alcotest.test_case "close is idempotent" `Quick
+            metrics_server_close_is_idempotent;
         ] );
     ]

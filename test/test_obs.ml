@@ -214,7 +214,174 @@ let csv_rendering () =
     (String.length csv > 0
     &&
     let lines = String.split_on_char '\n' csv in
-    List.exists (fun l -> l = "1,e,k=2") lines)
+    List.exists (fun l -> l = "1.0,e,k=2") lines)
+
+(* Pinned regression: string values carrying the pack metacharacters
+   (';' ',' '"' '=') must not corrupt the k=v packing (issue 8). *)
+let csv_escapes_metacharacters () =
+  let t = Obs.create ~clock:(fun () -> 1.0) ~trace:true () in
+  Obs.trace t ~name:"e"
+    [
+      ("msg", Obs.Str "a;b=c");
+      ("quote", Obs.Str "say \"hi\"");
+      ("comma", Obs.Str "x,y");
+      ("plain", Obs.Int 7);
+    ];
+  let csv = Obs.events_to_csv t in
+  let lines = String.split_on_char '\n' csv in
+  check_bool "escaped line pinned" true
+    (List.exists
+       (fun l ->
+         l
+         = "1.0,e,\"msg=\"\"a;b=c\"\";quote=\"\"say \"\"\"\"hi\"\"\"\"\"\";\
+            comma=\"\"x,y\"\";plain=7\"")
+       lines)
+
+(* --- Quantiles: histogram interpolation and the log-bucket sketch --- *)
+
+let histogram_quantile () =
+  let t = Obs.create () in
+  let h = Obs.histogram ~edges:[| 10.0; 20.0; 40.0 |] t "h" in
+  check_float "empty reads zero" 0.0 (Obs.Histogram.quantile h 0.5);
+  (* 10 observations in (10, 20]: the median interpolates to the bucket
+     midpoint, the extremes to the edges. *)
+  for _ = 1 to 10 do
+    Obs.Histogram.observe h 15.0
+  done;
+  check_float "median interpolates" 15.0 (Obs.Histogram.quantile h 0.5);
+  check_float "q=1 reaches the upper edge" 20.0 (Obs.Histogram.quantile h 1.0);
+  Obs.Histogram.observe h 100.0;
+  check_float "overflow clamps to last edge" 40.0
+    (Obs.Histogram.quantile h 1.0);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Obs.Histogram.quantile: q outside [0, 1]") (fun () ->
+      ignore (Obs.Histogram.quantile h 1.5))
+
+let sketch_semantics () =
+  let s = Obs.Sketch.make () in
+  check_float "empty quantile" 0.0 (Obs.Sketch.quantile s 0.5);
+  for i = 1 to 1000 do
+    Obs.Sketch.add s (float_of_int i)
+  done;
+  check_int "count" 1000 (Obs.Sketch.count s);
+  check_float "sum exact" 500500.0 (Obs.Sketch.sum s);
+  check_float "min exact" 1.0 (Obs.Sketch.vmin s);
+  check_float "max exact" 1000.0 (Obs.Sketch.vmax s);
+  let eps = Obs.Sketch.relative_error in
+  List.iter
+    (fun (q, true_v) ->
+      let est = Obs.Sketch.quantile s q in
+      check_bool
+        (Printf.sprintf "q=%g within relative error (est %g, true %g)" q est
+           true_v)
+        true
+        (Float.abs (est -. true_v) <= (eps +. 1e-9) *. true_v))
+    [ (0.5, 500.0); (0.9, 900.0); (0.99, 990.0) ];
+  check_float "q=0 exact here" 1.0 (Obs.Sketch.quantile s 0.0);
+  check_float "q=1 exact here" 1000.0 (Obs.Sketch.quantile s 1.0);
+  (* Zeros and negatives land in the low cell; the low cell reads back
+     as 0, clamped into the observed range. *)
+  let z = Obs.Sketch.make () in
+  Obs.Sketch.add z 0.0;
+  Obs.Sketch.add z (-5.0);
+  check_float "low cell reads zero" 0.0 (Obs.Sketch.quantile z 1.0);
+  check_float "negative min preserved" (-5.0) (Obs.Sketch.vmin z)
+
+let sketch_fingerprint s =
+  (Obs.Sketch.buckets s, Obs.Sketch.count s, Obs.Sketch.sum s,
+   Obs.Sketch.vmin s, Obs.Sketch.vmax s)
+
+(* Merge is bucket-wise integer addition, hence exactly associative and
+   commutative; integer-valued observations keep the float sums exact so
+   the comparison is structural equality, not approximate. *)
+let sketch_merge_associative () =
+  let mk seed n =
+    let s = Obs.Sketch.make () in
+    for i = 1 to n do
+      Obs.Sketch.add s (float_of_int (((seed * 7919) + (i * 104729)) mod 5000))
+    done;
+    s
+  in
+  let a = mk 1 100 and b = mk 2 250 and c = mk 3 50 in
+  let open Obs.Sketch in
+  check_bool "associative" true
+    (sketch_fingerprint (merge (merge a b) c)
+    = sketch_fingerprint (merge a (merge b c)));
+  check_bool "commutative" true
+    (sketch_fingerprint (merge a b) = sketch_fingerprint (merge b a));
+  check_bool "identity" true
+    (sketch_fingerprint (merge a (make ())) = sketch_fingerprint a);
+  check_bool "inputs not mutated" true
+    (count a = 100 && count b = 250 && count c = 50)
+
+let series_windows () =
+  let t = Obs.create () in
+  let s = Obs.series t "sim.view_byz" in
+  Obs.Series.observe s 1.0;
+  Obs.Series.observe s 3.0;
+  Obs.roll_series t;
+  Obs.Series.observe s 5.0;
+  Obs.roll_series t;
+  Obs.roll_series t;
+  check_int "three closed windows" 3 (Obs.Series.window_count s);
+  check_int "total observations" 3 (Obs.Series.total s);
+  check_float "grand sum" 9.0 (Obs.Series.grand_sum s);
+  (match Obs.Series.windows s with
+  | [ w1; w2; w3 ] ->
+      check_int "w1 count" 2 w1.Obs.Series.w_count;
+      check_float "w1 sum" 4.0 w1.Obs.Series.w_sum;
+      check_float "w1 min" 1.0 w1.Obs.Series.w_min;
+      check_float "w1 max" 3.0 w1.Obs.Series.w_max;
+      check_int "w2 count" 1 w2.Obs.Series.w_count;
+      check_int "w3 empty" 0 w3.Obs.Series.w_count
+  | _ -> Alcotest.fail "expected three windows");
+  check_bool "series excluded from snapshot" true (Obs.snapshot t = [])
+
+(* --- Spans --- *)
+
+let span_emits_single_event () =
+  let now = ref 2.0 in
+  let t = Obs.create ~clock:(fun () -> !now) ~trace:true () in
+  let sp = Obs.span t ~name:"basalt.pull" [ ("src", Obs.Int 3) ] in
+  check_int "nothing emitted while open" 0 (Obs.event_count t);
+  now := 5.5;
+  Obs.span_end ~fields:[ ("ok", Obs.Int 1) ] t sp;
+  match Obs.events t with
+  | [ e ] ->
+      check_string "named after the span" "basalt.pull" e.Obs.name;
+      check_float "stamped at close" 5.5 e.Obs.time;
+      check_bool "sid, t0, dur, then both field sets" true
+        (e.Obs.fields
+        = [
+            ("sid", Obs.Int 0);
+            ("t0", Obs.Float 2.0);
+            ("dur", Obs.Float 3.5);
+            ("src", Obs.Int 3);
+            ("ok", Obs.Int 1);
+          ])
+  | _ -> Alcotest.fail "expected exactly one event"
+
+let span_ids_sequential () =
+  let t = Obs.create ~trace:true () in
+  let a = Obs.span t ~name:"a" [] in
+  let b = Obs.span t ~name:"b" [] in
+  (* Close out of order: ids were fixed at open time. *)
+  Obs.span_end t b;
+  Obs.span_end t a;
+  match Obs.events t with
+  | [ eb; ea ] ->
+      check_bool "b has sid 1" true (List.assoc "sid" eb.Obs.fields = Obs.Int 1);
+      check_bool "a has sid 0" true (List.assoc "sid" ea.Obs.fields = Obs.Int 0)
+  | _ -> Alcotest.fail "expected two events"
+
+let span_noop_without_tracing () =
+  let t = Obs.create () in
+  let sp = Obs.span t ~name:"x" [ ("k", Obs.Int 1) ] in
+  Obs.span_end t sp;
+  check_int "no events" 0 (Obs.event_count t);
+  (* The disabled sink behaves the same. *)
+  Obs.span_end Obs.disabled (Obs.span Obs.disabled ~name:"y" []);
+  check_int "disabled emits nothing" 0 (Obs.event_count Obs.disabled)
 
 (* --- Render --- *)
 
@@ -233,6 +400,56 @@ let render_lists_instruments () =
       in
       check_bool (Printf.sprintf "render mentions %s" needle) true found)
     [ "basalt.rounds"; "basalt.max_msg_bytes"; "basalt.msg_bytes"; "30" ]
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  scan 0
+
+let render_shows_percentiles () =
+  let t = Obs.create () in
+  let h = Obs.histogram ~edges:[| 10.0; 20.0 |] t "net.rtt" in
+  for _ = 1 to 4 do
+    Obs.Histogram.observe h 15.0
+  done;
+  let s = Obs.sketch t "basalt.pull_rtt" in
+  for i = 1 to 100 do
+    Obs.Sketch.add s (float_of_int i)
+  done;
+  let r = Obs.render t in
+  check_bool "histogram p50" true (contains r "p50=15.0");
+  check_bool "sketch line present" true (contains r "sketch     basalt.pull_rtt");
+  check_bool "sketch p99 present" true (contains r "p99=");
+  check_bool "sketch max exact" true (contains r "max=100.0")
+
+let prometheus_rendering () =
+  let t = Obs.create () in
+  Obs.Counter.add (Obs.counter t "net.datagrams_out") 12;
+  Obs.Gauge.set (Obs.gauge t "basalt.view_size") 160.0;
+  let h = Obs.histogram ~edges:[| 10.0; 20.0 |] t "net.msg_bytes" in
+  Obs.Histogram.observe h 5.0;
+  Obs.Histogram.observe h 15.0;
+  Obs.Histogram.observe h 99.0;
+  let s = Obs.sketch t "gossip.hop_latency" in
+  Obs.Sketch.add s 2.0;
+  Obs.Series.observe (Obs.series t "sim.view_byz") 1.0;
+  let p = Obs.render_prometheus t in
+  List.iter
+    (fun needle ->
+      check_bool (Printf.sprintf "exposition has %S" needle) true
+        (contains p needle))
+    [
+      "# TYPE net_datagrams_out counter\nnet_datagrams_out 12\n";
+      "# TYPE basalt_view_size gauge\nbasalt_view_size 160.0\n";
+      "net_msg_bytes_bucket{le=\"10.0\"} 1\n";
+      "net_msg_bytes_bucket{le=\"20.0\"} 2\n";
+      "net_msg_bytes_bucket{le=\"+Inf\"} 3\n";
+      "net_msg_bytes_count 3\n";
+      "# TYPE gossip_hop_latency summary";
+      "gossip_hop_latency{quantile=\"0.5\"}";
+      "gossip_hop_latency_count 1\n";
+      "sim_view_byz_total 1\n";
+    ]
 
 (* --- properties: order-independence of commutative instrument ops ---
 
@@ -318,6 +535,25 @@ let prop_snapshot_matches_model =
         ]
       && Array.fold_left ( + ) 0 buckets = observes)
 
+(* JSON round-trip: any event the generator can produce survives
+   [event_to_json] → [event_of_json] structurally intact (issue 8). *)
+let print_event (e : Obs.event) =
+  Printf.sprintf "{t=%.17g; ev=%S; fields=%s}" e.Obs.time e.Obs.name
+    (Print.list
+       (fun (k, v) ->
+         Printf.sprintf "(%S, %s)" k
+           (match v with
+           | Obs.Int n -> Printf.sprintf "Int %d" n
+           | Obs.Float x -> Printf.sprintf "Float %.17g" x
+           | Obs.Str s -> Printf.sprintf "Str %S" s))
+       e.Obs.fields)
+
+let prop_event_json_round_trip =
+  Check.prop ~name:"event_of_json (event_to_json e) = Some e" ~count:300
+    ~print:print_event
+    (Check.Gens.obs_event ())
+    (fun e -> Obs.event_of_json (Obs.event_to_json e) = Some e)
+
 let () =
   Alcotest.run "obs"
     [
@@ -338,6 +574,19 @@ let () =
           Alcotest.test_case "histogram default edges" `Quick
             histogram_default_edges;
           Alcotest.test_case "histogram bad edges" `Quick histogram_bad_edges;
+          Alcotest.test_case "histogram quantile" `Quick histogram_quantile;
+          Alcotest.test_case "sketch semantics" `Quick sketch_semantics;
+          Alcotest.test_case "sketch merge associative" `Quick
+            sketch_merge_associative;
+          Alcotest.test_case "series windows" `Quick series_windows;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "emits single event" `Quick
+            span_emits_single_event;
+          Alcotest.test_case "sequential ids" `Quick span_ids_sequential;
+          Alcotest.test_case "noop without tracing" `Quick
+            span_noop_without_tracing;
         ] );
       ( "disabled",
         [
@@ -353,12 +602,22 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick
             event_of_json_rejects_garbage;
           Alcotest.test_case "csv rendering" `Quick csv_rendering;
+          Alcotest.test_case "csv escapes metacharacters" `Quick
+            csv_escapes_metacharacters;
         ] );
       ( "render",
         [
           Alcotest.test_case "lists instruments" `Quick
             render_lists_instruments;
+          Alcotest.test_case "shows percentiles" `Quick
+            render_shows_percentiles;
+          Alcotest.test_case "prometheus exposition" `Quick
+            prometheus_rendering;
         ] );
       Check.suite "properties"
-        [ prop_snapshot_order_independent; prop_snapshot_matches_model ];
+        [
+          prop_snapshot_order_independent;
+          prop_snapshot_matches_model;
+          prop_event_json_round_trip;
+        ];
     ]

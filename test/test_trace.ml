@@ -1,0 +1,186 @@
+(* Tests for tool/trace (basalt_trace): parsing, the four reports, and
+   their byte-stable text/CSV/JSON renderings over synthetic traces. *)
+
+module Obs = Basalt_obs.Obs
+module Trace = Basalt_trace.Trace
+
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let ev time name fields = { Obs.time; name; fields }
+
+(* A tiny synthetic run: two spans per name, a publish and three
+   deliveries under one gossip trace id, one untraced event. *)
+let sample_events =
+  [
+    ev 0.0 "gossip.publish" [ ("trace", Obs.Str "3#0"); ("node", Obs.Int 3) ];
+    ev 0.5 "proto.pull"
+      [ ("sid", Obs.Int 0); ("t0", Obs.Float 0.0); ("dur", Obs.Float 0.5) ];
+    ev 1.0 "gossip.deliver"
+      [ ("trace", Obs.Str "3#0"); ("node", Obs.Int 1); ("hops", Obs.Int 1) ];
+    ev 1.5 "proto.pull"
+      [ ("sid", Obs.Int 1); ("t0", Obs.Float 1.0); ("dur", Obs.Float 0.5) ];
+    ev 2.5 "gossip.deliver"
+      [ ("trace", Obs.Str "3#0"); ("node", Obs.Int 2); ("hops", Obs.Int 2) ];
+    ev 3.0 "engine.tick" [];
+    ev 6.0 "gossip.deliver"
+      [ ("trace", Obs.Str "3#0"); ("node", Obs.Int 4); ("hops", Obs.Int 3) ];
+  ]
+
+(* --- Parsing --- *)
+
+let parse_round_trip () =
+  let lines = List.map Obs.event_to_json sample_events in
+  let parsed = Trace.parse_lines lines in
+  check_int "event count" (List.length sample_events) (List.length parsed);
+  List.iter2
+    (fun a b ->
+      check_string "name" a.Obs.name b.Obs.name;
+      check_int "fields" (List.length a.Obs.fields) (List.length b.Obs.fields))
+    sample_events parsed
+
+let parse_blank_lines_skipped () =
+  let lines =
+    [ ""; Obs.event_to_json (ev 1.0 "a" []); "  "; Obs.event_to_json (ev 2.0 "b" []) ]
+  in
+  check_int "two events" 2 (List.length (Trace.parse_lines lines))
+
+let parse_error_has_line_number () =
+  let lines = [ Obs.event_to_json (ev 1.0 "a" []); "not json" ] in
+  (try
+     ignore (Trace.parse_lines lines);
+     Alcotest.fail "expected Parse_error"
+   with Trace.Parse_error { line; text } ->
+     check_int "1-based line" 2 line;
+     check_string "offending text" "not json" text)
+
+(* --- summarize --- *)
+
+let summarize_text_pinned () =
+  check_string "summarize text"
+    ("events 7  names 4  trace_ids 1  traced_events 4\n"
+   ^ "name                                  count          first           last\n"
+   ^ "engine.tick                               1            3.0            3.0\n"
+   ^ "gossip.deliver                            3            1.0            6.0\n"
+   ^ "gossip.publish                            1            0.0            0.0\n"
+   ^ "proto.pull                                2            0.5            1.5\n")
+    (Trace.summarize sample_events)
+
+let summarize_csv_pinned () =
+  check_string "summarize csv"
+    "name,count,first,last\n\
+     engine.tick,1,3.0,3.0\n\
+     gossip.deliver,3,1.0,6.0\n\
+     gossip.publish,1,0.0,0.0\n\
+     proto.pull,2,0.5,1.5\n"
+    (Trace.summarize ~format:Trace.Csv sample_events)
+
+(* --- spans --- *)
+
+let spans_percentiles_exact () =
+  (* 10 spans with durations 1..10: nearest-rank p50 = 5, p90 = 9,
+     p99 = 10, max = 10. *)
+  let events =
+    List.init 10 (fun i ->
+        ev (float_of_int i) "s"
+          [
+            ("sid", Obs.Int i);
+            ("t0", Obs.Float 0.0);
+            ("dur", Obs.Float (float_of_int (i + 1)));
+          ])
+  in
+  check_string "spans csv" "span,count,p50,p90,p99,max\ns,10,5.0,9.0,10.0,10.0\n"
+    (Trace.spans ~format:Trace.Csv events)
+
+let spans_ignore_non_span_events () =
+  check_string "spans csv"
+    "span,count,p50,p90,p99,max\nproto.pull,2,0.5,0.5,0.5,0.5\n"
+    (Trace.spans ~format:Trace.Csv sample_events)
+
+(* --- curve --- *)
+
+let curve_absolute_time () =
+  check_string "deliver curve"
+    "t,count,cum\n0.0,1,1\n2.0,1,2\n6.0,1,3\n"
+    (Trace.curve ~format:Trace.Csv ~bucket:2.0 ~ev:"gossip.deliver"
+       sample_events)
+
+let curve_ttd () =
+  (* t0 for trace "3#0" is the publish at 0.0; deliveries at 1.0, 2.5,
+     6.0 land in 1.0-wide latency buckets 1, 2, 6. *)
+  check_string "ttd curve"
+    "latency,count,cum\n1.0,1,1\n2.0,1,2\n6.0,1,3\n"
+    (Trace.curve ~format:Trace.Csv ~ttd:true ~ev:"gossip.deliver"
+       sample_events)
+
+let curve_bad_bucket () =
+  Alcotest.check_raises "bucket 0"
+    (Invalid_argument "Trace.curve: bucket must be > 0") (fun () ->
+      ignore (Trace.curve ~bucket:0.0 ~ev:"x" []))
+
+(* --- diff --- *)
+
+let diff_counts_and_medians () =
+  let b =
+    sample_events
+    @ [
+        ev 7.0 "gossip.deliver" [ ("trace", Obs.Str "3#0"); ("node", Obs.Int 5) ];
+        ev 8.0 "proto.pull"
+          [ ("sid", Obs.Int 2); ("t0", Obs.Float 7.0); ("dur", Obs.Float 1.0) ];
+      ]
+  in
+  check_string "diff csv"
+    "name,count_a,count_b,delta,p50_a,p50_b\n\
+     engine.tick,1,1,0,-,-\n\
+     gossip.deliver,3,4,1,-,-\n\
+     gossip.publish,1,1,0,-,-\n\
+     proto.pull,2,3,1,0.5,0.5\n"
+    (Trace.diff ~format:Trace.Csv sample_events b)
+
+let diff_disjoint_names () =
+  let a = [ ev 1.0 "only.a" [] ] and b = [ ev 1.0 "only.b" [] ] in
+  check_string "diff csv"
+    "name,count_a,count_b,delta,p50_a,p50_b\n\
+     only.a,1,0,-1,-,-\n\
+     only.b,0,1,1,-,-\n"
+    (Trace.diff ~format:Trace.Csv a b)
+
+(* --- JSON format --- *)
+
+let json_output_pinned () =
+  check_string "spans json"
+    "[{\"span\":\"proto.pull\",\"count\":2,\"p50\":0.5,\"p90\":0.5,\"p99\":0.5,\"max\":0.5}]\n"
+    (Trace.spans ~format:Trace.Json sample_events);
+  check_string "curve json"
+    "[{\"latency\":1.0,\"count\":1,\"cum\":1},{\"latency\":2.0,\"count\":1,\"cum\":2},{\"latency\":6.0,\"count\":1,\"cum\":3}]\n"
+    (Trace.curve ~format:Trace.Json ~ttd:true ~ev:"gossip.deliver"
+       sample_events)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "round trip" `Quick parse_round_trip;
+          Alcotest.test_case "blank lines skipped" `Quick
+            parse_blank_lines_skipped;
+          Alcotest.test_case "error has line number" `Quick
+            parse_error_has_line_number;
+        ] );
+      ( "reports",
+        [
+          Alcotest.test_case "summarize text" `Quick summarize_text_pinned;
+          Alcotest.test_case "summarize csv" `Quick summarize_csv_pinned;
+          Alcotest.test_case "spans exact percentiles" `Quick
+            spans_percentiles_exact;
+          Alcotest.test_case "spans selects span events" `Quick
+            spans_ignore_non_span_events;
+          Alcotest.test_case "curve absolute" `Quick curve_absolute_time;
+          Alcotest.test_case "curve ttd" `Quick curve_ttd;
+          Alcotest.test_case "curve bad bucket" `Quick curve_bad_bucket;
+          Alcotest.test_case "diff counts and medians" `Quick
+            diff_counts_and_medians;
+          Alcotest.test_case "diff disjoint names" `Quick diff_disjoint_names;
+          Alcotest.test_case "json repeatable" `Quick json_output_pinned;
+        ] );
+    ]

@@ -1,0 +1,84 @@
+(* basalt-trace CLI: offline reports over `repro --trace` JSONL dumps
+   (DESIGN.md §8).  Exit codes: 0 = report written, 2 = usage or parse
+   error.
+
+   usage: main.exe summarize [--format F] FILE
+          main.exe spans     [--format F] FILE
+          main.exe curve     --ev NAME [--bucket W] [--ttd] [--format F] FILE
+          main.exe diff      [--format F] FILE_A FILE_B *)
+
+module Trace = Basalt_trace.Trace
+
+let usage =
+  "basalt-trace: offline analyzer for repro --trace JSONL dumps\n\
+   usage: main.exe <summarize|spans|curve|diff> [options] FILE [FILE_B]\n\
+   subcommands:\n\
+  \  summarize   per-event-name counts and time extents\n\
+  \  spans       span duration percentiles (exact, from span-end events)\n\
+  \  curve       time-binned counts of one event (--ev), cumulative;\n\
+  \              --ttd switches x to per-trace-id time-to-delivery\n\
+  \  diff        A/B comparison of counts and span medians (two FILEs)"
+
+let fail_usage msg =
+  prerr_endline ("basalt-trace: " ^ msg);
+  prerr_endline usage;
+  exit 2
+
+let () =
+  let format = ref Trace.Text in
+  let ev = ref "" in
+  let bucket = ref 1.0 in
+  let ttd = ref false in
+  let files = ref [] in
+  let spec =
+    [
+      ( "--format",
+        Arg.String
+          (fun s ->
+            match Trace.format_of_string s with
+            | Some f -> format := f
+            | None -> fail_usage ("unknown format: " ^ s)),
+        "FMT output format: text (default), csv, json" );
+      ("--ev", Arg.Set_string ev, "NAME event name for curve (required)");
+      ( "--bucket",
+        Arg.Set_float bucket,
+        "W bucket width in virtual seconds for curve (default 1.0)" );
+      ( "--ttd",
+        Arg.Set ttd,
+        " curve over per-trace-id time-to-delivery instead of absolute \
+         time" );
+    ]
+  in
+  let cmd = ref "" in
+  Arg.parse spec
+    (fun a -> if !cmd = "" then cmd := a else files := a :: !files)
+    usage;
+  let read path =
+    try Trace.read_file path with
+    | Trace.Parse_error { line; text } ->
+        Printf.eprintf "basalt-trace: %s:%d: not a trace event: %s\n" path
+          line text;
+        exit 2
+    | Sys_error msg -> fail_usage msg
+  in
+  let one () =
+    match List.rev !files with
+    | [ f ] -> read f
+    | _ -> fail_usage (!cmd ^ " takes exactly one FILE")
+  in
+  let report =
+    match !cmd with
+    | "summarize" -> Trace.summarize ~format:!format (one ())
+    | "spans" -> Trace.spans ~format:!format (one ())
+    | "curve" ->
+        if !ev = "" then fail_usage "curve requires --ev NAME";
+        if !bucket <= 0.0 then fail_usage "--bucket must be > 0";
+        Trace.curve ~format:!format ~bucket:!bucket ~ttd:!ttd ~ev:!ev (one ())
+    | "diff" -> (
+        match List.rev !files with
+        | [ a; b ] -> Trace.diff ~format:!format (read a) (read b)
+        | _ -> fail_usage "diff takes exactly two FILEs")
+    | "" -> fail_usage "missing subcommand"
+    | other -> fail_usage ("unknown subcommand: " ^ other)
+  in
+  print_string report

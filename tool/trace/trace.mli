@@ -1,0 +1,62 @@
+(** Offline analyzer for the JSONL event traces written by
+    [repro --trace] (DESIGN.md §8).
+
+    Every report is a pure function of the parsed event list — no
+    clocks, no randomness, stable sort orders, fixed-format floats —
+    so byte-identical traces yield byte-identical reports regardless
+    of [-j] level, which the CI determinism matrix asserts. *)
+
+type format = Text | Csv | Json
+
+val format_of_string : string -> format option
+(** [format_of_string s] parses ["text"], ["csv"], ["json"]. *)
+
+exception Parse_error of { line : int; text : string }
+(** Raised by the parsers on a non-blank line that is not a valid
+    trace event ([line] is 1-based). *)
+
+val parse_lines : string list -> Basalt_obs.Obs.event list
+(** [parse_lines ls] decodes one event per non-blank line.
+    @raise Parse_error on the first malformed line. *)
+
+val read_file : string -> Basalt_obs.Obs.event list
+(** [read_file path] reads and parses a JSONL trace dump.
+    @raise Parse_error on the first malformed line
+    @raise Sys_error if the file cannot be opened. *)
+
+val summarize : ?format:format -> Basalt_obs.Obs.event list -> string
+(** [summarize events] reports per-event-name counts and first/last
+    virtual-time extents (names sorted), plus totals for distinct
+    [trace] correlation ids. *)
+
+val spans : ?format:format -> Basalt_obs.Obs.event list -> string
+(** [spans events] reports duration percentiles per span name over the
+    span-end events (those carrying [sid]/[t0]/[dur] fields).
+    Percentiles are exact nearest-rank over the sorted durations —
+    offline reports need no sketch approximation. *)
+
+val curve :
+  ?format:format ->
+  ?bucket:float ->
+  ?ttd:bool ->
+  ev:string ->
+  Basalt_obs.Obs.event list ->
+  string
+(** [curve ~ev events] bins occurrences of event [ev] into
+    [bucket]-wide virtual-time cells (default 1.0) and reports
+    per-cell and cumulative counts — e.g. [~ev:"gossip.deliver"] is a
+    dissemination curve.  With [~ttd:true] the x-coordinate becomes
+    each event's latency since the first event in the trace carrying
+    the same [trace] id (the publish), i.e. the time-to-delivery
+    distribution; untraced events are dropped.  Only populated cells
+    are printed.
+    @raise Invalid_argument if [bucket <= 0]. *)
+
+val diff :
+  ?format:format ->
+  Basalt_obs.Obs.event list ->
+  Basalt_obs.Obs.event list ->
+  string
+(** [diff a b] compares two traces (e.g. an A/B protocol pair):
+    per-event-name counts with deltas, and span duration medians where
+    a name has span-end events on either side ([-] when absent). *)
