@@ -246,17 +246,29 @@ let core_ops () =
   in
   let siphash_key = Basalt_hashing.Siphash.key_of_rng rng in
   let cheap_seed = Rank.of_int Rank.Cheap 42 in
+  let keyed_seed = Rank.of_int (Rank.Keyed_cheap 0x2545F4914F6CDD1D) 42 in
   let sip_seed = Rank.of_int (Rank.Siphash siphash_key) 42 in
   run_group ~name:"core ops"
     [
+      (* Steady state: the same candidates re-offered to unchanged seeds,
+         so the batch pass reduces to its seen-cache intake — the shape of
+         a node re-digesting pull replies between slot resets. *)
       Test.make ~name:"update_sample (v=160, 161 ids)"
         (Staged.stage (fun () -> Basalt_core.Basalt.update_sample basalt ids));
       Test.make ~name:"sample_tick (v=160, k=80)"
         (Staged.stage (fun () -> ignore (Basalt_core.Basalt.sample_tick basalt)));
       Test.make ~name:"rank (cheap mixer)"
         (Staged.stage (fun () -> ignore (Rank.rank cheap_seed 123456)));
+      Test.make ~name:"rank (keyed-cheap mixer)"
+        (Staged.stage (fun () -> ignore (Rank.rank keyed_seed 123456)));
+      (* Midstate-resumed: the key + seed block is absorbed at seed-draw
+         time, each evaluation finishes only the identifier block. *)
       Test.make ~name:"rank (siphash-2-4)"
         (Staged.stage (fun () -> ignore (Rank.rank sip_seed 123456)));
+      Test.make ~name:"rank (siphash-2-4, no midstate)"
+        (Staged.stage (fun () ->
+             ignore
+               (Basalt_hashing.Siphash.hash_int64_pair siphash_key 42L 123456L)));
       Test.make ~name:"rng int"
         (Staged.stage (fun () -> ignore (Rng.int rng 1000)));
     ]

@@ -30,7 +30,9 @@ val create :
     lines 3–6).
 
     [obs] (default disabled) records the run-wide counters
-    [basalt.rank_evals], [basalt.rounds], [basalt.pulls_sent],
+    [basalt.rank_evals] (rank evaluations actually performed — after
+    batch dedup and seen-cache elision, not candidates × slots;
+    DESIGN.md §8), [basalt.rounds], [basalt.pulls_sent],
     [basalt.pushes_sent], [basalt.samples_emitted],
     [basalt.slot_resets] and [basalt.evictions], and meters outgoing
     messages through {!Basalt_codec.Metered.send} ([basalt.msgs_sent],
@@ -47,7 +49,18 @@ val id : t -> Basalt_proto.Node_id.t
 val update_sample : t -> Basalt_proto.Node_id.t array -> unit
 (** [update_sample t ids] offers every identifier of [ids] to every slot
     (Alg. 1 lines 20–23).  The local identifier is skipped when the
-    configuration sets [exclude_self]. *)
+    configuration sets [exclude_self].
+
+    The batch is processed in one slot-major pass over
+    struct-of-arrays slot state: candidates are deduplicated and
+    pre-digested once, and an identifier already offered to every
+    current seed is skipped outright — offering a candidate to an
+    unchanged slot can never install it, because the slot's best rank
+    only decreases between seed resets.  The resulting views are
+    bit-identical to the naive per-(slot, candidate) evaluation (the
+    differential oracle in [test_basalt.ml] pins this); only the
+    number of rank evaluations — and hence [basalt.rank_evals] —
+    changes. *)
 
 val select_peer : t -> Basalt_proto.Node_id.t option
 (** [select_peer t] picks an exchange partner from the view (Alg. 1
@@ -75,6 +88,14 @@ val view : t -> Basalt_proto.Node_id.t array
 
 val view_slots : t -> Basalt_proto.Node_id.t option array
 (** [view_slots t] is the per-slot contents including empty slots. *)
+
+val slot_ranks : t -> int option array
+(** [slot_ranks t] is each slot's current best rank, [None] for empty
+    slots — the holder of slot [i] always ranks exactly
+    [slot_ranks t.(i)] under the slot's seed.  Exposed for the
+    differential rank-oracle harness in [test_basalt.ml], which checks
+    the batched {!update_sample} against a naive per-(slot, candidate)
+    reference model. *)
 
 val samples_emitted : t -> int
 (** [samples_emitted t] counts samples returned by {!sample_tick} so

@@ -28,6 +28,14 @@ type t = private {
   rho : float;
   k : int;
   backend : Basalt_hashing.Rank.backend;
+      (** Rank function family (see {!Basalt_hashing.Rank.backend}):
+          [Cheap] (default) for trusted-simulation speed, [Keyed_cheap]
+          when modelled adversaries must not predict ranks but
+          cryptographic strength is unnecessary, [Siphash] — whose seeds
+          precompute a resumable midstate, so the gap to the mixers is
+          ~3x per evaluation rather than ~50x — for deployment-grade
+          unpredictability, [Prefix_diverse] for the §6 institutional
+          hardening. *)
   select : select_strategy;
   exclude_self : bool;
       (** Never store the local identifier in the local view (avoids

@@ -3,7 +3,15 @@
     A slot pairs a random ranking seed with the best-matching identifier
     seen since the seed was last reset (Fig. 1 of the paper).  The current
     best rank is cached so that offering a candidate costs a single hash
-    evaluation and comparison. *)
+    evaluation and comparison; the seed itself is pre-digested at draw
+    time ({!Basalt_hashing.Rank.fresh} — SipHash seeds carry a resumable
+    key+seed midstate), so that evaluation finishes only the
+    identifier-side work.
+
+    This record-per-slot module serves Brahms's sampler array and the
+    slot unit/property tests; Basalt proper packs the same state as
+    struct-of-arrays inside [Basalt.t] for its batched hot path
+    (DESIGN.md §4). *)
 
 type t
 (** A mutable slot. *)

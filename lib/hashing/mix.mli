@@ -20,6 +20,14 @@ val combine63 : int -> int -> int
 (** [combine63 seed x] is a non-negative native-integer hash of the pair
     [(seed, x)], suitable for [rank_seed(p) = h(<seed, p>)]. *)
 
+val keyed63 : key:int -> int -> int -> int
+(** [keyed63 ~key seed x] is {!combine63} strengthened with a secret
+    [key]: a non-negative native-integer hash of [(key, seed, x)] costing
+    one extra {!mix63} round.  The statistical backbone of the rank
+    layer's [Keyed_cheap] backend — keyed against rank precomputation but
+    {e not} cryptographic; deployments facing adaptive adversaries keep
+    SipHash. *)
+
 val fnv1a64 : string -> int64
 (** [fnv1a64 s] is the FNV-1a 64-bit hash of [s] (used for deriving stable
     seeds from textual labels, e.g. scenario names). *)

@@ -7,11 +7,17 @@
     permutation of node identifiers, realising a uniform sample of the
     identifiers subsequently offered to the slot.
 
-    Three backends are provided:
+    Four backends are provided:
     - {!Cheap}: a native-integer mixer — the simulator's default, fast
       enough to evaluate ~10⁹ ranks per experiment;
+    - {!Keyed_cheap}: the same mixer chained over a secret native-int
+      key ({!Mix.keyed63}) — a documented fast path for
+      adversarial-model simulations at scale, where per-key rank
+      unpredictability matters but cryptographic strength does not;
     - {!Siphash}: a keyed PRF — what a real deployment would use so that
-      an adversary cannot precompute low-ranking identifiers;
+      an adversary cannot precompute low-ranking identifiers.  Seeds
+      precompute a {!Siphash.midstate} at draw time, so each evaluation
+      only finishes the identifier block;
     - {!Prefix_diverse}: the §6 "specially crafted rank function":
       identifiers are ranked first by a hash of their {e address prefix}
       and only then by a hash of the identifier itself, so a slot's
@@ -21,22 +27,33 @@
       share instead of its identifier share.  The trade-off: sampling is
       uniform over prefixes, not over nodes.
 
-    The test suite checks that the cheap and SipHash backends produce
+    Every cached/prepared evaluation path returns bit-identical rank
+    values to the plain formula — the differential suites in
+    [test_hashing.ml] and [test_basalt.ml] pin the equality.  The test
+    suite also checks that the cheap and SipHash backends produce
     statistically indistinguishable sampling behavior; the bench harness
     measures the speed gap (the hash-function ablation of DESIGN.md §4). *)
 
 type backend =
   | Cheap
+  | Keyed_cheap of int
+      (** The secret key (any native int, e.g. [Rng.bits]); ranks are
+          {!Mix.keyed63}[ ~key seed id].  Not cryptographic — a
+          simulation-scale stand-in for {!Siphash}. *)
   | Siphash of Siphash.key
   | Prefix_diverse of { prefix_of : int -> int }
       (** [prefix_of id] maps an identifier to its address prefix (e.g.
           an IP /24); prefixes must be non-negative. *)
 
 type seed
-(** One random ranking function, i.e. one slot's seed. *)
+(** One random ranking function, i.e. one slot's seed, pre-digested for
+    its backend: SipHash seeds carry the resumable key+seed midstate
+    absorbed at draw time. *)
 
 val fresh : backend -> Basalt_prng.Rng.t -> seed
-(** [fresh backend rng] draws a new uniformly random seed. *)
+(** [fresh backend rng] draws a new uniformly random seed (one
+    [Rng.bits] draw, identically for every backend — swapping backends
+    never perturbs the PRNG stream shape). *)
 
 val of_int : backend -> int -> seed
 (** [of_int backend v] builds a deterministic seed (for tests). *)
@@ -58,6 +75,17 @@ val prepare : backend -> int -> prepared
 val rank_prepared : seed -> prepared -> int
 (** [rank_prepared seed p] equals [rank seed id] for the [id] that [p] was
     prepared from (under the same backend). *)
+
+val digest : int -> int
+(** [digest id] is the identifier-side half of the cheap mixers
+    ([Mix.mix63 id]), exposed unboxed for batch loops that keep
+    candidate digests in an [int array] instead of a {!prepared} per
+    candidate (the struct-of-arrays pass in [Basalt.update_sample]). *)
+
+val rank_digested : seed -> id:int -> digest:int -> int
+(** [rank_digested seed ~id ~digest] equals [rank seed id] provided
+    [digest = digest id]; the allocation-free hot-path primitive behind
+    {!rank} and {!rank_prepared}. *)
 
 val seed_value : seed -> int
 (** [seed_value s] exposes the raw seed integer (for diagnostics). *)

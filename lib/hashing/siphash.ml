@@ -90,3 +90,92 @@ let hash_int64_pair ?(c = 2) ?(d = 4) key a b =
   compress s ~c b;
   compress s ~c (Int64.shift_left 16L 56);
   finalize s ~d
+
+(* --- Midstate: resumable hashing for seeded rank functions ----------- *)
+
+(* The four v-registers after the key initialisation and the compression
+   of the first 8-byte block.  Absorbing that block — in Basalt, a
+   slot's rank seed — costs [c] SipRounds plus the four key XORs; doing
+   it once per seed instead of once per (seed, identifier) pair removes
+   that work from the rank hot path entirely, and the immutable record
+   lets the resumed computation run in straight-line let-bound [int64]
+   code the compiler keeps unboxed (the mutable {!state} record boxes a
+   fresh [int64] on every register store, which is most of the cost of
+   {!hash_int64_pair}). *)
+type midstate = { m0 : int64; m1 : int64; m2 : int64; m3 : int64; mc : int }
+
+let prepare_int64 ?(c = 2) key a =
+  let s = init key in
+  compress s ~c a;
+  { m0 = s.v0; m1 = s.v1; m2 = s.v2; m3 = s.v3; mc = c }
+
+(* Generic (any c/d) resumption, used when the instance is not the 2-4
+   default. *)
+let finish_generic ~d ms b =
+  let c = ms.mc in
+  let s = { v0 = ms.m0; v1 = ms.m1; v2 = ms.m2; v3 = ms.m3 } in
+  compress s ~c b;
+  compress s ~c (Int64.shift_left 16L 56);
+  finalize s ~d
+
+(* Fully unrolled SipHash-2-4 tail: compress the second block, compress
+   the 16-byte length block, finalize.  Eight SipRounds in straight-line
+   immutable bindings — every intermediate stays an unboxed int64. *)
+let finish24 ms b =
+  let ( +% ) = Int64.add and ( ^% ) = Int64.logxor in
+  let v0 = ms.m0 and v1 = ms.m1 and v2 = ms.m2 and v3 = ms.m3 in
+  (* compress b: v3 ^= b; 2 rounds; v0 ^= b *)
+  let v3 = v3 ^% b in
+  let v0 = v0 +% v1 in let v1 = rotl v1 13 in let v1 = v1 ^% v0 in
+  let v0 = rotl v0 32 in let v2 = v2 +% v3 in let v3 = rotl v3 16 in
+  let v3 = v3 ^% v2 in let v0 = v0 +% v3 in let v3 = rotl v3 21 in
+  let v3 = v3 ^% v0 in let v2 = v2 +% v1 in let v1 = rotl v1 17 in
+  let v1 = v1 ^% v2 in let v2 = rotl v2 32 in
+  let v0 = v0 +% v1 in let v1 = rotl v1 13 in let v1 = v1 ^% v0 in
+  let v0 = rotl v0 32 in let v2 = v2 +% v3 in let v3 = rotl v3 16 in
+  let v3 = v3 ^% v2 in let v0 = v0 +% v3 in let v3 = rotl v3 21 in
+  let v3 = v3 ^% v0 in let v2 = v2 +% v1 in let v1 = rotl v1 17 in
+  let v1 = v1 ^% v2 in let v2 = rotl v2 32 in
+  let v0 = v0 ^% b in
+  (* compress the length block (16 bytes total): m = 16 << 56 *)
+  let m = Int64.shift_left 16L 56 in
+  let v3 = v3 ^% m in
+  let v0 = v0 +% v1 in let v1 = rotl v1 13 in let v1 = v1 ^% v0 in
+  let v0 = rotl v0 32 in let v2 = v2 +% v3 in let v3 = rotl v3 16 in
+  let v3 = v3 ^% v2 in let v0 = v0 +% v3 in let v3 = rotl v3 21 in
+  let v3 = v3 ^% v0 in let v2 = v2 +% v1 in let v1 = rotl v1 17 in
+  let v1 = v1 ^% v2 in let v2 = rotl v2 32 in
+  let v0 = v0 +% v1 in let v1 = rotl v1 13 in let v1 = v1 ^% v0 in
+  let v0 = rotl v0 32 in let v2 = v2 +% v3 in let v3 = rotl v3 16 in
+  let v3 = v3 ^% v2 in let v0 = v0 +% v3 in let v3 = rotl v3 21 in
+  let v3 = v3 ^% v0 in let v2 = v2 +% v1 in let v1 = rotl v1 17 in
+  let v1 = v1 ^% v2 in let v2 = rotl v2 32 in
+  let v0 = v0 ^% m in
+  (* finalize: v2 ^= 0xff; 4 rounds; xor-fold *)
+  let v2 = v2 ^% 0xFFL in
+  let v0 = v0 +% v1 in let v1 = rotl v1 13 in let v1 = v1 ^% v0 in
+  let v0 = rotl v0 32 in let v2 = v2 +% v3 in let v3 = rotl v3 16 in
+  let v3 = v3 ^% v2 in let v0 = v0 +% v3 in let v3 = rotl v3 21 in
+  let v3 = v3 ^% v0 in let v2 = v2 +% v1 in let v1 = rotl v1 17 in
+  let v1 = v1 ^% v2 in let v2 = rotl v2 32 in
+  let v0 = v0 +% v1 in let v1 = rotl v1 13 in let v1 = v1 ^% v0 in
+  let v0 = rotl v0 32 in let v2 = v2 +% v3 in let v3 = rotl v3 16 in
+  let v3 = v3 ^% v2 in let v0 = v0 +% v3 in let v3 = rotl v3 21 in
+  let v3 = v3 ^% v0 in let v2 = v2 +% v1 in let v1 = rotl v1 17 in
+  let v1 = v1 ^% v2 in let v2 = rotl v2 32 in
+  let v0 = v0 +% v1 in let v1 = rotl v1 13 in let v1 = v1 ^% v0 in
+  let v0 = rotl v0 32 in let v2 = v2 +% v3 in let v3 = rotl v3 16 in
+  let v3 = v3 ^% v2 in let v0 = v0 +% v3 in let v3 = rotl v3 21 in
+  let v3 = v3 ^% v0 in let v2 = v2 +% v1 in let v1 = rotl v1 17 in
+  let v1 = v1 ^% v2 in let v2 = rotl v2 32 in
+  let v0 = v0 +% v1 in let v1 = rotl v1 13 in let v1 = v1 ^% v0 in
+  let v0 = rotl v0 32 in let v2 = v2 +% v3 in let v3 = rotl v3 16 in
+  let v3 = v3 ^% v2 in let v0 = v0 +% v3 in let v3 = rotl v3 21 in
+  let v3 = v3 ^% v0 in let v2 = v2 +% v1 in let v1 = rotl v1 17 in
+  let v1 = v1 ^% v2 in let v2 = rotl v2 32 in
+  v0 ^% v1 ^% v2 ^% v3
+
+let finish_int64_pair ?d ms b =
+  match (ms.mc, d) with
+  | 2, (None | Some 4) -> finish24 ms b
+  | _, d -> finish_generic ~d:(Option.value d ~default:4) ms b

@@ -36,3 +36,24 @@ val hash_int : ?c:int -> ?d:int -> key -> int -> int64
 val hash_int64_pair : ?c:int -> ?d:int -> key -> int64 -> int64 -> int64
 (** [hash_int64_pair key a b] hashes the 16-byte little-endian encoding of
     [(a, b)]; the allocation-free primitive behind seeded rank functions. *)
+
+type midstate
+(** A precomputed hash midstate: the internal SipHash registers after the
+    key initialisation and the compression of one fixed 8-byte prefix
+    block.  In Basalt the prefix is a slot's rank seed, absorbed once
+    when the seed is drawn; ranking an identifier then only finishes the
+    identifier block ({!finish_int64_pair}), skipping the key setup and
+    the prefix compression on every evaluation — the dominant term of
+    the rank hot path at [v × candidates] evaluations per exchange. *)
+
+val prepare_int64 : ?c:int -> key -> int64 -> midstate
+(** [prepare_int64 ~c key a] absorbs the first 8-byte block [a] under
+    [key] (default [c = 2]) and captures the resumable midstate. *)
+
+val finish_int64_pair : ?d:int -> midstate -> int64 -> int64
+(** [finish_int64_pair ~d ms b] resumes [ms] with the second block [b]
+    and returns the finished hash (default [d = 4]):
+    [finish_int64_pair (prepare_int64 key a) b = hash_int64_pair key a b]
+    for every [key], [a], [b] (with matching [c]/[d]).  The default 2-4
+    instance runs fully unrolled with unboxed intermediates — roughly an
+    order of magnitude faster than {!hash_int64_pair}. *)

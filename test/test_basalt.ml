@@ -683,6 +683,133 @@ let prop_eviction_spares_recent_peers =
         ops;
       !ok)
 
+(* Differential rank oracle: a naive reference model of Alg. 1 that
+   evaluates one rank per (slot, candidate) pair with no dedup, no
+   candidate digests and no seen-cache — exactly the code the batched
+   [Basalt.update_sample] replaced.  The model mirrors the node's PRNG
+   usage ([create] splits the master stream and draws one seed per slot;
+   each [sample_tick] reset draws one more), so a same-seeded node and
+   model hold identical slot seeds at every step and must agree on every
+   holder and every best rank, bit for bit. *)
+module Rank_oracle = struct
+  type slot = {
+    mutable seed : Rank.seed;
+    mutable holder : int option;
+    mutable best : int;
+  }
+
+  type t = {
+    slots : slot array;
+    rng : Basalt_prng.Rng.t;
+    backend : Rank.backend;
+    self : int;
+    mutable next_reset : int;
+  }
+
+  let create ~backend ~v ~self ~seed =
+    let master = Basalt_prng.Rng.create ~seed in
+    let rng = Basalt_prng.Rng.split master in
+    let slots =
+      Array.init v (fun _ ->
+          { seed = Rank.fresh backend rng; holder = None; best = max_int })
+    in
+    { slots; rng; backend; self; next_reset = 0 }
+
+  let offer t ids =
+    Array.iter
+      (fun id ->
+        let id = Node_id.to_int id in
+        if id <> t.self then
+          Array.iter
+            (fun s ->
+              let r = Rank.rank s.seed id in
+              if s.holder = None || r < s.best then begin
+                s.holder <- Some id;
+                s.best <- r
+              end)
+            t.slots)
+      ids
+
+  let tick t ~k =
+    let snapshot =
+      Array.of_list
+        (List.filter_map
+           (fun s -> Option.map Node_id.of_int s.holder)
+           (Array.to_list t.slots))
+    in
+    for _ = 1 to k do
+      let s = t.slots.(t.next_reset) in
+      t.next_reset <- (t.next_reset + 1) mod Array.length t.slots;
+      s.seed <- Rank.fresh t.backend t.rng;
+      s.holder <- None;
+      s.best <- max_int
+    done;
+    offer t snapshot
+
+  let holders t = Array.map (fun s -> s.holder) t.slots
+  let ranks t =
+    Array.map (fun s -> if s.holder = None then None else Some s.best) t.slots
+end
+
+let oracle_backends =
+  [
+    ("cheap", Rank.Cheap);
+    ("keyed-cheap", Rank.Keyed_cheap 0x2545F4914F6CDD1D);
+    ( "siphash",
+      Rank.Siphash (Basalt_hashing.Siphash.key_of_ints 0x0706050403020100L 0x0F0E0D0C0B0A0908L) );
+    ("prefix-diverse", Rank.Prefix_diverse { prefix_of = (fun id -> id / 8) });
+  ]
+
+(* Each op is a candidate batch (possibly empty) optionally followed by a
+   sample_tick: small identifier range forces duplicates within and
+   across batches, id 0 is the node itself, and ticks re-seed slots so
+   the batched path's seen-cache must discriminate stale generations. *)
+let prop_update_sample_matches_oracle =
+  let print_ops =
+    Print.list (Print.pair (Print.list Print.int) Print.bool)
+  in
+  Check.prop ~name:"batched update_sample matches naive rank oracle"
+    ~count:150
+    ~print:(Print.pair Print.int print_ops)
+    (Gen.pair (Gen.nat ~max:10_000)
+       (Gen.list ~min_len:1 ~max_len:10
+          (Gen.pair
+             (Gen.list ~min_len:0 ~max_len:8 (Gen.nat ~max:12))
+             Gen.bool)))
+    (fun (seed, ops) ->
+      let v = 6 and k = 2 in
+      List.for_all
+        (fun (_name, backend) ->
+          let send ~dst:_ _ = () in
+          let t =
+            Basalt.create
+              ~config:(Config.make ~v ~k ~backend ())
+              ~id:(Node_id.of_int 0) ~bootstrap:[||]
+              ~rng:(Basalt_prng.Rng.create ~seed)
+              ~send ()
+          in
+          let m = Rank_oracle.create ~backend ~v ~self:0 ~seed in
+          List.for_all
+            (fun (ids, tick) ->
+              let batch =
+                Array.of_list (List.map Node_id.of_int ids)
+              in
+              Basalt.update_sample t batch;
+              Rank_oracle.offer m batch;
+              if tick then begin
+                ignore (Basalt.sample_tick t);
+                Rank_oracle.tick m ~k
+              end;
+              let holders =
+                Array.map
+                  (Option.map Node_id.to_int)
+                  (Basalt.view_slots t)
+              in
+              holders = Rank_oracle.holders m
+              && Basalt.slot_ranks t = Rank_oracle.ranks m)
+            ops)
+        oracle_backends)
+
 (* exclude_self (the default) keeps the node's own identifier out of
    its view no matter how often it is offered. *)
 let prop_view_excludes_self =
@@ -771,6 +898,7 @@ let () =
           prop_view_subset_of_fed;
           prop_slot_argmin;
           prop_update_sample_batch_split;
+          prop_update_sample_matches_oracle;
           prop_view_excludes_self;
           prop_eviction_spares_recent_peers;
           prop_stream_model;

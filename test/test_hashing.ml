@@ -82,6 +82,56 @@ let siphash_key_of_rng () =
   check_bool "fresh keys differ" true
     (Siphash.hash_int k1 1 <> Siphash.hash_int k2 1)
 
+(* --- SipHash midstate (the rank hot-path cache) --- *)
+
+(* The resumed midstate must be literally the same function as the
+   one-shot pair hash: pinned on the reference-vector key first, then
+   over a seeded sweep of keys and blocks. *)
+let siphash_midstate_reference_key () =
+  List.iter
+    (fun (a, b) ->
+      check_i64
+        (Printf.sprintf "midstate resume (%Ld, %Ld)" a b)
+        (Siphash.hash_int64_pair ref_key a b)
+        (Siphash.finish_int64_pair (Siphash.prepare_int64 ref_key a) b))
+    [
+      (0L, 0L);
+      (1L, 2L);
+      (-1L, 1L);
+      (-5L, 77L);
+      (0x0706050403020100L, 0x0F0E0D0C0B0A0908L);
+      (Int64.max_int, Int64.min_int);
+      (Int64.min_int, Int64.max_int);
+    ]
+
+let siphash_midstate_seeded_sweep () =
+  let rng = Basalt_prng.Rng.create ~seed:41 in
+  for _ = 1 to 200 do
+    let key = Siphash.key_of_rng rng in
+    let a = Basalt_prng.Rng.int64 rng and b = Basalt_prng.Rng.int64 rng in
+    let ms = Siphash.prepare_int64 key a in
+    check_i64 "sweep: resumed = one-shot"
+      (Siphash.hash_int64_pair key a b)
+      (Siphash.finish_int64_pair ms b);
+    (* One midstate serves many second blocks. *)
+    let b2 = Basalt_prng.Rng.int64 rng in
+    check_i64 "sweep: midstate reusable"
+      (Siphash.hash_int64_pair key a b2)
+      (Siphash.finish_int64_pair ms b2)
+  done
+
+let siphash_midstate_nondefault_instance () =
+  (* Non-2-4 instances take the generic resumption path; it must agree
+     with the one-shot hash too. *)
+  let ms13 = Siphash.prepare_int64 ~c:1 ref_key 42L in
+  check_i64 "1-3 resumed = one-shot"
+    (Siphash.hash_int64_pair ~c:1 ~d:3 ref_key 42L 7L)
+    (Siphash.finish_int64_pair ~d:3 ms13 7L);
+  let ms24 = Siphash.prepare_int64 ref_key 42L in
+  check_bool "instances differ" true
+    (Siphash.finish_int64_pair ~d:3 ms13 7L
+    <> Siphash.finish_int64_pair ms24 7L)
+
 (* --- Mixers --- *)
 
 let mix64_matches_splitmix () =
@@ -254,13 +304,54 @@ module Check = Basalt_check.Check
 module Gen = Check.Gen
 module Print = Check.Print
 
-let prop_rank_prepared_equal =
-  Check.prop ~name:"rank_prepared = rank (cheap)" ~count:1000
+(* Every evaluation path — plain, prepared, digested (and for SipHash
+   the precomputed midstate they all share) — must produce the same
+   rank, for every backend. *)
+let all_backends =
+  [
+    ("cheap", Rank.Cheap);
+    ("keyed-cheap", Rank.Keyed_cheap 0x5DEECE66D);
+    ("siphash", Rank.Siphash ref_key);
+    ("prefix-diverse", Rank.Prefix_diverse { prefix_of = (fun id -> id / 64) });
+  ]
+
+let prop_rank_paths_equal =
+  Check.prop ~name:"rank = rank_prepared = rank_digested (all backends)"
+    ~count:1000
     ~print:(Print.pair Print.int Print.int)
-    Gen.(pair (nat ~max:10_000) (nat ~max:10_000))
+    Gen.(pair (nat ~max:1_000_000) (nat ~max:1_000_000))
     (fun (sv, id) ->
-      let seed = Rank.of_int Rank.Cheap sv in
-      Rank.rank seed id = Rank.rank_prepared seed (Rank.prepare Rank.Cheap id))
+      List.for_all
+        (fun (_, backend) ->
+          let seed = Rank.of_int backend sv in
+          let r = Rank.rank seed id in
+          r = Rank.rank_prepared seed (Rank.prepare backend id)
+          && r = Rank.rank_digested seed ~id ~digest:(Rank.digest id))
+        all_backends)
+
+(* The SipHash backend's cached midstate path must equal the uncached
+   reference formula: hash_int64_pair over (seed, id), masked to a
+   non-negative native int. *)
+let prop_sip_rank_matches_reference =
+  Check.prop ~name:"siphash rank = uncached hash_int64_pair" ~count:500
+    ~print:(Print.pair Print.int Print.int)
+    Gen.(pair (nat ~max:1_000_000) (nat ~max:1_000_000))
+    (fun (sv, id) ->
+      let seed = Rank.of_int (Rank.Siphash ref_key) sv in
+      Rank.rank seed id
+      = Int64.to_int
+          (Siphash.hash_int64_pair ref_key (Int64.of_int sv) (Int64.of_int id))
+        land max_int)
+
+(* Keyed_cheap is pinned to its documented formula and actually keyed. *)
+let keyed_cheap_formula () =
+  let key = 0x1234_5678_9ABC in
+  let s = Rank.of_int (Rank.Keyed_cheap key) 77 in
+  for id = 0 to 200 do
+    check_int "keyed63 formula" (Mix.keyed63 ~key 77 id) (Rank.rank s id)
+  done;
+  let s2 = Rank.of_int (Rank.Keyed_cheap (key + 1)) 77 in
+  check_bool "key matters" true (Rank.rank s 42 <> Rank.rank s2 42)
 
 let prop_mix63_nonneg =
   Check.prop ~name:"mix63 non-negative" ~count:1000 ~print:Print.int
@@ -280,6 +371,12 @@ let () =
           Alcotest.test_case "key sensitivity" `Quick siphash_key_sensitivity;
           Alcotest.test_case "siphash-1-3 variant" `Quick siphash13_differs;
           Alcotest.test_case "key_of_rng" `Quick siphash_key_of_rng;
+          Alcotest.test_case "midstate reference key" `Quick
+            siphash_midstate_reference_key;
+          Alcotest.test_case "midstate seeded sweep" `Quick
+            siphash_midstate_seeded_sweep;
+          Alcotest.test_case "midstate non-default instance" `Quick
+            siphash_midstate_nondefault_instance;
         ] );
       ( "mix",
         [
@@ -309,6 +406,14 @@ let () =
             prefix_rank_uniform_within_prefix;
           Alcotest.test_case "prefix-diverse prepared agrees" `Quick
             prefix_rank_prepared_agrees;
+          Alcotest.test_case "keyed-cheap formula" `Quick keyed_cheap_formula;
+          Alcotest.test_case "min-wise uniformity (keyed-cheap)" `Slow
+            (rank_minwise_uniformity (Rank.Keyed_cheap 0xBEEF));
         ] );
-      Check.suite "properties" [ prop_rank_prepared_equal; prop_mix63_nonneg ];
+      Check.suite "properties"
+        [
+          prop_rank_paths_equal;
+          prop_sip_rank_matches_reference;
+          prop_mix63_nonneg;
+        ];
     ]
