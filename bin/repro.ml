@@ -48,6 +48,33 @@ let csv_path csv_dir name =
       Filename.concat dir (name ^ ".csv"))
     csv_dir
 
+(* Fail fast, with the failing path and a distinct exit code, before
+   spending minutes on an experiment whose output cannot be written
+   (exit 5; test_cli.ml pins it). *)
+let exit_unwritable = 5
+
+let fail_unwritable kind path msg =
+  Printf.eprintf "repro: cannot write %s %s: %s\n%!" kind path msg;
+  exit exit_unwritable
+
+(* The append-without-truncate probe leaves pre-existing contents
+   intact; a file it creates is immediately rewritten by the run. *)
+let validate_trace = function
+  | None -> ()
+  | Some path -> (
+      try close_out (open_out_gen [ Open_wronly; Open_creat ] 0o644 path)
+      with Sys_error msg -> fail_unwritable "trace file" path msg)
+
+let validate_csv_dir = function
+  | None -> ()
+  | Some dir -> (
+      try
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let probe = Filename.concat dir ".repro_probe" in
+        close_out (open_out_gen [ Open_wronly; Open_creat ] 0o644 probe);
+        Sys.remove probe
+      with Sys_error msg -> fail_unwritable "csv directory" dir msg)
+
 let warn_no_trace cmd_name = function
   | None -> ()
   | Some _ ->
@@ -69,6 +96,8 @@ let with_jobs jobs f =
       exit 1
 
 let timed cmd_name f scale csv_dir trace jobs =
+  validate_csv_dir csv_dir;
+  validate_trace trace;
   let t0 = Unix.gettimeofday () in
   with_jobs jobs (fun pool -> f ~scale ~csv_dir ~trace ~pool ());
   Printf.printf "[%s done in %.1fs]\n\n%!" cmd_name (Unix.gettimeofday () -. t0)
@@ -230,6 +259,8 @@ let timeline_cmd =
     Arg.(value & flag & info [ "graph-metrics" ] ~doc:"Record Fig. 4 metrics.")
   in
   let run protocol n f force v rho steps seed graph csv_dir trace =
+    validate_csv_dir csv_dir;
+    validate_trace trace;
     match
       Timeline.spec ~protocol ~n ~f ~force ~v ~rho ~steps ~seed
         ~graph_metrics:graph ()
@@ -245,9 +276,44 @@ let timeline_cmd =
       const run $ protocol $ n $ f $ force $ v $ rho $ steps $ seed $ graph
       $ csv_arg $ trace_arg)
 
+(* matrix runs a declarative scenario file (DESIGN.md §12).  Distinct
+   exit codes, pinned in test_cli.ml: 3 = unreadable scenario file,
+   4 = parse/validation error (reported as file:line:col), 5 = shared
+   unwritable-output failure. *)
+let matrix_cmd =
+  let file_arg =
+    let doc = "Scenario matrix file (s-expression, DESIGN.md \xc2\xa712)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file scale csv_dir trace jobs =
+    validate_csv_dir csv_dir;
+    validate_trace trace;
+    match Basalt_scenario.Spec.load file with
+    | Error (`Unreadable msg) ->
+        Printf.eprintf "repro matrix: cannot read %s: %s\n%!" file msg;
+        exit 3
+    | Error (`Invalid msg) ->
+        Printf.eprintf "%s\n%!" msg;
+        exit 4
+    | Ok spec ->
+        let t0 = Unix.gettimeofday () in
+        with_jobs jobs (fun pool ->
+            Basalt_scenario.Matrix.print ~scale
+              ?csv:(csv_path csv_dir (Basalt_scenario.Spec.slug spec))
+              ?trace ?pool spec);
+        Printf.printf "[matrix done in %.1fs]\n\n%!"
+          (Unix.gettimeofday () -. t0)
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:
+         "Run a declarative scenario matrix from FILE (see scenarios/ for \
+          committed examples)")
+    Term.(const run $ file_arg $ scale_arg $ csv_arg $ trace_arg $ jobs_arg)
+
 let () =
   let info =
     Cmd.info "basalt-repro" ~version:"1.0.0"
       ~doc:"Reproduce the evaluation of the Basalt paper (Middleware 2023)"
   in
-  exit (Cmd.eval (Cmd.group info (timeline_cmd :: cmds)))
+  exit (Cmd.eval (Cmd.group info (timeline_cmd :: matrix_cmd :: cmds)))

@@ -1,14 +1,9 @@
 module Scenario = Basalt_sim.Scenario
-module Runner = Basalt_sim.Runner
 module Report = Basalt_sim.Report
 module Fault = Basalt_engine.Fault
 module Link = Basalt_engine.Link
 module Pool = Basalt_parallel.Pool
 module Obs = Basalt_obs.Obs
-module Gossip = Basalt_gossip.Gossip
-module Delivery = Basalt_gossip.Delivery
-module Rng = Basalt_prng.Rng
-module Node_id = Basalt_proto.Node_id
 
 type outcome = { delivered : float; t99 : float option; redundancy : float }
 
@@ -21,16 +16,7 @@ type row = {
   classic : outcome;
 }
 
-(* One run's dissemination summary — plain data so Pool workers can
-   return it. *)
-type summary = {
-  s_delivered : float;
-  s_t99 : float option;
-  s_duplicates : int;
-  s_deliveries : int;
-}
-
-let publish_count = 10
+let publish_count = Gossip_app.default_params.Gossip_app.publishes
 
 let burst_loss =
   Link.Loss.Gilbert_elliott
@@ -65,69 +51,6 @@ let protocols v =
     ("classic", Scenario.Classic (Basalt_sps.Classic.config ~l:v ()));
   ]
 
-(* The publish plan: [publish_count] messages from rotating correct
-   publishers, one per time unit, starting after a 40%-of-run warmup so
-   meshes exist (and, under the partition condition, spanning the cut). *)
-let plan ~q ~steps =
-  List.init publish_count (fun k ->
-      let time = (0.4 *. steps) +. float_of_int k in
-      let publisher = 17 * (k + 1) mod q in
-      let payload = Bytes.make 32 (Char.chr (65 + (k mod 26))) in
-      (time, publisher, payload))
-
-let run_one ~trace s =
-  let q = Scenario.num_correct s in
-  let tracker = Delivery.create ~n:q () in
-  let gossips = Array.make q None in
-  let app ctx =
-    List.iter
-      (fun (time, p, payload) ->
-        ctx.Runner.app_schedule ~delay:time (fun () ->
-            if ctx.Runner.app_alive p then
-              match gossips.(p) with
-              | Some g ->
-                  let mid = Gossip.publish g payload in
-                  Delivery.published tracker mid ~time:(ctx.Runner.app_now ())
-              | None -> ()))
-      (plan ~q ~steps:s.Scenario.steps);
-    fun i ->
-      let rng = Rng.split ctx.Runner.app_rng in
-      let g =
-        Gossip.create ~obs:ctx.Runner.app_obs ~node:(Node_id.of_int i)
-          ~view:(fun () -> ctx.Runner.app_view i)
-          ~rng
-          ~send:(fun ~dst msg -> ctx.Runner.app_send ~src:i ~dst msg)
-          ~deliver:(fun mid _payload ->
-            Delivery.delivered tracker mid ~node:i
-              ~time:(ctx.Runner.app_now ()))
-          ()
-      in
-      gossips.(i) <- Some g;
-      {
-        Runner.app_deliver = (fun ~from msg -> Gossip.on_message g ~from msg);
-        app_tick = (fun ps -> Gossip.on_samples g ps);
-        app_round = (fun () -> Gossip.heartbeat g);
-      }
-  in
-  let result = Runner.run ~app ~obs:trace ~trace s in
-  let duplicates = ref 0 in
-  let deliveries = ref 0 in
-  Array.iter
-    (function
-      | None -> ()
-      | Some g ->
-          let st = Gossip.stats g in
-          duplicates := !duplicates + st.Gossip.duplicates;
-          deliveries := !deliveries + st.Gossip.delivered)
-    gossips;
-  ( result,
-    {
-      s_delivered = Delivery.fraction tracker;
-      s_t99 = Delivery.median_time_to_fraction tracker ~frac:0.99;
-      s_duplicates = !duplicates;
-      s_deliveries = !deliveries;
-    } )
-
 (* One flat condition × force × protocol × seed batch so a Pool can fan
    the whole sweep out; [Pool.map] preserves task order, so regrouping —
    and the merged trace below — is deterministic at any [-j N]. *)
@@ -159,47 +82,21 @@ let run_tasks ?(scale = Scale.Standard) ?(trace = false) ?pool () =
           forces)
       (conditions ~n ~steps)
   in
-  let runs = Pool.map ?pool (fun (_, _, _, s) -> run_one ~trace s) tasks in
+  let runs = Pool.map ?pool (fun (_, _, _, s) -> Gossip_app.run ~trace s) tasks in
   (tasks, runs)
 
 let outcome summaries =
-  let mean f =
-    List.fold_left (fun acc s -> acc +. f s) 0.0 summaries
-    /. float_of_int (List.length summaries)
-  in
-  let t99s = List.filter_map (fun s -> s.s_t99) summaries in
-  let t99 =
-    if 2 * List.length t99s < List.length summaries + 1 then None
-    else begin
-      let sorted = List.sort Float.compare t99s in
-      Some (List.nth sorted (List.length sorted / 2))
-    end
-  in
-  let dups = List.fold_left (fun acc s -> acc + s.s_duplicates) 0 summaries in
-  let dels = List.fold_left (fun acc s -> acc + s.s_deliveries) 0 summaries in
+  let dups = Agg.sum (fun s -> s.Gossip_app.duplicates) summaries in
+  let dels = Agg.sum (fun s -> s.Gossip_app.deliveries) summaries in
   {
-    delivered = mean (fun s -> s.s_delivered);
-    t99;
+    delivered = Agg.mean (fun s -> s.Gossip_app.delivered) summaries;
+    t99 = Agg.median_opt (List.map (fun s -> s.Gossip_app.t99) summaries);
     redundancy = float_of_int dups /. float_of_int (max 1 dels);
   }
 
 let rows_of ~scale runs =
   let per_group = List.length (Scale.seeds scale) in
-  let summaries = List.map snd runs in
-  let rec take k acc rest =
-    if k = 0 then (List.rev acc, rest)
-    else
-      match rest with
-      | r :: tl -> take (k - 1) (r :: acc) tl
-      | [] -> assert false
-  in
-  let rec regroup = function
-    | [] -> []
-    | xs ->
-        let group, rest = take per_group [] xs in
-        group :: regroup rest
-  in
-  let groups = regroup summaries in
+  let groups = Agg.chunks per_group (List.map snd runs) in
   let n = Scale.n scale in
   let steps = Scale.steps scale in
   let cells =
@@ -235,7 +132,7 @@ let write_trace path tasks runs =
     (fun () ->
       List.iter2
         (fun (condition, force, proto, _) (r, _) ->
-          match r.Runner.obs with
+          match r.Basalt_sim.Runner.obs with
           | Some sink ->
               output_string oc
                 (Obs.events_to_jsonl

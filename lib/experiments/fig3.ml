@@ -18,19 +18,13 @@ let dims scale =
   | Scale.Standard | Scale.Full -> (1000, 100, 300.0)
 
 let convergence_of_runs runs ~optimal ~within =
-  let times =
-    List.map
-      (fun r ->
-        Measurements.convergence_time ~optimal ~within r.Runner.series)
-      runs
-  in
-  let converged = List.filter_map Fun.id times in
-  (* Majority rule: report the median time if most seeds converged. *)
-  if 2 * List.length converged < List.length times + 1 then None
-  else begin
-    let sorted = List.sort Float.compare converged in
-    Some (List.nth sorted (List.length sorted / 2))
-  end
+  (* Majority rule (Agg.median_opt): report the median time if most
+     seeds converged. *)
+  Agg.median_opt
+    (List.map
+       (fun r ->
+         Measurements.convergence_time ~optimal ~within r.Runner.series)
+       runs)
 
 let run ?(scale = Scale.Standard) ?(within = 0.25) ?pool () =
   let n, v, steps = dims scale in

@@ -1,5 +1,9 @@
 module Report = Basalt_sim.Report
 
+let line s =
+  print_string s;
+  print_newline ()
+
 let emit ?csv ~rows cols =
   Report.print_table ~rows cols;
   match csv with

@@ -62,34 +62,21 @@ let protocols v =
   ]
 
 let median_convergence runs ~optimal ~within =
-  let times =
-    List.map
-      (fun r ->
-        Measurements.convergence_time ~optimal ~within r.Runner.series)
-      runs
-  in
-  let converged = List.filter_map Fun.id times in
-  if 2 * List.length converged < List.length times + 1 then None
-  else begin
-    let sorted = List.sort Float.compare converged in
-    Some (List.nth sorted (List.length sorted / 2))
-  end
+  Agg.median_opt
+    (List.map
+       (fun r ->
+         Measurements.convergence_time ~optimal ~within r.Runner.series)
+       runs)
 
 let outcome ~f ~within runs =
-  let mean field =
-    List.fold_left (fun acc r -> acc +. field r.Runner.final) 0.0 runs
-    /. float_of_int (List.length runs)
-  in
-  let sum field =
-    List.fold_left (fun acc r -> acc + field r.Runner.transport) 0 runs
-  in
-  let sent = sum (fun (t : Basalt_engine.Engine.stats) -> t.sent) in
+  let stats r = r.Runner.transport in
+  let sent = Agg.sum (fun r -> (stats r).Basalt_engine.Engine.sent) runs in
   let delivered =
-    sum (fun (t : Basalt_engine.Engine.stats) -> t.delivered)
+    Agg.sum (fun r -> (stats r).Basalt_engine.Engine.delivered) runs
   in
   {
     time = median_convergence runs ~optimal:f ~within;
-    sample_byz = mean (fun p -> p.Measurements.sample_byz);
+    sample_byz = Agg.mean (fun r -> r.Runner.final.Measurements.sample_byz) runs;
     delivered_frac = float_of_int delivered /. float_of_int (max 1 sent);
   }
 
@@ -126,20 +113,7 @@ let rows_of ~scale runs =
   let f = 0.1 in
   let within = 0.25 in
   let per_group = List.length (Scale.seeds scale) in
-  let rec take k acc rest =
-    if k = 0 then (List.rev acc, rest)
-    else
-      match rest with
-      | r :: tl -> take (k - 1) (r :: acc) tl
-      | [] -> assert false
-  in
-  let rec regroup = function
-    | [] -> []
-    | runs ->
-        let group, rest = take per_group [] runs in
-        group :: regroup rest
-  in
-  let groups = regroup runs in
+  let groups = Agg.chunks per_group runs in
   let rec rows conds groups =
     match (conds, groups) with
     | [], [] -> []

@@ -50,6 +50,191 @@ let subcommand_help_succeeds () =
   let code, _out, _err = run_repro "fig2a --help=plain" in
   Alcotest.(check int) "exit 0" 0 code
 
+(* --- repro matrix: scenario-file exit codes (DESIGN.md §12) --- *)
+
+(* Scripts looping over scenario files branch on these: 3 = unreadable
+   file, 4 = parse/validation error, 5 = unwritable output path. *)
+
+let scenarios = "../scenarios/"
+
+let matrix_missing_file_exits_3 () =
+  let code, _out, err = run_repro ("matrix " ^ scenarios ^ "missing.scn") in
+  Alcotest.(check int) "exit 3" 3 code;
+  Alcotest.(check bool) "names the path" true
+    (contains ~needle:"repro matrix: cannot read" err
+    && contains ~needle:"missing.scn" err)
+
+let matrix_invalid_file_exits_4 () =
+  let code, _out, err =
+    run_repro ("matrix " ^ scenarios ^ "corpus/bad_number.scn")
+  in
+  Alcotest.(check int) "exit 4" 4 code;
+  Alcotest.(check bool) "positioned diagnostic" true
+    (contains ~needle:"corpus/bad_number.scn:2:12: bad number '0.x'" err)
+
+(* The output-path probe must fail fast — before any simulation runs —
+   for both the matrix driver and the hand-written timed targets. *)
+let unwritable_trace_exits_5 () =
+  List.iter
+    (fun target ->
+      let code, _out, err =
+        run_repro (target ^ " --trace /nonexistent-basalt/t.jsonl")
+      in
+      Alcotest.(check int) (target ^ " exit 5") 5 code;
+      Alcotest.(check bool) (target ^ " names the path") true
+        (contains ~needle:"repro: cannot write trace file /nonexistent-basalt/t.jsonl"
+           err))
+    [ "matrix " ^ scenarios ^ "smoke.scn"; "cost -s quick" ]
+
+let unwritable_csv_exits_5 () =
+  let code, _out, err =
+    run_repro ("matrix " ^ scenarios ^ "smoke.scn --csv /proc/nope")
+  in
+  Alcotest.(check int) "exit 5" 5 code;
+  Alcotest.(check bool) "names the directory" true
+    (contains ~needle:"repro: cannot write csv directory /proc/nope" err)
+
+(* --- repro matrix: determinism and hand-written equivalence --- *)
+
+(* Strips the banner/footer lines that mention wall-clock or file
+   paths, leaving the table body the assertions compare. *)
+let table_body out =
+  String.split_on_char '\n' out
+  |> List.filter (fun l ->
+         not
+           (String.length l > 0
+           && (l.[0] = '=' || l.[0] = '[' || l.[0] = '(')))
+  |> String.concat "\n"
+
+let matrix_j_determinism () =
+  let code1, out1, _ = run_repro ("matrix " ^ scenarios ^ "smoke.scn -j 1") in
+  let code2, out2, _ = run_repro ("matrix " ^ scenarios ^ "smoke.scn -j 2") in
+  Alcotest.(check int) "-j 1 exit 0" 0 code1;
+  Alcotest.(check int) "-j 2 exit 0" 0 code2;
+  Alcotest.(check string) "tables bit-identical" (table_body out1)
+    (table_body out2)
+
+(* The committed robustness_net.scn reproduces the hand-written
+   experiment's table byte-for-byte (ISSUE acceptance; ~25 s, so
+   `Slow — skipped under -q). *)
+let matrix_reproduces_hand_written () =
+  let code_h, out_h, _ = run_repro "robustness-net -s quick" in
+  let code_m, out_m, _ =
+    run_repro ("matrix " ^ scenarios ^ "robustness_net.scn -s quick")
+  in
+  Alcotest.(check int) "hand-written exit 0" 0 code_h;
+  Alcotest.(check int) "matrix exit 0" 0 code_m;
+  Alcotest.(check string) "tables byte-identical" (table_body out_h)
+    (table_body out_m)
+
+(* --- bench_gate subcommands --- *)
+
+let bench_gate = "../tool/bench_gate/main.exe"
+
+let run_gate args =
+  let out_file = Filename.temp_file "gate" ".out" in
+  let err_file = Filename.temp_file "gate" ".err" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s" (Filename.quote bench_gate) args
+      (Filename.quote out_file) (Filename.quote err_file)
+  in
+  let code = Sys.command cmd in
+  let read_all path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Sys.remove path;
+    s
+  in
+  (code, read_all out_file, read_all err_file)
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let bench_current ns =
+  Printf.sprintf "{\"unit\": \"ns/run\", \"groups\": {\"g\": {\"t\": %s}}}" ns
+
+(* `append` emits the documented one-line record; the schema is pinned
+   byte-for-byte because CI artifacts accumulate these lines across
+   runs and `report` must keep reading old ones. *)
+let gate_append_record_pinned () =
+  let cur = Filename.temp_file "bench" ".json" in
+  let hist = Filename.temp_file "bench" ".jsonl" in
+  Sys.remove hist;
+  write_file cur (bench_current "100.5");
+  let code, _out, _ =
+    Printf.ksprintf run_gate "append --history %s --current %s --label base"
+      (Filename.quote hist) (Filename.quote cur)
+  in
+  Alcotest.(check int) "append exit 0" 0 code;
+  let ic = open_in_bin hist in
+  let line = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "record schema"
+    "{\"version\":1,\"label\":\"base\",\"unit\":\"ns/run\",\"groups\":{\"g\":{\"t\":100.5}}}"
+    line;
+  Sys.remove cur;
+  Sys.remove hist
+
+(* `report` trends the history and flags last/best over tolerance; it
+   stays informational (exit 0) either way. *)
+let gate_report_flags_regression () =
+  let hist = Filename.temp_file "bench" ".jsonl" in
+  write_file hist
+    ("{\"version\":1,\"label\":\"a\",\"unit\":\"ns/run\",\"groups\":{\"g\":{\"t\":100}}}\n"
+   ^ "{\"version\":1,\"label\":\"b\",\"unit\":\"ns/run\",\"groups\":{\"g\":{\"t\":450}}}\n");
+  let code, out, _ =
+    Printf.ksprintf run_gate "report --history %s" (Filename.quote hist)
+  in
+  Alcotest.(check int) "informational exit 0" 0 code;
+  Alcotest.(check bool) "lists both runs" true (contains ~needle:"a, b" out);
+  Alcotest.(check bool) "flags the 4.5x entry" true
+    (contains ~needle:"REGR" out);
+  let code, out, _ =
+    Printf.ksprintf run_gate "report --history %s --tolerance 5"
+      (Filename.quote hist)
+  in
+  Alcotest.(check int) "looser tolerance exit 0" 0 code;
+  Alcotest.(check bool) "no flag under tolerance" true
+    (not (contains ~needle:"REGR" out));
+  Sys.remove hist
+
+let gate_report_rejects_malformed () =
+  let hist = Filename.temp_file "bench" ".jsonl" in
+  write_file hist
+    "{\"version\":1,\"label\":\"a\",\"unit\":\"ns/run\",\"groups\":{\"g\":{\"t\":100}}}\nnot json\n";
+  let code, _out, err =
+    Printf.ksprintf run_gate "report --history %s" (Filename.quote hist)
+  in
+  Alcotest.(check int) "malformed exits 2" 2 code;
+  Alcotest.(check bool) "line number in diagnostic" true
+    (contains ~needle:":2:" err);
+  Sys.remove hist
+
+(* The pre-subcommand CI spelling must keep working. *)
+let gate_legacy_spelling () =
+  let cur = Filename.temp_file "bench" ".json" in
+  write_file cur (bench_current "100");
+  let code, out, _ =
+    Printf.ksprintf run_gate "--baseline %s --current %s" (Filename.quote cur)
+      (Filename.quote cur)
+  in
+  Alcotest.(check int) "legacy gate exit 0" 0 code;
+  Alcotest.(check bool) "compared something" true
+    (contains ~needle:"1 compared, 0 regressions" out);
+  let code, _out, _ =
+    Printf.ksprintf run_gate "gate --baseline %s --current %s"
+      (Filename.quote cur) (Filename.quote cur)
+  in
+  Alcotest.(check int) "explicit gate exit 0" 0 code;
+  let code, _out, err = run_gate "frobnicate" in
+  Alcotest.(check int) "unknown subcommand exits 2" 2 code;
+  Alcotest.(check bool) "usage on stderr" true (contains ~needle:"usage" err);
+  Sys.remove cur
+
 (* --- basalt-lint CLI --- *)
 
 let lint = "../tool/lint/main.exe"
@@ -168,6 +353,30 @@ let () =
           Alcotest.test_case "--help succeeds" `Quick help_succeeds;
           Alcotest.test_case "subcommand --help succeeds" `Quick
             subcommand_help_succeeds;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "missing file exits 3" `Quick
+            matrix_missing_file_exits_3;
+          Alcotest.test_case "invalid file exits 4" `Quick
+            matrix_invalid_file_exits_4;
+          Alcotest.test_case "unwritable trace exits 5" `Quick
+            unwritable_trace_exits_5;
+          Alcotest.test_case "unwritable csv exits 5" `Quick
+            unwritable_csv_exits_5;
+          Alcotest.test_case "-j determinism" `Quick matrix_j_determinism;
+          Alcotest.test_case "reproduces hand-written table" `Slow
+            matrix_reproduces_hand_written;
+        ] );
+      ( "bench_gate",
+        [
+          Alcotest.test_case "append record pinned" `Quick
+            gate_append_record_pinned;
+          Alcotest.test_case "report flags regressions" `Quick
+            gate_report_flags_regression;
+          Alcotest.test_case "report rejects malformed history" `Quick
+            gate_report_rejects_malformed;
+          Alcotest.test_case "legacy gate spelling" `Quick gate_legacy_spelling;
         ] );
       ( "lint",
         [

@@ -1,19 +1,39 @@
-(* bench_gate: compare a `bench --json` run against a committed baseline.
+(* bench_gate: benchmark regression gate and append-only perf history.
 
-   Usage: bench_gate --baseline FILE --current FILE [--tolerance X]
+   Usage:
+     bench_gate gate   --baseline FILE --current FILE [--tolerance X]
+     bench_gate append --history FILE --current FILE --label STR
+     bench_gate report --history FILE [--tolerance X]
 
-   Both files use the schema `bench/main.exe --json` writes:
+   (a legacy spelling without a subcommand dispatches to `gate`, so
+   existing CI lines keep working).
+
+   Benchmark files use the schema `bench/main.exe --json` writes:
 
      { "unit": "ns/run", "groups": { GROUP: { TEST: NS, ... }, ... } }
 
-   The gate fails (exit 1) when any benchmark present in the baseline is
+   `gate` fails (exit 1) when any benchmark present in the baseline is
    more than X times slower in the current run, or has disappeared from
    it (a rename silently shrinking the gate is itself a failure).  The
    default tolerance of 3x is deliberately loose: shared CI runners are
    noisy, and the gate exists to catch order-of-magnitude regressions —
    an accidentally quadratic hot path — not single-digit drift.  The
    serious before/after comparisons live in BENCH_*.json notes and are
-   made by hand on a quiet host (CLAUDE.md). *)
+   made by hand on a quiet host (CLAUDE.md).
+
+   `append` adds one labelled record to a JSONL history file
+   (BENCH_history.jsonl in the repo root is the committed seed; the
+   bench-smoke CI job appends its run and uploads the file as an
+   artifact):
+
+     {"version":1,"label":L,"unit":U,"groups":{GROUP:{TEST:NS,...},...}}
+
+   `report` renders per-benchmark trends over such a history — first,
+   best, previous and last measurement plus last/best — flagging
+   entries whose last run exceeds tolerance x their best as REGR.  The
+   report is informational (exit 0; exit 2 on unreadable or malformed
+   history): the hard failure stays with `gate`, which compares against
+   a reviewed baseline rather than a moving history. *)
 
 (* --- Minimal JSON reader (no external dependencies) ------------------ *)
 
@@ -167,7 +187,60 @@ let parse (s : string) : json =
   if !pos <> n then fail "trailing garbage";
   v
 
-(* --- Gate ------------------------------------------------------------- *)
+(* --- Minimal JSON writer (append needs to emit records) -------------- *)
+
+let escape_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let rec write_json b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Num f ->
+      (* Integers print bare so records stay compact and diff-friendly. *)
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string b (Printf.sprintf "%.0f" f)
+      else Buffer.add_string b (Printf.sprintf "%.12g" f)
+  | Str s -> Buffer.add_string b (escape_string s)
+  | Arr items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          write_json b v)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (escape_string k);
+          Buffer.add_char b ':';
+          write_json b v)
+        fields;
+      Buffer.add_char b '}'
+
+let json_to_string v =
+  let b = Buffer.create 256 in
+  write_json b v;
+  Buffer.contents b
+
+(* --- Shared readers --------------------------------------------------- *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -204,13 +277,29 @@ let rows_of path =
       | _ -> die "missing \"groups\" object")
   | _ -> die "top level is not an object"
 
-let () =
+let usage =
+  "usage: bench_gate gate --baseline FILE --current FILE [--tolerance X]\n\
+  \       bench_gate append --history FILE --current FILE --label STR\n\
+  \       bench_gate report --history FILE [--tolerance X]"
+
+let usage_error msg =
+  prerr_endline ("bench_gate: " ^ msg);
+  prerr_endline usage;
+  exit 2
+
+let tolerance_of x =
+  match float_of_string_opt x with
+  | Some f when f >= 1.0 -> f
+  | _ ->
+      prerr_endline "bench_gate: --tolerance must be a float >= 1";
+      exit 2
+
+(* --- gate ------------------------------------------------------------- *)
+
+let gate args =
   let baseline = ref "" in
   let current = ref "" in
   let tolerance = ref 3.0 in
-  let usage =
-    "usage: bench_gate --baseline FILE --current FILE [--tolerance X]"
-  in
   let rec parse_args = function
     | [] -> ()
     | "--baseline" :: path :: rest ->
@@ -220,22 +309,12 @@ let () =
         current := path;
         parse_args rest
     | "--tolerance" :: x :: rest ->
-        (match float_of_string_opt x with
-        | Some f when f >= 1.0 -> tolerance := f
-        | _ ->
-            prerr_endline "bench_gate: --tolerance must be a float >= 1";
-            exit 2);
+        tolerance := tolerance_of x;
         parse_args rest
-    | arg :: _ ->
-        prerr_endline ("bench_gate: unknown argument " ^ arg);
-        prerr_endline usage;
-        exit 2
+    | arg :: _ -> usage_error ("unknown argument " ^ arg)
   in
-  parse_args (List.tl (Array.to_list Sys.argv));
-  if !baseline = "" || !current = "" then begin
-    prerr_endline usage;
-    exit 2
-  end;
+  parse_args args;
+  if !baseline = "" || !current = "" then usage_error "gate needs --baseline and --current";
   let base = rows_of !baseline in
   let cur = rows_of !current in
   let compared = ref 0 in
@@ -269,3 +348,209 @@ let () =
     exit 1
   end;
   exit (if !regressions > 0 || !missing > 0 then 1 else 0)
+
+(* --- append ----------------------------------------------------------- *)
+
+(* Re-read the current file structurally (rather than via [rows_of]) so
+   the record keeps the group nesting; only numeric measurements are
+   carried over, mirroring the [rows_of] null-skipping rule. *)
+let record_of path ~label =
+  let die msg =
+    prerr_endline ("bench_gate: " ^ path ^ ": " ^ msg);
+    exit 2
+  in
+  match parse (read_file path) with
+  | exception Parse_error msg -> die msg
+  | exception Sys_error msg -> die msg
+  | Obj fields ->
+      let unit_ =
+        match List.assoc_opt "unit" fields with
+        | Some (Str u) -> u
+        | _ -> "ns/run"
+      in
+      let groups =
+        match List.assoc_opt "groups" fields with
+        | Some (Obj groups) ->
+            List.filter_map
+              (fun (group, v) ->
+                match v with
+                | Obj rows ->
+                    let rows =
+                      List.filter
+                        (fun (_, v) -> match v with Num _ -> true | _ -> false)
+                        rows
+                    in
+                    if rows = [] then None else Some (group, Obj rows)
+                | _ -> None)
+              groups
+        | _ -> die "missing \"groups\" object"
+      in
+      Obj
+        [
+          ("version", Num 1.);
+          ("label", Str label);
+          ("unit", Str unit_);
+          ("groups", Obj groups);
+        ]
+  | _ -> die "top level is not an object"
+
+let append args =
+  let history = ref "" in
+  let current = ref "" in
+  let label = ref "" in
+  let rec parse_args = function
+    | [] -> ()
+    | "--history" :: path :: rest ->
+        history := path;
+        parse_args rest
+    | "--current" :: path :: rest ->
+        current := path;
+        parse_args rest
+    | "--label" :: l :: rest ->
+        label := l;
+        parse_args rest
+    | arg :: _ -> usage_error ("unknown argument " ^ arg)
+  in
+  parse_args args;
+  if !history = "" || !current = "" || !label = "" then
+    usage_error "append needs --history, --current and --label";
+  let record = record_of !current ~label:!label in
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 !history
+  in
+  output_string oc (json_to_string record);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "bench_gate: appended %S to %s\n" !label !history
+
+(* --- report ----------------------------------------------------------- *)
+
+let report args =
+  let history = ref "" in
+  let tolerance = ref 3.0 in
+  let rec parse_args = function
+    | [] -> ()
+    | "--history" :: path :: rest ->
+        history := path;
+        parse_args rest
+    | "--tolerance" :: x :: rest ->
+        tolerance := tolerance_of x;
+        parse_args rest
+    | arg :: _ -> usage_error ("unknown argument " ^ arg)
+  in
+  parse_args args;
+  if !history = "" then usage_error "report needs --history";
+  let content =
+    match read_file !history with
+    | content -> content
+    | exception Sys_error msg ->
+        prerr_endline ("bench_gate: " ^ msg);
+        exit 2
+  in
+  let die line msg =
+    prerr_endline
+      (Printf.sprintf "bench_gate: %s:%d: %s" !history line msg);
+    exit 2
+  in
+  (* Per (group, test): measurements in history order, as (label, ns). *)
+  let series : ((string * string) * (string * float) list ref) list ref =
+    ref []
+  in
+  let order : (string * string) list ref = ref [] in
+  let labels = ref [] in
+  let lines =
+    String.split_on_char '\n' content
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
+  in
+  List.iter
+    (fun (lineno, line) ->
+      match parse line with
+      | exception Parse_error msg -> die lineno msg
+      | Obj fields ->
+          (match List.assoc_opt "version" fields with
+          | Some (Num 1.) -> ()
+          | _ -> die lineno "missing or unsupported \"version\"");
+          let label =
+            match List.assoc_opt "label" fields with
+            | Some (Str l) -> l
+            | _ -> die lineno "missing \"label\""
+          in
+          labels := label :: !labels;
+          let groups =
+            match List.assoc_opt "groups" fields with
+            | Some (Obj groups) -> groups
+            | _ -> die lineno "missing \"groups\" object"
+          in
+          List.iter
+            (fun (group, v) ->
+              match v with
+              | Obj rows ->
+                  List.iter
+                    (fun (test, v) ->
+                      match v with
+                      | Num ns ->
+                          let key = (group, test) in
+                          let cell =
+                            match List.assoc_opt key !series with
+                            | Some cell -> cell
+                            | None ->
+                                let cell = ref [] in
+                                series := (key, cell) :: !series;
+                                order := key :: !order;
+                                cell
+                          in
+                          cell := (label, ns) :: !cell
+                      | _ -> die lineno ("non-numeric measurement " ^ test))
+                    rows
+              | _ -> die lineno ("group " ^ group ^ " is not an object"))
+            groups
+      | _ -> die lineno "record is not an object")
+    lines;
+  if !order = [] then begin
+    prerr_endline ("bench_gate: " ^ !history ^ ": empty history");
+    exit 2
+  end;
+  Printf.printf "bench_gate report: %d runs (%s), tolerance %.1fx\n"
+    (List.length !labels)
+    (String.concat ", " (List.rev !labels))
+    !tolerance;
+  Printf.printf "%-20s %-40s %4s %12s %12s %12s %12s %10s\n" "group" "test"
+    "runs" "first" "best" "prev" "last" "last/best";
+  let regressions = ref 0 in
+  List.iter
+    (fun ((group, test) as key) ->
+      let ms = List.rev !(List.assoc key !series) in
+      let ns = List.map snd ms in
+      let count = List.length ns in
+      let first = List.hd ns in
+      let best = List.fold_left min first ns in
+      let last = List.nth ns (count - 1) in
+      let prev = if count >= 2 then List.nth ns (count - 2) else first in
+      let ratio = if best > 0.0 then last /. best else 1.0 in
+      let flag =
+        if ratio > !tolerance then begin
+          incr regressions;
+          " REGR"
+        end
+        else ""
+      in
+      Printf.printf "%-20s %-40s %4d %12.1f %12.1f %12.1f %12.1f %9.2fx%s\n"
+        group test count first best prev last ratio flag)
+    (List.rev !order);
+  Printf.printf "bench_gate: %d benchmarks, %d over tolerance\n"
+    (List.length !order) !regressions
+
+(* --- dispatch ---------------------------------------------------------- *)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "gate" :: args -> gate args
+  | _ :: "append" :: args -> append args
+  | _ :: "report" :: args -> report args
+  | _ :: (arg :: _ as args) when String.length arg >= 2 && String.sub arg 0 2 = "--"
+    ->
+      (* Legacy spelling: flags with no subcommand mean `gate`. *)
+      gate args
+  | _ :: arg :: _ -> usage_error ("unknown subcommand " ^ arg)
+  | _ -> usage_error "missing subcommand"
